@@ -1,0 +1,42 @@
+// Ablation: snapshot sampling cadence. The paper sampled one snapshot per
+// week out of OLCF's daily collection; this sweep re-runs the diff-based
+// analyses at 1x/2x/4x coarser cadence to show which findings are robust
+// to sampling (growth, ages) and which wash out (weekly churn, burstiness
+// sample counts).
+#include "bench_common.h"
+
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv, /*default_scale=*/1e-4);
+  env.print_header("Ablation — snapshot sampling cadence",
+                   "the paper's weekly sampling is itself a design choice; "
+                   "diff-based metrics depend on it");
+
+  AsciiTable t({"cadence", "snapshots", "new %", "deleted %", "readonly %",
+                "untouched %", "median avg age", "burst samples"});
+  for (const std::size_t stride : {1u, 2u, 4u}) {
+    StridedSource strided(*env.generator, stride);
+    AccessPatternsAnalyzer access;
+    FileAgeAnalyzer ages(env.config.purge_days);
+    BurstinessAnalyzer bursts(*env.resolver, env.burst_min_files());
+    StudyAnalyzer* analyzers[] = {&access, &ages, &bursts};
+    run_study(strided, analyzers);
+
+    t.add_row({"every " + std::to_string(stride) + " week(s)",
+               std::to_string(strided.count()),
+               format_percent(access.result().avg_new),
+               format_percent(access.result().avg_deleted),
+               format_percent(access.result().avg_readonly),
+               format_percent(access.result().avg_untouched),
+               format_double(ages.result().median_of_averages, 0),
+               std::to_string(bursts.result().qualifying_write_samples)});
+  }
+  t.print(std::cout);
+  std::cout << "\nCoarser cadences inflate per-interval churn (more files "
+               "turn over between samples), shrink 'untouched', and starve "
+               "the week-defined burstiness metric — growth and age curves "
+               "are cadence-robust.\n";
+  return 0;
+}

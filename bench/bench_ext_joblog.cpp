@@ -1,0 +1,19 @@
+// Extension experiment (the paper's §7 future work): fuse the scheduler
+// job log with the snapshot analysis. Validates that snapshot-diff churn
+// tracks real scheduler activity and characterizes files-per-job.
+#include "bench_common.h"
+
+#include "study/joblog.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv, /*default_scale=*/1e-4);
+  env.print_header("Extension — job-log fusion",
+                   "paper §7: 'combining multiple system logs (e.g., job "
+                   "logs) and publication data will allow more interesting "
+                   "insights'");
+
+  const JobLogResult result = analyze_job_log(*env.generator, *env.resolver);
+  std::cout << render_job_log(result);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates Fig 6: projects-per-user / users-per-project CDFs and the
+// per-domain median membership.
+#include "bench_common.h"
+
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Fig 6 — user participation across projects",
+                   ">60% of users in >1 project, 20% in >2, 2% in >=8; "
+                   "40% of projects <3 users, 20% >10; cli/env/nfi/chp "
+                   "medians >10");
+
+  ParticipationAnalyzer analyzer(*env.resolver);
+  run_study(*env.generator, analyzer);
+  std::cout << analyzer.render();
+
+  // CDF curves as printable series (the figure's axes).
+  const auto& r = analyzer.result();
+  std::cout << "\nFig 6(a) CDF points (projects per user):\n";
+  AsciiTable a({"projects", "CDF"});
+  for (const double x : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0}) {
+    a.add_row({format_double(x, 0),
+               format_percent(r.projects_per_user.fraction_at_most(x))});
+  }
+  a.print(std::cout);
+  std::cout << "\nFig 6(b) CDF points (users per project):\n";
+  AsciiTable b({"users", "CDF"});
+  for (const double x : {1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0}) {
+    b.add_row({format_double(x, 0),
+               format_percent(r.users_per_project.fraction_at_most(x))});
+  }
+  b.print(std::cout);
+  return 0;
+}

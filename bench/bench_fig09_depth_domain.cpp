@@ -1,0 +1,32 @@
+// Regenerates Fig 9: per-domain directory-depth five-number summaries,
+// compared against the paper's Table 1 [median, max] column.
+#include "bench_common.h"
+
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Fig 9 — directory depth trends per domain",
+                   "Table 1 Dir.Depth column: e.g. aph [10,22], mat [16,29], "
+                   "gen [10,432], stf [12,2030]");
+
+  CensusAnalyzer analyzer(*env.resolver);
+  run_study(*env.generator, analyzer);
+  const CensusResult& r = analyzer.result();
+
+  AsciiTable t({"domain", "min", "q25", "median", "q75", "max",
+                "paper [med,max]"});
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const FiveNumber& fn = r.depth_by_domain[d];
+    if (fn.count == 0) continue;
+    t.add_row({profiles[d].id, format_double(fn.min, 0),
+               format_double(fn.q25, 0), format_double(fn.median, 0),
+               format_double(fn.q75, 0), format_double(fn.max, 0),
+               "[" + std::to_string(profiles[d].depth_median) + ", " +
+                   std::to_string(profiles[d].depth_max) + "]"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Fig 11: language popularity ranking vs IEEE Spectrum.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Fig 11 — programming language popularity",
+                   "IEEE top-5 (C/Java/Python/C++/R) all popular; shell "
+                   "5th; Fortran 6th (IEEE 28th); Prolog 8th (IEEE 37th, "
+                   "the .pl quirk); COBOL 12th; Ada 16th; Go/Scala/Swift "
+                   "present");
+
+  LanguagesAnalyzer analyzer(*env.resolver);
+  run_study(*env.generator, analyzer);
+  std::cout << analyzer.render();
+  return 0;
+}

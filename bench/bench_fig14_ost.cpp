@@ -1,0 +1,15 @@
+// Regenerates Fig 14: OST stripe-count usage per domain.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Fig 14 — OST counts per science domain",
+                   "default stripe count 4; 20 of 35 domains tune it; "
+                   "ast/csc/bip stripe wide, maximum 1,008");
+
+  StripingAnalyzer analyzer(*env.resolver);
+  run_study(*env.generator, analyzer);
+  std::cout << analyzer.render();
+  return 0;
+}

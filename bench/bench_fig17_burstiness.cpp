@@ -1,0 +1,17 @@
+// Regenerates Fig 17: write/read burstiness (cv of within-week mtimes of
+// new files and atimes of readonly files, per project-week).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Fig 17 — burstiness of file operations",
+                   "write cv mostly 0.1-1.0; read cv ~100x lower "
+                   "(0.001-0.01); aph/bio/med burstier than the rest; "
+                   "projects under 100 files/week excluded");
+
+  BurstinessAnalyzer analyzer(*env.resolver, env.burst_min_files());
+  run_study(*env.generator, analyzer);
+  std::cout << analyzer.render();
+  return 0;
+}

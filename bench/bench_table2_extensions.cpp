@@ -1,0 +1,16 @@
+// Regenerates Table 2: per-domain top-3 file extensions with shares.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  env.print_header("Table 2 — file extension popularity per domain",
+                   "domain-specific types dominate a few domains: bio pdbqt "
+                   "97.6%, nph bb 79.1%, chp xyz 63.4%, bip bz2 54.8%; 12 "
+                   "domains have no extension above 10%");
+
+  ExtensionsAnalyzer analyzer(*env.resolver);
+  run_study(*env.generator, analyzer);
+  std::cout << analyzer.render();
+  return 0;
+}

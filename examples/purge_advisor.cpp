@@ -1,0 +1,85 @@
+// Purge-policy advisor: the operational scenario behind the paper's
+// Observation 8 ("many files are repeatedly accessed beyond the 90 day
+// purge window"). Sweeps candidate purge windows over the simulated
+// facility and recommends the smallest window that keeps re-read data from
+// being evicted, quantifying the archive-traffic cost of each policy.
+//
+//   ./examples/purge_advisor [--scale=1e-4] [--weeks=60]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "study/access_patterns.h"
+#include "study/file_age.h"
+#include "study/growth.h"
+#include "study/runner.h"
+#include "synth/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  const CliArgs args(argc, argv);
+
+  FacilityConfig base;
+  base.scale = args.get_double("scale", 1e-4);
+  base.weeks = static_cast<std::size_t>(args.get_int("weeks", 60));
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 20150105));
+
+  struct Row {
+    int window;
+    double median_age;
+    double above;
+    std::uint64_t final_files;
+    double deleted_pct;
+  };
+  std::vector<Row> rows;
+
+  std::cout << "Sweeping purge windows over " << base.weeks
+            << " simulated weeks (scale " << base.scale << ")...\n\n";
+  for (const int window : {45, 60, 90, 120, 150, 180}) {
+    FacilityConfig config = base;
+    config.purge_days = window;
+    FacilityGenerator generator(config);
+
+    FileAgeAnalyzer ages(window);
+    GrowthAnalyzer growth;
+    AccessPatternsAnalyzer access;
+    StudyAnalyzer* analyzers[] = {&ages, &growth, &access};
+    run_study(generator, analyzers);
+
+    rows.push_back(Row{window, ages.result().median_of_averages,
+                       ages.result().fraction_above_purge,
+                       growth.result().points.back().files,
+                       access.result().avg_deleted});
+  }
+
+  AsciiTable t({"window (days)", "median avg age", "snapshots above window",
+                "final live files", "weekly deleted"});
+  for (const Row& row : rows) {
+    t.add_row({std::to_string(row.window), format_double(row.median_age, 0),
+               format_percent(row.above),
+               format_with_commas(row.final_files),
+               format_percent(row.deleted_pct)});
+  }
+  t.print(std::cout);
+
+  // Recommendation: the smallest window where loosening it further stops
+  // recovering meaningful standing population (diminishing returns).
+  int recommended = rows.back().window;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    const double gain = static_cast<double>(rows[i + 1].final_files) /
+                        static_cast<double>(std::max<std::uint64_t>(
+                            1, rows[i].final_files));
+    if (gain < 1.02) {
+      recommended = rows[i].window;
+      break;
+    }
+  }
+  std::cout << "\nRecommendation: a " << recommended
+            << "-day purge window. The paper reached the same qualitative "
+               "conclusion for Spider II: file ages (atime - mtime) sit "
+               "well above 90 days, so the default window evicts data that "
+               "users still read.\n";
+  return 0;
+}

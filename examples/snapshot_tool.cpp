@@ -1,0 +1,219 @@
+// snapshot_tool: the format-facing CLI. Generates a snapshot series onto
+// disk, converts between LustreDU PSV text and the .scol columnar format,
+// and inspects snapshot files — the day-to-day plumbing of the paper's
+// analysis framework (§3).
+//
+//   snapshot_tool generate --dir=/tmp/series [--scale=2e-5] [--weeks=12]
+//   snapshot_tool convert --in=snap.psv --out=snap.scol   (or the reverse)
+//   snapshot_tool inspect --in=snap.scol
+//   snapshot_tool purgelist --in=snap.scol [--age=90] [--exempt=cli104,...]
+//                 [--out=purge.list] [--now=<epoch>]
+#include <iostream>
+#include <string>
+
+#include <algorithm>
+#include <fstream>
+
+#include "engine/agg.h"
+#include "engine/purge.h"
+#include "snapshot/psv.h"
+#include "snapshot/scol.h"
+#include "snapshot/series.h"
+#include "synth/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timeutil.h"
+
+namespace {
+
+using namespace spider;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool load_any(const std::string& file, SnapshotTable* table,
+              std::string* error) {
+  if (ends_with(file, ".psv")) return read_psv_file(file, table, error);
+  return read_scol_file(file, table, error);
+}
+
+bool store_any(const SnapshotTable& table, const std::string& file,
+               std::string* error) {
+  if (ends_with(file, ".psv")) return write_psv_file(table, file, error);
+  return write_scol_file(table, file, error);
+}
+
+int cmd_generate(const CliArgs& args) {
+  FacilityConfig config;
+  config.scale = args.get_double("scale", 2e-5);
+  config.weeks = static_cast<std::size_t>(args.get_int("weeks", 12));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20150105));
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::cerr << "generate requires --dir=<output directory>\n";
+    return 1;
+  }
+  FacilityGenerator generator(config);
+  std::string error;
+  if (!save_series(generator, dir, &error)) {
+    std::cerr << "failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << generator.count() << " snapshots to " << dir
+            << " (snap_YYYYMMDD.scol)\n";
+  return 0;
+}
+
+int cmd_convert(const CliArgs& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "");
+  if (in.empty() || out.empty()) {
+    std::cerr << "convert requires --in=<file> and --out=<file> "
+                 "(.psv or .scol by extension)\n";
+    return 1;
+  }
+  SnapshotTable table;
+  std::string error;
+  if (!load_any(in, &table, &error)) {
+    std::cerr << "read failed: " << error << "\n";
+    return 1;
+  }
+  if (!store_any(table, out, &error)) {
+    std::cerr << "write failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << "converted " << table.size() << " records: " << in << " -> "
+            << out << "\n";
+  return 0;
+}
+
+int cmd_inspect(const CliArgs& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::cerr << "inspect requires --in=<file>\n";
+    return 1;
+  }
+  SnapshotTable table;
+  std::string error;
+  if (!load_any(in, &table, &error)) {
+    std::cerr << "read failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << in << ": " << table.size() << " records ("
+            << table.file_count() << " files, " << table.dir_count()
+            << " dirs)\n";
+  if (table.empty()) return 0;
+
+  std::int64_t min_time = table.mtime(0), max_time = table.mtime(0);
+  std::size_t max_depth = 0;
+  CountMap<std::string> ext_counts, project_counts;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    min_time = std::min(min_time, table.mtime(i));
+    max_time = std::max(max_time, table.mtime(i));
+    max_depth = std::max<std::size_t>(max_depth, table.depth(i));
+    if (!table.is_dir(i)) {
+      ++ext_counts[std::string(path_extension(table.path(i)))];
+    }
+    ++project_counts[std::string(path_project(table.path(i)))];
+  }
+  std::cout << "mtimes span " << date_iso(min_time) << " .. "
+            << date_iso(max_time) << "; deepest path " << max_depth
+            << " components\n\n";
+
+  std::cout << "top extensions ('' = none):\n";
+  AsciiTable exts({"ext", "files"});
+  for (const auto& [ext, count] : top_k(ext_counts, 10)) {
+    exts.add_row({ext.empty() ? "(none)" : ext, format_with_commas(count)});
+  }
+  exts.print(std::cout);
+
+  std::cout << "\nbusiest projects:\n";
+  AsciiTable projects({"project", "entries"});
+  for (const auto& [name, count] : top_k(project_counts, 10)) {
+    projects.add_row({name, format_with_commas(count)});
+  }
+  projects.print(std::cout);
+  return 0;
+}
+
+int cmd_purgelist(const CliArgs& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::cerr << "purgelist requires --in=<snapshot file>\n";
+    return 1;
+  }
+  SnapshotTable table;
+  std::string error;
+  if (!load_any(in, &table, &error)) {
+    std::cerr << "read failed: " << error << "\n";
+    return 1;
+  }
+
+  PurgePolicy policy;
+  policy.age_days = static_cast<int>(args.get_int("age", 90));
+  std::string exempt = args.get("exempt", "");
+  std::size_t start = 0;
+  while (start < exempt.size()) {
+    std::size_t comma = exempt.find(',', start);
+    if (comma == std::string::npos) comma = exempt.size();
+    if (comma > start) {
+      policy.exempt_projects.push_back(exempt.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+
+  // Default "now": the newest timestamp in the snapshot (its capture day).
+  std::int64_t now = args.get_int("now", 0);
+  if (now == 0) {
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      now = std::max(now, table.atime(i));
+    }
+  }
+
+  const PurgeReport report = build_purge_list(table, now, policy);
+  std::cout << "as of " << date_iso(now) << ", policy " << policy.age_days
+            << " days: " << format_with_commas(report.candidates())
+            << " purge candidates of "
+            << format_with_commas(report.scanned_files) << " files ("
+            << format_percent(report.candidate_fraction()) << "), "
+            << report.exempted_files << " exempted\n";
+
+  std::cout << "\nmost affected projects:\n";
+  AsciiTable t({"project", "candidates"});
+  for (const auto& [name, count] : top_k(report.by_project, 10)) {
+    t.add_row({name, format_with_commas(count)});
+  }
+  t.print(std::cout);
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot open " << out << "\n";
+      return 1;
+    }
+    const std::uint64_t bytes = write_purge_list(table, report, os);
+    std::cout << "\nwrote " << format_with_commas(bytes) << " bytes to "
+              << out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const spider::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: snapshot_tool <generate|convert|inspect> [flags]\n";
+    return 1;
+  }
+  const std::string& command = args.positional()[0];
+  if (command == "generate") return cmd_generate(args);
+  if (command == "convert") return cmd_convert(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "purgelist") return cmd_purgelist(args);
+  std::cerr << "unknown command: " << command << "\n";
+  return 1;
+}

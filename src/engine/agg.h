@@ -1,0 +1,69 @@
+// Grouped aggregation helpers: parallel hash-aggregation over snapshot rows
+// (the engine's GROUP BY), count-map merging, and deterministic top-k.
+//
+// The pattern mirrors the paper's SparkSQL aggregations: each thread folds
+// rows into a private hash map, partials merge in chunk order. Results are
+// bit-identical run to run — important because the calibration tests assert
+// on exact counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace spider {
+
+template <typename Key>
+using CountMap = std::unordered_map<Key, std::uint64_t>;
+
+template <typename Key>
+void merge_counts(CountMap<Key>& into, const CountMap<Key>& from) {
+  for (const auto& [key, count] : from) into[key] += count;
+}
+
+/// Parallel grouped count over [0, n). `emit_keys(row, emit)` calls
+/// emit(key, weight) zero or more times per row.
+template <typename Key, typename EmitKeys>
+CountMap<Key> parallel_count(std::size_t n, EmitKeys&& emit_keys,
+                             std::size_t grain = 8192) {
+  return parallel_reduce<CountMap<Key>>(
+      n, CountMap<Key>{},
+      [&emit_keys](CountMap<Key>& acc, std::size_t row) {
+        emit_keys(row, [&acc](const Key& key, std::uint64_t weight) {
+          acc[key] += weight;
+        });
+      },
+      [](CountMap<Key>& into, CountMap<Key>& from) {
+        merge_counts(into, from);
+      },
+      nullptr, grain);
+}
+
+/// Largest-count-first top-k; ties break on key order so output is stable.
+template <typename Key>
+std::vector<std::pair<Key, std::uint64_t>> top_k(const CountMap<Key>& counts,
+                                                 std::size_t k) {
+  std::vector<std::pair<Key, std::uint64_t>> entries(counts.begin(),
+                                                     counts.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+/// Sum of all counts in a map.
+template <typename Key>
+std::uint64_t total_count(const CountMap<Key>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  return total;
+}
+
+}  // namespace spider

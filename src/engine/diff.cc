@@ -1,0 +1,195 @@
+#include "engine/diff.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "engine/hash_index.h"
+#include "util/parallel.h"
+
+namespace spider {
+
+namespace {
+
+double fraction(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+double DiffResult::deleted_fraction() const {
+  return fraction(deleted_rows.size(), prev_files);
+}
+double DiffResult::readonly_fraction() const {
+  return fraction(readonly_rows.size(), prev_files);
+}
+double DiffResult::updated_fraction() const {
+  return fraction(updated_rows.size(), prev_files);
+}
+double DiffResult::untouched_fraction() const {
+  return fraction(untouched_rows.size(), prev_files);
+}
+double DiffResult::new_fraction() const {
+  return fraction(new_rows.size(), cur_files);
+}
+
+DiffResult diff_snapshots(const SnapshotTable& prev,
+                          const SnapshotTable& cur) {
+  DiffResult result;
+  result.prev_files = prev.file_count();
+  result.cur_files = cur.file_count();
+
+  const PathIndex index(prev, /*files_only=*/true);
+
+  // matched[row] flags previous-week files found in the current week; what
+  // remains unmatched was deleted. Transitions are 0 -> 1 only, so relaxed
+  // atomics suffice.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> matched(
+      new std::atomic<std::uint8_t>[prev.size()]);
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    matched[i].store(0, std::memory_order_relaxed);
+  }
+
+  // Per-chunk classification buffers, merged in chunk order so the final
+  // row vectors are ascending regardless of scheduling.
+  struct Partial {
+    std::vector<std::uint32_t> rows[4];  // new, readonly, updated, untouched
+  };
+  constexpr std::size_t kGrain = 8192;
+  const std::size_t n = cur.size();
+  const std::size_t chunks = n == 0 ? 0 : (n + kGrain - 1) / kGrain;
+  std::vector<Partial> partials(chunks);
+
+  parallel_for_chunked(n, kGrain, [&](std::size_t begin, std::size_t end) {
+    Partial& p = partials[begin / kGrain];
+    for (std::size_t row = begin; row < end; ++row) {
+      if (cur.is_dir(row)) continue;
+      const std::uint32_t prev_row =
+          index.lookup(cur.path_hash(row), cur.path(row));
+      if (prev_row == PathIndex::kNotFound) {
+        p.rows[0].push_back(static_cast<std::uint32_t>(row));
+        continue;
+      }
+      matched[prev_row].store(1, std::memory_order_relaxed);
+      const bool atime_same = cur.atime(row) == prev.atime(prev_row);
+      const bool mtime_same = cur.mtime(row) == prev.mtime(prev_row);
+      const bool ctime_same = cur.ctime(row) == prev.ctime(prev_row);
+      if (mtime_same && ctime_same && atime_same) {
+        p.rows[3].push_back(static_cast<std::uint32_t>(row));
+      } else if (mtime_same && ctime_same) {
+        p.rows[2].push_back(static_cast<std::uint32_t>(row));
+      } else {
+        p.rows[1].push_back(static_cast<std::uint32_t>(row));
+      }
+    }
+  });
+
+  std::size_t totals[4] = {0, 0, 0, 0};
+  for (const Partial& p : partials) {
+    for (int k = 0; k < 4; ++k) totals[k] += p.rows[k].size();
+  }
+  result.new_rows.reserve(totals[0]);
+  result.updated_rows.reserve(totals[1]);
+  result.readonly_rows.reserve(totals[2]);
+  result.untouched_rows.reserve(totals[3]);
+  for (Partial& p : partials) {
+    result.new_rows.insert(result.new_rows.end(), p.rows[0].begin(),
+                           p.rows[0].end());
+    result.updated_rows.insert(result.updated_rows.end(), p.rows[1].begin(),
+                               p.rows[1].end());
+    result.readonly_rows.insert(result.readonly_rows.end(), p.rows[2].begin(),
+                                p.rows[2].end());
+    result.untouched_rows.insert(result.untouched_rows.end(),
+                                 p.rows[3].begin(), p.rows[3].end());
+  }
+
+  for (std::size_t row = 0; row < prev.size(); ++row) {
+    if (prev.is_dir(row)) continue;
+    if (matched[row].load(std::memory_order_relaxed) == 0) {
+      result.deleted_rows.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Rows of one table's regular files, sorted by (path hash, row).
+std::vector<std::uint32_t> sorted_file_rows(const SnapshotTable& table) {
+  std::vector<std::uint32_t> rows;
+  rows.reserve(table.file_count());
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (!table.is_dir(row)) rows.push_back(static_cast<std::uint32_t>(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [&table](std::uint32_t a, std::uint32_t b) {
+              if (table.path_hash(a) != table.path_hash(b)) {
+                return table.path_hash(a) < table.path_hash(b);
+              }
+              return table.path(a) < table.path(b);
+            });
+  return rows;
+}
+
+void classify_pair(const SnapshotTable& prev, const SnapshotTable& cur,
+                   std::uint32_t prev_row, std::uint32_t cur_row,
+                   DiffResult& result) {
+  const bool atime_same = cur.atime(cur_row) == prev.atime(prev_row);
+  const bool mtime_same = cur.mtime(cur_row) == prev.mtime(prev_row);
+  const bool ctime_same = cur.ctime(cur_row) == prev.ctime(prev_row);
+  if (mtime_same && ctime_same && atime_same) {
+    result.untouched_rows.push_back(cur_row);
+  } else if (mtime_same && ctime_same) {
+    result.readonly_rows.push_back(cur_row);
+  } else {
+    result.updated_rows.push_back(cur_row);
+  }
+}
+
+}  // namespace
+
+DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
+                                    const SnapshotTable& cur) {
+  DiffResult result;
+  result.prev_files = prev.file_count();
+  result.cur_files = cur.file_count();
+
+  const std::vector<std::uint32_t> lhs = sorted_file_rows(prev);
+  const std::vector<std::uint32_t> rhs = sorted_file_rows(cur);
+
+  std::size_t i = 0, j = 0;
+  auto key_less = [&](std::uint32_t a, std::uint32_t b) {
+    if (prev.path_hash(a) != cur.path_hash(b)) {
+      return prev.path_hash(a) < cur.path_hash(b);
+    }
+    return prev.path(a) < cur.path(b);
+  };
+  while (i < lhs.size() && j < rhs.size()) {
+    const std::uint32_t a = lhs[i];
+    const std::uint32_t b = rhs[j];
+    if (key_less(a, b)) {
+      result.deleted_rows.push_back(a);
+      ++i;
+    } else if (prev.path_hash(a) == cur.path_hash(b) &&
+               prev.path(a) == cur.path(b)) {
+      classify_pair(prev, cur, a, b, result);
+      ++i;
+      ++j;
+    } else {
+      result.new_rows.push_back(b);
+      ++j;
+    }
+  }
+  for (; i < lhs.size(); ++i) result.deleted_rows.push_back(lhs[i]);
+  for (; j < rhs.size(); ++j) result.new_rows.push_back(rhs[j]);
+
+  // Restore the hash join's row-order contract.
+  for (auto* rows : {&result.new_rows, &result.readonly_rows,
+                     &result.updated_rows, &result.untouched_rows,
+                     &result.deleted_rows}) {
+    std::sort(rows->begin(), rows->end());
+  }
+  return result;
+}
+
+}  // namespace spider

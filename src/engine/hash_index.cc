@@ -1,0 +1,48 @@
+#include "engine/hash_index.h"
+
+#include <bit>
+
+namespace spider {
+
+PathIndex::PathIndex(const SnapshotTable& table, bool files_only)
+    : table_(table) {
+  const std::size_t rows = table.size();
+  // Load factor <= 0.5 keeps linear-probe chains short.
+  const std::size_t capacity = std::bit_ceil(std::max<std::size_t>(rows * 2, 16));
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (files_only && table.is_dir(row)) continue;
+    std::uint64_t slot = table.path_hash(row) & mask_;
+    for (;;) {
+      if (slots_[slot] == 0) {
+        slots_[slot] = static_cast<std::uint32_t>(row) + 1;
+        ++size_;
+        break;
+      }
+      const std::uint32_t other = slots_[slot] - 1;
+      if (table_.path_hash(other) == table.path_hash(row) &&
+          table_.path(other) == table.path(row)) {
+        break;  // duplicate path: keep the first row
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+}
+
+std::uint32_t PathIndex::lookup(std::uint64_t hash,
+                                std::string_view path) const {
+  std::uint64_t slot = hash & mask_;
+  for (;;) {
+    const std::uint32_t stored = slots_[slot];
+    if (stored == 0) return kNotFound;
+    const std::uint32_t row = stored - 1;
+    if (table_.path_hash(row) == hash && table_.path(row) == path) {
+      return row;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace spider

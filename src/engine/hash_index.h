@@ -1,0 +1,42 @@
+// PathIndex: an open-addressing hash index from path -> row for one
+// snapshot table. This is the build side of the diff join (Fig 13): the
+// previous week's snapshot is indexed once, then the current week's rows
+// probe it in parallel.
+//
+// Layout: a power-of-two slot array storing row+1 (0 = empty), linear
+// probing. Keys are the table's precomputed 64-bit path hashes; probes
+// confirm with a full path comparison, so hash collisions cost a compare
+// but never a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/table.h"
+
+namespace spider {
+
+class PathIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffff'ffffu;
+
+  /// Indexes `table`. With files_only, directories are skipped — the
+  /// paper's access-pattern analysis intersects regular files only.
+  /// The table must outlive the index and must not contain duplicate paths
+  /// (snapshots never do; duplicate insertion keeps the first row).
+  explicit PathIndex(const SnapshotTable& table, bool files_only = false);
+
+  /// Row of `path` in the indexed table, or kNotFound. Thread-safe.
+  std::uint32_t lookup(std::uint64_t hash, std::string_view path) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  const SnapshotTable& table_;
+  std::vector<std::uint32_t> slots_;  // row + 1; 0 = empty
+  std::uint64_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,73 @@
+#include "engine/purge.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "snapshot/record.h"
+#include "util/parallel.h"
+#include "util/timeutil.h"
+
+namespace spider {
+
+PurgeReport build_purge_list(const SnapshotTable& table, std::int64_t now,
+                             const PurgePolicy& policy) {
+  PurgeReport report;
+  const std::int64_t cutoff =
+      now - static_cast<std::int64_t>(policy.age_days) * kSecondsPerDay;
+
+  const auto exempt = [&policy](std::string_view project) {
+    return std::find(policy.exempt_projects.begin(),
+                     policy.exempt_projects.end(),
+                     project) != policy.exempt_projects.end();
+  };
+
+  // Chunked parallel scan; partials merge in chunk order so the candidate
+  // list is ascending and deterministic.
+  struct Partial {
+    std::vector<std::uint32_t> rows;
+    std::uint64_t scanned = 0;
+    std::uint64_t exempted = 0;
+  };
+  constexpr std::size_t kGrain = 8192;
+  const std::size_t n = table.size();
+  const std::size_t chunks = n == 0 ? 0 : (n + kGrain - 1) / kGrain;
+  std::vector<Partial> partials(chunks);
+
+  parallel_for_chunked(n, kGrain, [&](std::size_t begin, std::size_t end) {
+    Partial& p = partials[begin / kGrain];
+    for (std::size_t row = begin; row < end; ++row) {
+      if (table.is_dir(row)) continue;
+      ++p.scanned;
+      if (table.atime(row) >= cutoff) continue;
+      if (exempt(path_project(table.path(row)))) {
+        ++p.exempted;
+        continue;
+      }
+      p.rows.push_back(static_cast<std::uint32_t>(row));
+    }
+  });
+
+  for (Partial& p : partials) {
+    report.scanned_files += p.scanned;
+    report.exempted_files += p.exempted;
+    report.candidate_rows.insert(report.candidate_rows.end(), p.rows.begin(),
+                                 p.rows.end());
+  }
+  for (const std::uint32_t row : report.candidate_rows) {
+    ++report.by_project[std::string(path_project(table.path(row)))];
+  }
+  return report;
+}
+
+std::uint64_t write_purge_list(const SnapshotTable& table,
+                               const PurgeReport& report, std::ostream& os) {
+  std::uint64_t bytes = 0;
+  for (const std::uint32_t row : report.candidate_rows) {
+    const std::string_view path = table.path(row);
+    os << path << '\n';
+    bytes += path.size() + 1;
+  }
+  return bytes;
+}
+
+}  // namespace spider

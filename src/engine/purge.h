@@ -1,0 +1,53 @@
+// Purge-list generation — the operational raison d'être of the LustreDU
+// snapshots (paper §2.2): every night the latest snapshot is scanned and
+// files whose atime is older than the policy window become purge
+// candidates. This module reproduces that pipeline over a SnapshotTable
+// and is what the purge-window ablations and the snapshot_tool's
+// `purgelist` command drive.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/agg.h"
+#include "snapshot/table.h"
+
+namespace spider {
+
+struct PurgePolicy {
+  /// Files not accessed within this many days are candidates.
+  int age_days = 90;
+  /// Project directory names exempt from purging (operational waivers).
+  std::vector<std::string> exempt_projects;
+};
+
+struct PurgeReport {
+  /// Candidate rows in the scanned snapshot, ascending.
+  std::vector<std::uint32_t> candidate_rows;
+  std::uint64_t scanned_files = 0;
+  std::uint64_t exempted_files = 0;
+  /// Candidates per project directory name.
+  CountMap<std::string> by_project;
+
+  std::uint64_t candidates() const { return candidate_rows.size(); }
+  double candidate_fraction() const {
+    return scanned_files == 0
+               ? 0.0
+               : static_cast<double>(candidate_rows.size()) /
+                     static_cast<double>(scanned_files);
+  }
+};
+
+/// Scans `table` (one snapshot) as of time `now` under `policy`.
+/// Directories are never candidates (purge removes files only).
+PurgeReport build_purge_list(const SnapshotTable& table, std::int64_t now,
+                             const PurgePolicy& policy);
+
+/// Writes candidate paths, one per line (the nightly purge list file);
+/// returns bytes written.
+std::uint64_t write_purge_list(const SnapshotTable& table,
+                               const PurgeReport& report, std::ostream& os);
+
+}  // namespace spider

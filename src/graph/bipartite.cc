@@ -1,0 +1,67 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+
+namespace spider {
+
+BipartiteGraph::BipartiteGraph(std::uint32_t num_users,
+                               std::uint32_t num_projects,
+                               std::span<const MembershipEdge> memberships)
+    : num_users_(num_users), num_projects_(num_projects) {
+  std::vector<Edge> edges;
+  edges.reserve(memberships.size());
+  for (const MembershipEdge& m : memberships) {
+    if (m.user >= num_users || m.project >= num_projects) continue;
+    edges.emplace_back(user_vertex(m.user), project_vertex(m.project));
+  }
+  graph_ = Graph::from_edges(num_users_ + num_projects_, edges);
+}
+
+CollaborationStats collaboration_stats(
+    std::uint32_t num_users,
+    std::span<const std::vector<std::uint32_t>> project_members,
+    std::span<const std::uint32_t> project_domain, std::size_t num_domains) {
+  CollaborationStats stats;
+  stats.total_user_pairs =
+      static_cast<std::uint64_t>(num_users) * (num_users - 1) / 2;
+  stats.pairs_touching_domain.assign(num_domains, 0);
+
+  struct PairInfo {
+    std::uint32_t shared = 0;
+    std::uint64_t domain_mask = 0;  // num_domains <= 64 in this study
+  };
+  std::unordered_map<std::uint64_t, PairInfo> pairs;
+
+  for (std::size_t p = 0; p < project_members.size(); ++p) {
+    std::vector<std::uint32_t> members = project_members[p];
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    const std::uint64_t domain_bit = 1ULL << (project_domain[p] % 64);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(members[i]) << 32) | members[j];
+        PairInfo& info = pairs[key];
+        ++info.shared;
+        info.domain_mask |= domain_bit;
+      }
+    }
+  }
+
+  stats.collaborating_pairs = pairs.size();
+  for (const auto& [key, info] : pairs) {
+    if (info.shared > stats.max_shared_projects) {
+      stats.max_shared_projects = info.shared;
+      stats.max_pair_user_a = static_cast<std::uint32_t>(key >> 32);
+      stats.max_pair_user_b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    }
+    for (std::size_t d = 0; d < num_domains; ++d) {
+      if (info.domain_mask & (1ULL << (d % 64))) {
+        ++stats.pairs_touching_domain[d];
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace spider

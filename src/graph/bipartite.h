@@ -1,0 +1,83 @@
+// The file-generation network (paper Fig 18(a)): a bipartite graph whose
+// vertices are users and projects, with an edge when a user generated files
+// inside a project. Also hosts the user-pair collaboration analysis
+// (Fig 20): two users collaborate when they share at least one project.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/components.h"
+#include "graph/graph.h"
+
+namespace spider {
+
+struct MembershipEdge {
+  std::uint32_t user = 0;     // dense user index, [0, num_users)
+  std::uint32_t project = 0;  // dense project index, [0, num_projects)
+};
+
+/// Vertex numbering: users occupy [0, num_users), projects occupy
+/// [num_users, num_users + num_projects).
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::uint32_t num_users, std::uint32_t num_projects,
+                 std::span<const MembershipEdge> memberships);
+
+  const Graph& graph() const { return graph_; }
+  std::uint32_t num_users() const { return num_users_; }
+  std::uint32_t num_projects() const { return num_projects_; }
+
+  VertexId user_vertex(std::uint32_t user) const { return user; }
+  VertexId project_vertex(std::uint32_t project) const {
+    return num_users_ + project;
+  }
+  bool is_project_vertex(VertexId v) const { return v >= num_users_; }
+  std::uint32_t project_of_vertex(VertexId v) const { return v - num_users_; }
+
+ private:
+  std::uint32_t num_users_;
+  std::uint32_t num_projects_;
+  Graph graph_;
+};
+
+struct CollaborationStats {
+  /// All possible user pairs, C(num_users, 2) — the paper's ~0.93M.
+  std::uint64_t total_user_pairs = 0;
+  /// Pairs sharing at least one project.
+  std::uint64_t collaborating_pairs = 0;
+  /// Most projects shared by any single pair, and that pair.
+  std::uint32_t max_shared_projects = 0;
+  std::uint32_t max_pair_user_a = 0;
+  std::uint32_t max_pair_user_b = 0;
+  /// Per-domain: number of collaborating pairs whose shared projects
+  /// include at least one project of that domain. A pair spanning two
+  /// domains counts in both (so the column can sum past 100%).
+  std::vector<std::uint64_t> pairs_touching_domain;
+
+  double collaborating_fraction() const {
+    return total_user_pairs == 0
+               ? 0.0
+               : static_cast<double>(collaborating_pairs) /
+                     static_cast<double>(total_user_pairs);
+  }
+  /// The paper's "Collab. (%)" column for domain d.
+  double domain_share(std::size_t d) const {
+    return collaborating_pairs == 0
+               ? 0.0
+               : static_cast<double>(pairs_touching_domain[d]) /
+                     static_cast<double>(collaborating_pairs);
+  }
+};
+
+/// Enumerates collaborating user pairs by walking each project's member
+/// list (sum over projects of C(members, 2) candidate pairs).
+/// `project_domain[p]` maps a project to its science-domain index.
+CollaborationStats collaboration_stats(
+    std::uint32_t num_users, std::span<const std::vector<std::uint32_t>>
+                                 project_members,
+    std::span<const std::uint32_t> project_domain, std::size_t num_domains);
+
+}  // namespace spider

@@ -1,0 +1,77 @@
+#include "graph/components.h"
+
+namespace spider {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    parent_[v] = static_cast<VertexId>(v);
+  }
+}
+
+VertexId UnionFind::find(VertexId v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  VertexId ra = find(a);
+  VertexId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+std::vector<VertexId> ComponentInfo::members(std::uint32_t component) const {
+  std::vector<VertexId> out;
+  for (std::size_t v = 0; v < label.size(); ++v) {
+    if (label[v] == component) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+ComponentInfo connected_components(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  UnionFind uf(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      uf.unite(static_cast<VertexId>(v), u);
+    }
+  }
+
+  ComponentInfo info;
+  info.label.assign(n, 0);
+  // Densify root ids into [0, count) in first-seen order (deterministic).
+  std::vector<std::uint32_t> root_to_label(n, 0xffffffffu);
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId root = uf.find(static_cast<VertexId>(v));
+    if (root_to_label[root] == 0xffffffffu) {
+      root_to_label[root] = static_cast<std::uint32_t>(info.size.size());
+      info.size.push_back(0);
+    }
+    info.label[v] = root_to_label[root];
+    ++info.size[info.label[v]];
+  }
+  info.count = info.size.size();
+  for (std::size_t c = 0; c < info.count; ++c) {
+    if (info.size[c] > info.size[info.largest]) {
+      info.largest = static_cast<std::uint32_t>(c);
+    }
+  }
+  return info;
+}
+
+std::map<std::uint32_t, std::uint32_t> component_size_histogram(
+    const ComponentInfo& info) {
+  std::map<std::uint32_t, std::uint32_t> histogram;
+  for (const std::uint32_t size : info.size) ++histogram[size];
+  return histogram;
+}
+
+}  // namespace spider

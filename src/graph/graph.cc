@@ -1,0 +1,32 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace spider {
+
+Graph Graph::from_edges(VertexId num_vertices, std::span<const Edge> edges) {
+  // Normalize to both directions, drop self-loops, sort, dedup.
+  std::vector<Edge> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) {
+    if (a == b || a >= num_vertices || b >= num_vertices) continue;
+    directed.emplace_back(a, b);
+    directed.emplace_back(b, a);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [a, b] : directed) ++g.offsets_[a + 1];
+  for (std::size_t v = 1; v < g.offsets_.size(); ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  g.adjacency_.resize(directed.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : directed) g.adjacency_[cursor[a]++] = b;
+  return g;
+}
+
+}  // namespace spider

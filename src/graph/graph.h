@@ -1,0 +1,43 @@
+// Undirected graph in CSR form — the substrate for the paper's Section 4.3
+// "file generation network" analyses. Vertices are dense 32-bit ids; the
+// bipartite user/project layering lives in bipartite.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace spider {
+
+using VertexId = std::uint32_t;
+using Edge = std::pair<VertexId, VertexId>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds an undirected graph. Self-loops are dropped; parallel edges are
+  /// deduplicated. Edges may reference any vertex < num_vertices.
+  static Graph from_edges(VertexId num_vertices, std::span<const Edge> edges);
+
+  std::size_t vertex_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Undirected edge count (each edge counted once).
+  std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(adjacency_)
+        .subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+  }
+  std::uint32_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;   // vertex_count() + 1
+  std::vector<VertexId> adjacency_;      // both directions
+};
+
+}  // namespace spider

@@ -1,0 +1,92 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace spider {
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  std::uint32_t max_degree = 0;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    max_degree = std::max(max_degree, g.degree(static_cast<VertexId>(v)));
+  }
+  std::vector<std::uint64_t> histogram(max_degree + 1, 0);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    ++histogram[g.degree(static_cast<VertexId>(v))];
+  }
+  return histogram;
+}
+
+LinearFit degree_power_law_fit(const Graph& g) {
+  return log_log_fit(degree_histogram(g));
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src) {
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::vector<VertexId> frontier{src};
+  dist[src] = 0;
+  std::uint32_t depth = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const VertexId v : frontier) {
+      for (const VertexId u : g.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          dist[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+DiameterInfo component_diameter(const Graph& g,
+                                std::span<const VertexId> vertices) {
+  DiameterInfo info;
+  if (vertices.empty()) return info;
+
+  std::vector<std::uint32_t> eccentricities(vertices.size(), 0);
+  parallel_for(vertices.size(), [&](std::size_t i) {
+    eccentricities[i] = eccentricity(g, vertices[i]);
+  });
+
+  info.radius = kUnreachable;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    info.diameter = std::max(info.diameter, eccentricities[i]);
+    info.radius = std::min(info.radius, eccentricities[i]);
+  }
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (eccentricities[i] == info.radius) {
+      info.centers.push_back(vertices[i]);
+    }
+  }
+  return info;
+}
+
+std::uint32_t double_sweep_lower_bound(const Graph& g, VertexId seed) {
+  const auto first = bfs_distances(g, seed);
+  VertexId farthest = seed;
+  std::uint32_t best = 0;
+  for (std::size_t v = 0; v < first.size(); ++v) {
+    if (first[v] != kUnreachable && first[v] > best) {
+      best = first[v];
+      farthest = static_cast<VertexId>(v);
+    }
+  }
+  return eccentricity(g, farthest);
+}
+
+}  // namespace spider

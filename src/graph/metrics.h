@@ -1,0 +1,46 @@
+// Graph metrics for the network study: degree distributions and power-law
+// fit (Fig 18(b)), BFS distances, exact component diameter and center
+// (Table 3's diameter-18 / 10-hop-center findings).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/stats.h"
+
+namespace spider {
+
+inline constexpr std::uint32_t kUnreachable = 0xffff'ffffu;
+
+/// histogram[d] = number of vertices with degree d.
+std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// Least-squares fit of log10(count) vs log10(degree); slope is the
+/// power-law exponent (negative for a decaying tail). Degree-0 vertices and
+/// empty buckets are skipped.
+LinearFit degree_power_law_fit(const Graph& g);
+
+/// BFS hop distances from src (kUnreachable outside src's component).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId src);
+
+/// Largest finite BFS distance from src.
+std::uint32_t eccentricity(const Graph& g, VertexId src);
+
+struct DiameterInfo {
+  std::uint32_t diameter = 0;      // max eccentricity over the vertex set
+  std::uint32_t radius = 0;        // min eccentricity over the vertex set
+  std::vector<VertexId> centers;   // vertices attaining the radius
+};
+
+/// Exact diameter/radius/center of one component, given its vertex list
+/// (all-pairs BFS; fine for the study's 1,259-vertex giant component).
+DiameterInfo component_diameter(const Graph& g,
+                                std::span<const VertexId> vertices);
+
+/// Fast diameter lower bound by double-sweep BFS (used by benchmarks to
+/// contrast with the exact computation).
+std::uint32_t double_sweep_lower_bound(const Graph& g, VertexId seed);
+
+}  // namespace spider

@@ -1,0 +1,170 @@
+#include "snapshot/psv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/hash.h"
+
+namespace spider {
+
+namespace {
+
+/// Synthesizes the per-stripe hexadecimal object id LustreDU records; the
+/// value itself is opaque to every analysis, but keeping the field shape
+/// exercises the same parsing cost profile as the real collector output.
+std::uint32_t object_id(std::uint64_t inode, std::uint32_t ost) {
+  return static_cast<std::uint32_t>(
+      hash_combine(inode, ost) & 0x0fff'ffffULL);
+}
+
+bool parse_u64(std::string_view s, int base, std::uint64_t* out) {
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out, base);
+  return res.ec == std::errc() && res.ptr == s.data() + s.size();
+}
+
+bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out, 10);
+  return res.ec == std::errc() && res.ptr == s.data() + s.size();
+}
+
+bool fail(std::string* error, std::string_view reason) {
+  if (error) *error = std::string(reason);
+  return false;
+}
+
+}  // namespace
+
+std::string psv_format_record(const RawRecord& rec) {
+  std::string line;
+  line.reserve(rec.path.size() + 96 + rec.osts.size() * 14);
+  line += rec.path;
+  // Worst case: 3x 20-digit timestamps + uid/gid/mode/inode + pipes < 128.
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "|%lld|%lld|%lld|%u|%u|%o|%llu|",
+                static_cast<long long>(rec.atime),
+                static_cast<long long>(rec.ctime),
+                static_cast<long long>(rec.mtime), rec.uid, rec.gid, rec.mode,
+                static_cast<unsigned long long>(rec.inode));
+  line += buf;
+  for (std::size_t i = 0; i < rec.osts.size(); ++i) {
+    if (i) line += ',';
+    std::snprintf(buf, sizeof(buf), "%u:%x", rec.osts[i],
+                  object_id(rec.inode, rec.osts[i]));
+    line += buf;
+  }
+  return line;
+}
+
+bool psv_parse_record(std::string_view line, RawRecord* rec,
+                      std::string* error) {
+  // Split into the 9 pipe-separated fields. Paths on Spider II do not
+  // contain '|'; LustreDU relies on the same invariant.
+  std::string_view fields[9];
+  std::size_t field = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '|') {
+      if (field >= 9) return fail(error, "too many fields");
+      fields[field++] = line.substr(begin, i - begin);
+      begin = i + 1;
+    }
+  }
+  if (field != 9) return fail(error, "expected 9 fields");
+
+  rec->path = std::string(fields[0]);
+  if (rec->path.empty() || rec->path[0] != '/') {
+    return fail(error, "path must be absolute");
+  }
+  if (!parse_i64(fields[1], &rec->atime)) return fail(error, "bad atime");
+  if (!parse_i64(fields[2], &rec->ctime)) return fail(error, "bad ctime");
+  if (!parse_i64(fields[3], &rec->mtime)) return fail(error, "bad mtime");
+
+  std::uint64_t v = 0;
+  if (!parse_u64(fields[4], 10, &v)) return fail(error, "bad uid");
+  rec->uid = static_cast<std::uint32_t>(v);
+  if (!parse_u64(fields[5], 10, &v)) return fail(error, "bad gid");
+  rec->gid = static_cast<std::uint32_t>(v);
+  if (!parse_u64(fields[6], 8, &v)) return fail(error, "bad mode");
+  rec->mode = static_cast<std::uint32_t>(v);
+  if (!parse_u64(fields[7], 10, &v)) return fail(error, "bad inode");
+  rec->inode = v;
+
+  rec->osts.clear();
+  const std::string_view osts = fields[8];
+  if (!osts.empty()) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= osts.size(); ++i) {
+      if (i == osts.size() || osts[i] == ',') {
+        std::string_view entry = osts.substr(start, i - start);
+        const std::size_t colon = entry.find(':');
+        if (colon != std::string_view::npos) entry = entry.substr(0, colon);
+        std::uint64_t ost = 0;
+        if (!parse_u64(entry, 10, &ost)) return fail(error, "bad ost entry");
+        rec->osts.push_back(static_cast<std::uint32_t>(ost));
+        start = i + 1;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t write_psv(const SnapshotTable& table, std::ostream& os) {
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::string line = psv_format_record(table.row(i));
+    os << line << '\n';
+    bytes += line.size() + 1;
+  }
+  return bytes;
+}
+
+bool read_psv(std::istream& is, SnapshotTable* table, std::string* error) {
+  std::string line;
+  std::size_t line_no = 0;
+  RawRecord rec;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string why;
+    if (!psv_parse_record(line, &rec, &why)) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " + why;
+      }
+      return false;
+    }
+    table->add(rec);
+  }
+  return true;
+}
+
+bool write_psv_file(const SnapshotTable& table, const std::string& file,
+                    std::string* error) {
+  std::ofstream os(file, std::ios::binary);
+  if (!os) {
+    if (error) *error = "cannot open for write: " + file;
+    return false;
+  }
+  write_psv(table, os);
+  os.flush();
+  if (!os) {
+    if (error) *error = "write failed: " + file;
+    return false;
+  }
+  return true;
+}
+
+bool read_psv_file(const std::string& file, SnapshotTable* table,
+                   std::string* error) {
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    if (error) *error = "cannot open for read: " + file;
+    return false;
+  }
+  return read_psv(is, table, error);
+}
+
+}  // namespace spider

@@ -1,0 +1,42 @@
+// PSV (pipe-separated values) snapshot format — the LustreDU on-disk layout
+// the paper's pipeline starts from (Figure 2):
+//
+//   PATH|ATIME|CTIME|MTIME|UID|GID|MODE|INODE|OST:OBJ,OST:OBJ,...
+//
+// MODE is octal; the OST field lists "index:objid" pairs (we synthesize the
+// hexadecimal object ids from the inode, and parsers keep only the index,
+// which is all the analyses use). Directories have an empty OST field.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "snapshot/record.h"
+#include "snapshot/table.h"
+
+namespace spider {
+
+/// Formats one record as a PSV line (no trailing newline).
+std::string psv_format_record(const RawRecord& rec);
+
+/// Parses one PSV line. On failure returns false and, if `error` is
+/// non-null, stores a human-readable reason.
+bool psv_parse_record(std::string_view line, RawRecord* rec,
+                      std::string* error = nullptr);
+
+/// Streams a whole table out as PSV text; returns bytes written.
+std::uint64_t write_psv(const SnapshotTable& table, std::ostream& os);
+
+/// Appends all records from a PSV stream into `table`. Stops at the first
+/// malformed line and reports it (line number + reason) via `error`.
+bool read_psv(std::istream& is, SnapshotTable* table,
+              std::string* error = nullptr);
+
+/// File-based convenience wrappers.
+bool write_psv_file(const SnapshotTable& table, const std::string& file,
+                    std::string* error = nullptr);
+bool read_psv_file(const std::string& file, SnapshotTable* table,
+                   std::string* error = nullptr);
+
+}  // namespace spider

@@ -1,0 +1,62 @@
+#include "snapshot/record.h"
+
+namespace spider {
+
+std::size_t path_depth(std::string_view path) {
+  std::size_t depth = 0;
+  bool in_component = false;
+  for (char c : path) {
+    if (c == '/') {
+      in_component = false;
+    } else if (!in_component) {
+      in_component = true;
+      ++depth;
+    }
+  }
+  return depth;
+}
+
+std::string_view path_component(std::string_view path, std::size_t idx) {
+  std::size_t current = 0;
+  std::size_t begin = std::string_view::npos;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    const bool sep = i == path.size() || path[i] == '/';
+    if (!sep && begin == std::string_view::npos) {
+      begin = i;
+    } else if (sep && begin != std::string_view::npos) {
+      if (current == idx) return path.substr(begin, i - begin);
+      ++current;
+      begin = std::string_view::npos;
+    }
+  }
+  return {};
+}
+
+std::string_view path_basename(std::string_view path) {
+  // Ignore trailing slashes.
+  std::size_t end = path.size();
+  while (end > 0 && path[end - 1] == '/') --end;
+  std::size_t begin = end;
+  while (begin > 0 && path[begin - 1] != '/') --begin;
+  return path.substr(begin, end - begin);
+}
+
+std::string_view path_parent(std::string_view path) {
+  std::size_t end = path.size();
+  while (end > 0 && path[end - 1] == '/') --end;
+  while (end > 0 && path[end - 1] != '/') --end;
+  while (end > 1 && path[end - 1] == '/') --end;
+  if (end == 0) return path.empty() ? std::string_view{} : path.substr(0, 1);
+  return path.substr(0, end);
+}
+
+std::string_view path_extension(std::string_view path) {
+  const std::string_view base = path_basename(path);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == base.size()) {
+    return {};
+  }
+  return base.substr(dot + 1);
+}
+
+}  // namespace spider

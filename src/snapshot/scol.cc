@@ -1,0 +1,481 @@
+#include "snapshot/scol.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "snapshot/varint.h"
+#include "util/hash.h"
+
+namespace spider {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'O', 'L', '0', '0', '0', '1'};
+
+enum ColumnId : std::uint8_t {
+  kColPaths = 1,
+  kColAtime = 2,
+  kColCtime = 3,
+  kColMtime = 4,
+  kColUid = 5,
+  kColGid = 6,
+  kColMode = 7,
+  kColInode = 8,
+  kColOst = 9,
+};
+
+enum Encoding : std::uint8_t {
+  kEncPlainStrings = 0,  // varint length + bytes
+  kEncFrontCoded = 1,    // varint shared-prefix + varint suffix len + bytes
+  kEncZigzagAbs = 2,     // absolute zig-zag varint per row
+  kEncDeltaPrev = 3,     // zig-zag varint delta vs previous row
+  kEncDeltaMtime = 4,    // zig-zag varint delta vs same-row mtime
+  kEncPlainVarint = 5,   // varint per row
+  kEncRle = 6,           // (varint run length, varint value) pairs
+  kEncOstLists = 7,      // varint count + varint values per row
+};
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool get_u64_le(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+std::uint64_t payload_checksum(std::span<const std::uint8_t> payload) {
+  return hash_bytes(std::string_view(
+      reinterpret_cast<const char*>(payload.data()), payload.size()));
+}
+
+std::size_t shared_prefix(std::string_view a, std::string_view b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+// ---- column encoders ------------------------------------------------------
+
+std::vector<std::uint8_t> encode_paths(const SnapshotTable& t,
+                                       bool front_code) {
+  std::vector<std::uint8_t> out;
+  std::string_view prev;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string_view p = t.path(i);
+    if (front_code) {
+      const std::size_t shared = shared_prefix(prev, p);
+      put_varint(out, shared);
+      put_varint(out, p.size() - shared);
+      out.insert(out.end(), p.begin() + static_cast<std::ptrdiff_t>(shared),
+                 p.end());
+      prev = p;
+    } else {
+      put_varint(out, p.size());
+      out.insert(out.end(), p.begin(), p.end());
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_i64_column(std::span<const std::int64_t> col,
+                                            Encoding enc,
+                                            std::span<const std::int64_t> base) {
+  std::vector<std::uint8_t> out;
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    switch (enc) {
+      case kEncZigzagAbs:
+        put_zigzag(out, col[i]);
+        break;
+      case kEncDeltaPrev:
+        put_zigzag(out, col[i] - prev);
+        prev = col[i];
+        break;
+      case kEncDeltaMtime:
+        put_zigzag(out, col[i] - base[i]);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_u32_column(std::span<const std::uint32_t> col,
+                                            bool rle) {
+  std::vector<std::uint8_t> out;
+  if (!rle) {
+    for (const std::uint32_t v : col) put_varint(out, v);
+    return out;
+  }
+  std::size_t i = 0;
+  while (i < col.size()) {
+    std::size_t run = 1;
+    while (i + run < col.size() && col[i + run] == col[i]) ++run;
+    put_varint(out, run);
+    put_varint(out, col[i]);
+    i += run;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_inodes(std::span<const std::uint64_t> col,
+                                        bool delta) {
+  std::vector<std::uint8_t> out;
+  std::uint64_t prev = 0;
+  for (const std::uint64_t v : col) {
+    if (delta) {
+      put_zigzag(out, static_cast<std::int64_t>(v - prev));
+      prev = v;
+    } else {
+      put_varint(out, v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_osts(const SnapshotTable& t) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto osts = t.osts(i);
+    put_varint(out, osts.size());
+    for (const std::uint32_t o : osts) put_varint(out, o);
+  }
+  return out;
+}
+
+void append_column(std::vector<std::uint8_t>& image, ColumnId id, Encoding enc,
+                   const std::vector<std::uint8_t>& payload) {
+  image.push_back(id);
+  image.push_back(enc);
+  put_u64_le(image, payload.size());
+  put_u64_le(image, payload_checksum(payload));
+  image.insert(image.end(), payload.begin(), payload.end());
+}
+
+// ---- column decoders ------------------------------------------------------
+
+struct ColumnBlock {
+  Encoding enc = kEncPlainStrings;
+  std::span<const std::uint8_t> payload;
+};
+
+bool fail(std::string* error, std::string_view reason) {
+  if (error) *error = std::string(reason);
+  return false;
+}
+
+bool decode_paths(const ColumnBlock& block, std::size_t rows,
+                  std::vector<std::string>* out, std::string* error) {
+  out->clear();
+  out->reserve(rows);
+  std::size_t pos = 0;
+  std::string prev;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t shared = 0, len = 0;
+    if (block.enc == kEncFrontCoded) {
+      if (!get_varint(block.payload, pos, shared)) {
+        return fail(error, "paths: truncated shared length");
+      }
+      if (shared > prev.size()) return fail(error, "paths: bad shared length");
+    }
+    if (!get_varint(block.payload, pos, len)) {
+      return fail(error, "paths: truncated suffix length");
+    }
+    if (pos + len > block.payload.size()) {
+      return fail(error, "paths: truncated suffix bytes");
+    }
+    std::string path = prev.substr(0, shared);
+    path.append(reinterpret_cast<const char*>(block.payload.data() + pos),
+                len);
+    pos += len;
+    prev = path;
+    out->push_back(std::move(path));
+  }
+  return true;
+}
+
+bool decode_i64(const ColumnBlock& block, std::size_t rows,
+                std::span<const std::int64_t> base,
+                std::vector<std::int64_t>* out, std::string* error) {
+  out->clear();
+  out->reserve(rows);
+  std::size_t pos = 0;
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::int64_t v = 0;
+    if (!get_zigzag(block.payload, pos, v)) {
+      return fail(error, "timestamp column truncated");
+    }
+    switch (block.enc) {
+      case kEncZigzagAbs:
+        break;
+      case kEncDeltaPrev:
+        v += prev;
+        prev = v;
+        break;
+      case kEncDeltaMtime:
+        if (base.size() != rows) return fail(error, "missing mtime base");
+        v += base[i];
+        break;
+      default:
+        return fail(error, "bad timestamp encoding");
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool decode_u32(const ColumnBlock& block, std::size_t rows,
+                std::vector<std::uint32_t>* out, std::string* error) {
+  out->clear();
+  out->reserve(rows);
+  std::size_t pos = 0;
+  if (block.enc == kEncPlainVarint) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::uint64_t v = 0;
+      if (!get_varint(block.payload, pos, v)) {
+        return fail(error, "u32 column truncated");
+      }
+      out->push_back(static_cast<std::uint32_t>(v));
+    }
+    return true;
+  }
+  if (block.enc != kEncRle) return fail(error, "bad u32 encoding");
+  while (out->size() < rows) {
+    std::uint64_t run = 0, value = 0;
+    if (!get_varint(block.payload, pos, run) ||
+        !get_varint(block.payload, pos, value)) {
+      return fail(error, "rle column truncated");
+    }
+    if (run == 0 || out->size() + run > rows) {
+      return fail(error, "rle run overflows row count");
+    }
+    out->insert(out->end(), run, static_cast<std::uint32_t>(value));
+  }
+  return true;
+}
+
+bool decode_inodes(const ColumnBlock& block, std::size_t rows,
+                   std::vector<std::uint64_t>* out, std::string* error) {
+  out->clear();
+  out->reserve(rows);
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (block.enc == kEncDeltaPrev) {
+      std::int64_t d = 0;
+      if (!get_zigzag(block.payload, pos, d)) {
+        return fail(error, "inode column truncated");
+      }
+      prev += static_cast<std::uint64_t>(d);
+      out->push_back(prev);
+    } else if (block.enc == kEncPlainVarint) {
+      std::uint64_t v = 0;
+      if (!get_varint(block.payload, pos, v)) {
+        return fail(error, "inode column truncated");
+      }
+      out->push_back(v);
+    } else {
+      return fail(error, "bad inode encoding");
+    }
+  }
+  return true;
+}
+
+bool decode_osts(const ColumnBlock& block, std::size_t rows,
+                 std::vector<std::uint32_t>* offsets,
+                 std::vector<std::uint32_t>* values, std::string* error) {
+  offsets->clear();
+  values->clear();
+  offsets->reserve(rows + 1);
+  offsets->push_back(0);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t count = 0;
+    if (!get_varint(block.payload, pos, count)) {
+      return fail(error, "ost column truncated");
+    }
+    if (count > 4096) return fail(error, "implausible stripe count");
+    for (std::uint64_t k = 0; k < count; ++k) {
+      std::uint64_t v = 0;
+      if (!get_varint(block.payload, pos, v)) {
+        return fail(error, "ost column truncated");
+      }
+      values->push_back(static_cast<std::uint32_t>(v));
+    }
+    offsets->push_back(static_cast<std::uint32_t>(values->size()));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
+                                      const ScolOptions& options) {
+  std::vector<std::uint8_t> image;
+  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u64_le(image, table.size());
+  image.push_back(9);  // column count
+
+  const Encoding ts_enc =
+      options.delta_timestamps ? kEncDeltaPrev : kEncZigzagAbs;
+  const Encoding rel_enc =
+      options.delta_timestamps ? kEncDeltaMtime : kEncZigzagAbs;
+  const Encoding id_enc = options.rle_ids ? kEncRle : kEncPlainVarint;
+
+  append_column(image, kColPaths,
+                options.front_code_paths ? kEncFrontCoded : kEncPlainStrings,
+                encode_paths(table, options.front_code_paths));
+  append_column(image, kColMtime, ts_enc,
+                encode_i64_column(table.mtimes(), ts_enc, {}));
+  append_column(image, kColAtime, rel_enc,
+                encode_i64_column(table.atimes(), rel_enc, table.mtimes()));
+  append_column(image, kColCtime, rel_enc,
+                encode_i64_column(table.ctimes(), rel_enc, table.mtimes()));
+  append_column(image, kColUid, id_enc,
+                encode_u32_column(table.uids(), options.rle_ids));
+  append_column(image, kColGid, id_enc,
+                encode_u32_column(table.gids(), options.rle_ids));
+  append_column(image, kColMode, id_enc,
+                encode_u32_column(table.modes(), options.rle_ids));
+  append_column(image, kColInode,
+                options.delta_inodes ? kEncDeltaPrev : kEncPlainVarint,
+                encode_inodes(table.inodes(), options.delta_inodes));
+  append_column(image, kColOst, kEncOstLists, encode_osts(table));
+  return image;
+}
+
+bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                 std::string* error) {
+  std::size_t pos = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(error, "bad magic");
+  }
+  pos = sizeof(kMagic);
+  std::uint64_t rows = 0;
+  if (!get_u64_le(bytes, pos, rows)) return fail(error, "truncated header");
+  if (pos >= bytes.size()) return fail(error, "truncated header");
+  const std::uint8_t ncols = bytes[pos++];
+
+  std::map<std::uint8_t, ColumnBlock> blocks;
+  for (std::uint8_t c = 0; c < ncols; ++c) {
+    if (pos + 2 > bytes.size()) return fail(error, "truncated column header");
+    const std::uint8_t id = bytes[pos++];
+    const Encoding enc = static_cast<Encoding>(bytes[pos++]);
+    std::uint64_t size = 0, checksum = 0;
+    if (!get_u64_le(bytes, pos, size) || !get_u64_le(bytes, pos, checksum)) {
+      return fail(error, "truncated column header");
+    }
+    if (pos + size > bytes.size()) return fail(error, "truncated payload");
+    const auto payload = bytes.subspan(pos, size);
+    if (payload_checksum(payload) != checksum) {
+      return fail(error, "column checksum mismatch");
+    }
+    blocks[id] = ColumnBlock{enc, payload};
+    pos += size;
+  }
+  for (const std::uint8_t id :
+       {kColPaths, kColAtime, kColCtime, kColMtime, kColUid, kColGid,
+        kColMode, kColInode, kColOst}) {
+    if (!blocks.count(id)) return fail(error, "missing column");
+  }
+
+  std::vector<std::string> paths;
+  std::vector<std::int64_t> atime, ctime, mtime;
+  std::vector<std::uint32_t> uid, gid, mode, ost_offsets, ost_values;
+  std::vector<std::uint64_t> inode;
+  if (!decode_paths(blocks[kColPaths], rows, &paths, error)) return false;
+  if (!decode_i64(blocks[kColMtime], rows, {}, &mtime, error)) return false;
+  if (!decode_i64(blocks[kColAtime], rows, mtime, &atime, error)) return false;
+  if (!decode_i64(blocks[kColCtime], rows, mtime, &ctime, error)) return false;
+  if (!decode_u32(blocks[kColUid], rows, &uid, error)) return false;
+  if (!decode_u32(blocks[kColGid], rows, &gid, error)) return false;
+  if (!decode_u32(blocks[kColMode], rows, &mode, error)) return false;
+  if (!decode_inodes(blocks[kColInode], rows, &inode, error)) return false;
+  if (!decode_osts(blocks[kColOst], rows, &ost_offsets, &ost_values, error)) {
+    return false;
+  }
+
+  table->reserve(table->size() + rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::span<const std::uint32_t> osts =
+        std::span<const std::uint32_t>(ost_values)
+            .subspan(ost_offsets[i], ost_offsets[i + 1] - ost_offsets[i]);
+    table->add(paths[i], atime[i], ctime[i], mtime[i], uid[i], gid[i], mode[i],
+               inode[i], osts);
+  }
+  return true;
+}
+
+ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
+                                  const ScolOptions& options) {
+  ScolColumnSizes sizes;
+  const Encoding ts_enc =
+      options.delta_timestamps ? kEncDeltaPrev : kEncZigzagAbs;
+  const Encoding rel_enc =
+      options.delta_timestamps ? kEncDeltaMtime : kEncZigzagAbs;
+  sizes.paths = encode_paths(table, options.front_code_paths).size();
+  sizes.mtime = encode_i64_column(table.mtimes(), ts_enc, {}).size();
+  sizes.atime =
+      encode_i64_column(table.atimes(), rel_enc, table.mtimes()).size();
+  sizes.ctime =
+      encode_i64_column(table.ctimes(), rel_enc, table.mtimes()).size();
+  sizes.uid = encode_u32_column(table.uids(), options.rle_ids).size();
+  sizes.gid = encode_u32_column(table.gids(), options.rle_ids).size();
+  sizes.mode = encode_u32_column(table.modes(), options.rle_ids).size();
+  sizes.inode = encode_inodes(table.inodes(), options.delta_inodes).size();
+  sizes.ost = encode_osts(table).size();
+  sizes.total = sizes.paths + sizes.atime + sizes.ctime + sizes.mtime +
+                sizes.uid + sizes.gid + sizes.mode + sizes.inode + sizes.ost;
+  return sizes;
+}
+
+bool write_scol_file(const SnapshotTable& table, const std::string& file,
+                     std::string* error, const ScolOptions& options) {
+  const std::vector<std::uint8_t> image = encode_scol(table, options);
+  std::ofstream os(file, std::ios::binary);
+  if (!os) {
+    if (error) *error = "cannot open for write: " + file;
+    return false;
+  }
+  os.write(reinterpret_cast<const char*>(image.data()),
+           static_cast<std::streamsize>(image.size()));
+  os.flush();
+  if (!os) {
+    if (error) *error = "write failed: " + file;
+    return false;
+  }
+  return true;
+}
+
+bool read_scol_file(const std::string& file, SnapshotTable* table,
+                    std::string* error) {
+  std::ifstream is(file, std::ios::binary | std::ios::ate);
+  if (!is) {
+    if (error) *error = "cannot open for read: " + file;
+    return false;
+  }
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) {
+    if (error) *error = "read failed: " + file;
+    return false;
+  }
+  return decode_scol(bytes, table, error);
+}
+
+}  // namespace spider

@@ -1,0 +1,113 @@
+#include "snapshot/series.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "snapshot/scol.h"
+#include "util/timeutil.h"
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Parses "snap_YYYYMMDD.scol" -> epoch seconds; returns false otherwise.
+bool parse_snapshot_name(const std::string& name, std::int64_t* taken_at) {
+  constexpr std::string_view kPrefix = "snap_";
+  constexpr std::string_view kSuffix = ".scol";
+  if (name.size() != kPrefix.size() + 8 + kSuffix.size()) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return false;
+  }
+  const std::string digits = name.substr(kPrefix.size(), 8);
+  if (!std::all_of(digits.begin(), digits.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    return false;
+  }
+  CivilDate date;
+  date.year = std::stoi(digits.substr(0, 4));
+  date.month = static_cast<unsigned>(std::stoi(digits.substr(4, 2)));
+  date.day = static_cast<unsigned>(std::stoi(digits.substr(6, 2)));
+  if (date.month < 1 || date.month > 12 || date.day < 1 || date.day > 31) {
+    return false;
+  }
+  *taken_at = epoch_from_civil(date);
+  return true;
+}
+
+}  // namespace
+
+bool DirectorySeries::open(const std::string& directory, std::string* error) {
+  files_.clear();
+  taken_at_.clear();
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    if (error) *error = "not a directory: " + directory;
+    return false;
+  }
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::int64_t taken_at = 0;
+    if (parse_snapshot_name(entry.path().filename().string(), &taken_at)) {
+      found.emplace_back(taken_at, entry.path().string());
+    }
+  }
+  if (ec) {
+    if (error) *error = "cannot list directory: " + directory;
+    return false;
+  }
+  if (found.empty()) {
+    if (error) *error = "no snap_*.scol files in: " + directory;
+    return false;
+  }
+  std::sort(found.begin(), found.end());
+  for (auto& [taken_at, file] : found) {
+    taken_at_.push_back(taken_at);
+    files_.push_back(std::move(file));
+  }
+  return true;
+}
+
+void DirectorySeries::visit(const SnapshotVisitor& visitor) {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    Snapshot snap;
+    snap.taken_at = taken_at_[i];
+    std::string error;
+    if (!read_scol_file(files_[i], &snap.table, &error)) {
+      // A snapshot that fails integrity checks is skipped, matching how the
+      // paper's pipeline tolerates missing/corrupt weeks (maintenance gaps).
+      continue;
+    }
+    visitor(i, snap);
+  }
+}
+
+bool save_series(SnapshotSource& source, const std::string& directory,
+                 std::string* error) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    if (error) *error = "cannot create directory: " + directory;
+    return false;
+  }
+  bool ok = true;
+  std::string first_error;
+  source.visit([&](std::size_t, const Snapshot& snap) {
+    const std::string file =
+        (fs::path(directory) / ("snap_" + date_tag(snap.taken_at) + ".scol"))
+            .string();
+    std::string why;
+    if (!write_scol_file(snap.table, file, &why) && ok) {
+      ok = false;
+      first_error = why;
+    }
+  });
+  if (!ok && error) *error = first_error;
+  return ok;
+}
+
+}  // namespace spider

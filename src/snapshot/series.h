@@ -1,0 +1,106 @@
+// A snapshot series: the 72-week study collection, either materialized in
+// memory (tests, small scales) or streamed one week at a time (the full
+// study, where keeping every snapshot resident would defeat the point).
+//
+// Analyses consume a SnapshotSource; the visitor contract guarantees weeks
+// arrive in chronological order, which the diff-based analyses (Fig 13/17)
+// rely on to keep only the previous week resident.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snapshot/table.h"
+
+namespace spider {
+
+struct Snapshot {
+  std::int64_t taken_at = 0;  // epoch seconds of collection
+  SnapshotTable table;
+};
+
+/// Callback invoked per snapshot, in chronological order.
+/// `week` is a dense 0-based index into the series.
+using SnapshotVisitor =
+    std::function<void(std::size_t week, const Snapshot& snap)>;
+
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+
+  /// Number of snapshots this source will visit.
+  virtual std::size_t count() const = 0;
+
+  /// Visits every snapshot in order. May be called multiple times; each
+  /// call re-traverses (or regenerates) the whole series.
+  virtual void visit(const SnapshotVisitor& visitor) = 0;
+};
+
+/// Fully in-memory series.
+class SnapshotSeries : public SnapshotSource {
+ public:
+  void add(Snapshot snap) { snaps_.push_back(std::move(snap)); }
+
+  std::size_t count() const override { return snaps_.size(); }
+  void visit(const SnapshotVisitor& visitor) override {
+    for (std::size_t i = 0; i < snaps_.size(); ++i) visitor(i, snaps_[i]);
+  }
+
+  const Snapshot& at(std::size_t i) const { return snaps_[i]; }
+  Snapshot& at(std::size_t i) { return snaps_[i]; }
+
+ private:
+  std::vector<Snapshot> snaps_;
+};
+
+/// Streams snapshots from `snap_<YYYYMMDD>.scol` files in a directory, in
+/// ascending date order. Construction scans the directory; visit() decodes
+/// one file at a time.
+class DirectorySeries : public SnapshotSource {
+ public:
+  /// Lists matching files; returns false (with reason) when the directory
+  /// cannot be read or contains no snapshots.
+  bool open(const std::string& directory, std::string* error = nullptr);
+
+  std::size_t count() const override { return files_.size(); }
+  void visit(const SnapshotVisitor& visitor) override;
+
+  const std::vector<std::string>& files() const { return files_; }
+
+ private:
+  std::vector<std::string> files_;      // absolute paths, sorted by date
+  std::vector<std::int64_t> taken_at_;  // parallel to files_
+};
+
+/// Adapter delivering every `stride`-th snapshot of a base source with
+/// re-densified week indices — the sampling-frequency ablation (the paper
+/// sampled one snapshot per week out of a daily collection; this asks how
+/// the findings shift at coarser cadences).
+class StridedSource : public SnapshotSource {
+ public:
+  StridedSource(SnapshotSource& base, std::size_t stride)
+      : base_(base), stride_(stride == 0 ? 1 : stride) {}
+
+  std::size_t count() const override {
+    return (base_.count() + stride_ - 1) / stride_;
+  }
+  void visit(const SnapshotVisitor& visitor) override {
+    std::size_t emitted = 0;
+    base_.visit([&](std::size_t week, const Snapshot& snap) {
+      if (week % stride_ == 0) visitor(emitted++, snap);
+    });
+  }
+
+ private:
+  SnapshotSource& base_;
+  std::size_t stride_;
+};
+
+/// Writes every snapshot of a source into `directory` as .scol files named
+/// snap_<YYYYMMDD>.scol. Creates the directory if needed.
+bool save_series(SnapshotSource& source, const std::string& directory,
+                 std::string* error = nullptr);
+
+}  // namespace spider

@@ -1,0 +1,76 @@
+#include "snapshot/table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spider {
+
+void SnapshotTable::reserve(std::size_t rows) {
+  paths_.reserve(rows);
+  path_hash_.reserve(rows);
+  depth_.reserve(rows);
+  atime_.reserve(rows);
+  ctime_.reserve(rows);
+  mtime_.reserve(rows);
+  uid_.reserve(rows);
+  gid_.reserve(rows);
+  mode_.reserve(rows);
+  inode_.reserve(rows);
+  ost_offsets_.reserve(rows + 1);
+}
+
+std::uint32_t SnapshotTable::add(std::string_view path, std::int64_t atime,
+                                 std::int64_t ctime, std::int64_t mtime,
+                                 std::uint32_t uid, std::uint32_t gid,
+                                 std::uint32_t mode, std::uint64_t inode,
+                                 std::span<const std::uint32_t> osts) {
+  const std::uint32_t row = static_cast<std::uint32_t>(size());
+  const std::string_view stored = arena_.intern(path);
+  paths_.push_back(stored);
+  path_hash_.push_back(hash_bytes(stored));
+  depth_.push_back(static_cast<std::uint16_t>(
+      std::min<std::size_t>(path_depth(stored),
+                            std::numeric_limits<std::uint16_t>::max())));
+  atime_.push_back(atime);
+  ctime_.push_back(ctime);
+  mtime_.push_back(mtime);
+  uid_.push_back(uid);
+  gid_.push_back(gid);
+  mode_.push_back(mode);
+  inode_.push_back(inode);
+  ost_values_.insert(ost_values_.end(), osts.begin(), osts.end());
+  ost_offsets_.push_back(static_cast<std::uint32_t>(ost_values_.size()));
+  if (mode_is_regular(mode)) ++file_count_;
+  return row;
+}
+
+RawRecord SnapshotTable::row(std::size_t i) const {
+  RawRecord rec;
+  rec.path = std::string(paths_[i]);
+  rec.atime = atime_[i];
+  rec.ctime = ctime_[i];
+  rec.mtime = mtime_[i];
+  rec.uid = uid_[i];
+  rec.gid = gid_[i];
+  rec.mode = mode_[i];
+  rec.inode = inode_[i];
+  const auto o = osts(i);
+  rec.osts.assign(o.begin(), o.end());
+  return rec;
+}
+
+std::size_t SnapshotTable::memory_bytes() const {
+  return arena_.bytes_used() +
+         paths_.capacity() * sizeof(std::string_view) +
+         path_hash_.capacity() * sizeof(std::uint64_t) +
+         depth_.capacity() * sizeof(std::uint16_t) +
+         (atime_.capacity() + ctime_.capacity() + mtime_.capacity()) *
+             sizeof(std::int64_t) +
+         (uid_.capacity() + gid_.capacity() + mode_.capacity()) *
+             sizeof(std::uint32_t) +
+         inode_.capacity() * sizeof(std::uint64_t) +
+         (ost_offsets_.capacity() + ost_values_.capacity()) *
+             sizeof(std::uint32_t);
+}
+
+}  // namespace spider

@@ -1,0 +1,58 @@
+// LEB128 varints and zig-zag transforms — the primitive integer encodings
+// of the .scol columnar format. Header-only; hot in the codec loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spider {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes a varint at `pos`, advancing it. Returns false on truncated or
+/// overlong (>10 byte) input, leaving pos unspecified.
+inline bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                       std::uint64_t& value) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_zigzag(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+inline bool get_zigzag(std::span<const std::uint8_t> in, std::size_t& pos,
+                       std::int64_t& value) {
+  std::uint64_t raw = 0;
+  if (!get_varint(in, pos, raw)) return false;
+  value = zigzag_decode(raw);
+  return true;
+}
+
+}  // namespace spider

@@ -1,0 +1,39 @@
+// Fig 13: weekly access-pattern breakdown from adjacent-snapshot diffs —
+// new / deleted / readonly / updated / untouched — plus the study-wide
+// averages the paper reports (3% readonly, 10% updated, 76% untouched,
+// 13% deleted, 22% new).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/runner.h"
+
+namespace spider {
+
+struct AccessPatternWeek {
+  std::int64_t date = 0;
+  double new_frac = 0, deleted_frac = 0, readonly_frac = 0, updated_frac = 0,
+         untouched_frac = 0;
+};
+
+struct AccessPatternsResult {
+  std::vector<AccessPatternWeek> weeks;
+  double avg_new = 0, avg_deleted = 0, avg_readonly = 0, avg_updated = 0,
+         avg_untouched = 0;
+};
+
+class AccessPatternsAnalyzer : public StudyAnalyzer {
+ public:
+  bool wants_diff() const override { return true; }
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const AccessPatternsResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  AccessPatternsResult result_;
+};
+
+}  // namespace spider

@@ -1,0 +1,100 @@
+#include "study/burstiness.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/table.h"
+#include "util/timeutil.h"
+
+namespace spider {
+
+BurstinessAnalyzer::BurstinessAnalyzer(const Resolver& resolver,
+                                       std::size_t min_files)
+    : resolver_(resolver),
+      min_files_(min_files),
+      write_samples_(domain_count()),
+      read_samples_(domain_count()) {}
+
+void BurstinessAnalyzer::collect(const SnapshotTable& table,
+                                 const std::vector<std::uint32_t>& rows,
+                                 bool use_atime, std::int64_t window_start,
+                                 std::vector<std::vector<double>>& out) {
+  // Group timestamps by project (gid), offsets from the window start.
+  std::unordered_map<std::uint32_t, StreamingStats> by_gid;
+  for (const std::uint32_t row : rows) {
+    const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
+    const double offset = static_cast<double>(t - window_start);
+    if (offset < 0) continue;  // moved-in files predating the window
+    by_gid[table.gid(row)].add(offset);
+  }
+  for (const auto& [gid, stats] : by_gid) {
+    if (stats.count() < min_files_) continue;
+    const int domain = resolver_.domain_of_gid(gid);
+    if (domain < 0) continue;
+    out[static_cast<std::size_t>(domain)].push_back(stats.cv());
+  }
+}
+
+void BurstinessAnalyzer::observe(const WeekObservation& obs) {
+  if (obs.diff == nullptr || obs.prev == nullptr) return;
+  // Gap-spanning intervals (maintenance weeks) cover several activity
+  // cycles and would smear multiple campaigns into one cv sample; the
+  // paper's metric is strictly week-over-week.
+  if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) return;
+  const std::int64_t window_start = obs.prev->taken_at;
+  collect(obs.snap->table, obs.diff->new_rows, /*use_atime=*/false,
+          window_start, write_samples_);
+  collect(obs.snap->table, obs.diff->readonly_rows, /*use_atime=*/true,
+          window_start, read_samples_);
+}
+
+void BurstinessAnalyzer::finish() {
+  result_.write_cv_by_domain.assign(domain_count(), FiveNumber{});
+  result_.read_cv_by_domain.assign(domain_count(), FiveNumber{});
+  std::vector<double> all_write, all_read;
+  for (std::size_t d = 0; d < domain_count(); ++d) {
+    result_.write_cv_by_domain[d] = five_number_summary(write_samples_[d]);
+    result_.read_cv_by_domain[d] = five_number_summary(read_samples_[d]);
+    all_write.insert(all_write.end(), write_samples_[d].begin(),
+                     write_samples_[d].end());
+    all_read.insert(all_read.end(), read_samples_[d].begin(),
+                    read_samples_[d].end());
+  }
+  result_.qualifying_write_samples = all_write.size();
+  result_.qualifying_read_samples = all_read.size();
+  result_.overall_write_cv_median = percentile(all_write, 50.0);
+  result_.overall_read_cv_median = percentile(all_read, 50.0);
+}
+
+std::string BurstinessAnalyzer::render() const {
+  std::ostringstream os;
+  os << "Fig 17: burstiness cv per domain (lower = burstier; >="
+     << min_files_ << "-file project-weeks only)\n";
+  AsciiTable t({"domain", "write cv median", "write [q25,q75]",
+                "read cv median", "read [q25,q75]", "paper w/r"});
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const FiveNumber& w = result_.write_cv_by_domain[d];
+    const FiveNumber& r = result_.read_cv_by_domain[d];
+    if (w.count == 0 && r.count == 0) continue;
+    auto range = [](const FiveNumber& fn) {
+      return "[" + format_cv(fn.q25) + ", " + format_cv(fn.q75) + "]";
+    };
+    t.add_row({profiles[d].id,
+               w.count ? format_cv(w.median) : std::string("-"),
+               w.count ? range(w) : std::string("-"),
+               r.count ? format_cv(r.median) : std::string("-"),
+               r.count ? range(r) : std::string("-"),
+               format_cv(profiles[d].write_cv) + "/" +
+                   format_cv(profiles[d].read_cv)});
+  }
+  t.print(os);
+  os << "overall medians: write cv "
+     << format_cv(result_.overall_write_cv_median) << ", read cv "
+     << format_cv(result_.overall_read_cv_median)
+     << " (paper: reads ~100x burstier than writes)\n";
+  return os.str();
+}
+
+}  // namespace spider

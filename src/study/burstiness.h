@@ -1,0 +1,60 @@
+// Fig 17: burstiness of file operations, measured as the coefficient of
+// variation of timestamps within each snapshot interval.
+//
+// Metric (the paper leaves it implicit; see DESIGN.md §4): for every
+// (project, interval) with at least 100 qualifying files, take the mtimes
+// of the interval's *new* files (write side) or the atimes of its
+// *readonly* files (read side), expressed in seconds since the interval
+// start, and compute cv = stddev / mean. Lower cv = burstier. Per-domain
+// distributions (five-number summaries over project-intervals) reproduce
+// the paper's box plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/resolve.h"
+#include "study/runner.h"
+#include "util/stats.h"
+
+namespace spider {
+
+struct BurstinessResult {
+  std::vector<FiveNumber> write_cv_by_domain;
+  std::vector<FiveNumber> read_cv_by_domain;
+  /// Medians across all qualifying project-intervals.
+  double overall_write_cv_median = 0;
+  double overall_read_cv_median = 0;
+  std::size_t qualifying_write_samples = 0;
+  std::size_t qualifying_read_samples = 0;
+};
+
+class BurstinessAnalyzer : public StudyAnalyzer {
+ public:
+  /// `min_files`: the paper excludes projects accessing fewer than 100
+  /// files in a week; scale-reduced runs pass a proportionally smaller
+  /// threshold.
+  explicit BurstinessAnalyzer(const Resolver& resolver,
+                              std::size_t min_files = 100);
+
+  bool wants_diff() const override { return true; }
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const BurstinessResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  void collect(const SnapshotTable& table,
+               const std::vector<std::uint32_t>& rows, bool use_atime,
+               std::int64_t window_start,
+               std::vector<std::vector<double>>& out);
+
+  const Resolver& resolver_;
+  std::size_t min_files_;
+  std::vector<std::vector<double>> write_samples_;  // per domain
+  std::vector<std::vector<double>> read_samples_;
+  BurstinessResult result_;
+};
+
+}  // namespace spider

@@ -1,0 +1,172 @@
+#include "study/census.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace spider {
+
+double CensusResult::dir_fraction(std::size_t domain) const {
+  const std::uint64_t files = files_by_domain[domain];
+  const std::uint64_t dirs = dirs_by_domain[domain];
+  const std::uint64_t total = files + dirs;
+  return total == 0 ? 0.0
+                    : static_cast<double>(dirs) / static_cast<double>(total);
+}
+
+CensusAnalyzer::CensusAnalyzer(const Resolver& resolver)
+    : resolver_(resolver),
+      files_by_user_(resolver.plan().users.size(), 0),
+      files_by_project_(resolver.plan().projects.size(), 0),
+      max_depth_by_project_(resolver.plan().projects.size(), 0),
+      dir_depths_by_domain_(domain_count()) {
+  result_.files_by_domain.assign(domain_count(), 0);
+  result_.dirs_by_domain.assign(domain_count(), 0);
+}
+
+void CensusAnalyzer::observe(const WeekObservation& obs) {
+  const SnapshotTable& table = obs.snap->table;
+
+  // Empty-directory census: a directory is empty when no other entry in
+  // the same snapshot names it as parent. Recomputed per snapshot so the
+  // final week's value survives; one hash-set pass.
+  {
+    U64Set parents(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      parents.insert(hash_bytes(path_parent(table.path(i))));
+    }
+    std::uint64_t empty = 0, dirs = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      if (!table.is_dir(i)) continue;
+      ++dirs;
+      if (!parents.contains(table.path_hash(i))) ++empty;
+    }
+    result_.final_empty_dirs = empty;
+    result_.final_dirs = dirs;
+  }
+
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!distinct_.insert(table.path_hash(i))) continue;  // seen before
+    const int project = resolver_.project_of_gid(table.gid(i));
+    const int domain = project < 0
+                           ? -1
+                           : resolver_.plan()
+                                 .projects[static_cast<std::size_t>(project)]
+                                 .domain;
+    const std::uint16_t depth = table.depth(i);
+    result_.max_depth = std::max<std::uint64_t>(result_.max_depth, depth);
+    if (table.is_dir(i)) {
+      ++result_.total_dirs;
+      if (domain >= 0) {
+        ++result_.dirs_by_domain[static_cast<std::size_t>(domain)];
+        dir_depths_by_domain_[static_cast<std::size_t>(domain)].push_back(
+            depth);
+      }
+      if (project >= 0) {
+        auto& best = max_depth_by_project_[static_cast<std::size_t>(project)];
+        best = std::max(best, depth);
+      }
+    } else {
+      ++result_.total_files;
+      if (domain >= 0) {
+        ++result_.files_by_domain[static_cast<std::size_t>(domain)];
+      }
+      if (project >= 0) {
+        ++files_by_project_[static_cast<std::size_t>(project)];
+      }
+      const int user = resolver_.user_of_uid(table.uid(i));
+      if (user >= 0) ++files_by_user_[static_cast<std::size_t>(user)];
+    }
+  }
+}
+
+void CensusAnalyzer::finish() {
+  std::vector<double> user_counts, project_counts, depths;
+  for (const std::uint64_t c : files_by_user_) {
+    if (c > 0) {
+      user_counts.push_back(static_cast<double>(c));
+      result_.max_files_one_user = std::max(result_.max_files_one_user, c);
+    }
+  }
+  for (const std::uint64_t c : files_by_project_) {
+    if (c > 0) {
+      project_counts.push_back(static_cast<double>(c));
+      result_.max_files_one_project =
+          std::max(result_.max_files_one_project, c);
+    }
+  }
+  for (const std::uint16_t d : max_depth_by_project_) {
+    if (d > 0) depths.push_back(static_cast<double>(d));
+  }
+  result_.median_files_per_user = percentile(user_counts, 50.0);
+  result_.median_files_per_project = percentile(project_counts, 50.0);
+  result_.files_per_user = EmpiricalCdf(std::move(user_counts));
+  result_.files_per_project = EmpiricalCdf(std::move(project_counts));
+  result_.project_max_depth = EmpiricalCdf(std::move(depths));
+  result_.depth_by_domain.assign(domain_count(), FiveNumber{});
+  for (std::size_t d = 0; d < dir_depths_by_domain_.size(); ++d) {
+    result_.depth_by_domain[d] = five_number_summary(dir_depths_by_domain_[d]);
+  }
+}
+
+std::string CensusAnalyzer::render() const {
+  std::ostringstream os;
+  os << "Fig 7: unique entries per domain (total "
+     << format_with_commas(result_.total_files) << " files, "
+     << format_with_commas(result_.total_dirs) << " dirs; dirs are "
+     << format_percent(static_cast<double>(result_.total_dirs) /
+                       static_cast<double>(std::max<std::uint64_t>(
+                           1, result_.total_files + result_.total_dirs)))
+     << " of entries)\n";
+  AsciiTable census({"domain", "files", "dirs", "dir share"});
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    if (result_.files_by_domain[d] + result_.dirs_by_domain[d] == 0) continue;
+    census.add_row({profiles[d].id,
+                    format_with_commas(result_.files_by_domain[d]),
+                    format_with_commas(result_.dirs_by_domain[d]),
+                    format_percent(result_.dir_fraction(d))});
+  }
+  census.print(os);
+
+  os << "\nFig 8(a): project max directory depth CDF\n"
+     << "  projects with depth > 10: "
+     << format_percent(1.0 - result_.project_max_depth.fraction_at_most(10))
+     << " (paper: >30%)\n"
+     << "  projects with depth > 15: "
+     << format_percent(1.0 - result_.project_max_depth.fraction_at_most(15))
+     << " (paper: <3%... small)\n"
+     << "  deepest path: " << result_.max_depth << " (paper: 432; 2030 stf)\n";
+
+  os << "\nFig 8(b): unique files per user / project\n"
+     << "  median files per user:    "
+     << format_count(result_.median_files_per_user) << "\n"
+     << "  median files per project: "
+     << format_count(result_.median_files_per_project) << "\n"
+     << "  max files one user:       "
+     << format_count(static_cast<double>(result_.max_files_one_user)) << "\n"
+     << "  max files one project:    "
+     << format_count(static_cast<double>(result_.max_files_one_project))
+     << "\n";
+
+  os << "\nempty directories in the final snapshot: "
+     << format_with_commas(result_.final_empty_dirs) << " of "
+     << format_with_commas(result_.final_dirs) << " ("
+     << format_percent(result_.final_empty_dir_fraction())
+     << ") — purge deletes files, never directories\n";
+
+  os << "\nFig 9: directory depth by domain (min/q25/median/q75/max)\n";
+  AsciiTable depth({"domain", "min", "q25", "median", "q75", "max"});
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const FiveNumber& fn = result_.depth_by_domain[d];
+    if (fn.count == 0) continue;
+    depth.add_row({profiles[d].id, format_double(fn.min, 0),
+                   format_double(fn.q25, 0), format_double(fn.median, 0),
+                   format_double(fn.q75, 0), format_double(fn.max, 0)});
+  }
+  depth.print(os);
+  return os.str();
+}
+
+}  // namespace spider

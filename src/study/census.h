@@ -1,0 +1,74 @@
+// Figs 7-9: the file/directory census.
+//   Fig 7 — unique files and directories per science domain across all
+//           snapshots, and the directory:entry ratio;
+//   Fig 8(a) — CDF of per-project maximum directory depth;
+//   Fig 8(b) — CDF of unique file counts per user and per project;
+//   Fig 9 — per-domain directory-depth five-number summaries.
+// "Unique" counts deduplicate by path across the whole series (deleted
+// files still count once), exactly as the paper aggregates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/u64set.h"
+#include "study/resolve.h"
+#include "study/runner.h"
+#include "util/stats.h"
+
+namespace spider {
+
+struct CensusResult {
+  // Fig 7.
+  std::vector<std::uint64_t> files_by_domain;
+  std::vector<std::uint64_t> dirs_by_domain;
+  std::uint64_t total_files = 0;
+  std::uint64_t total_dirs = 0;
+  double dir_fraction(std::size_t domain) const;
+
+  // Fig 8(b).
+  EmpiricalCdf files_per_user;
+  EmpiricalCdf files_per_project;
+  std::uint64_t max_files_one_user = 0;
+  std::uint64_t max_files_one_project = 0;
+  double median_files_per_user = 0;
+  double median_files_per_project = 0;
+
+  // Fig 8(a) / Fig 9.
+  EmpiricalCdf project_max_depth;
+  std::vector<FiveNumber> depth_by_domain;  // over unique directories
+  std::uint64_t max_depth = 0;
+
+  // Empty directories in the final snapshot (the paper notes the purge
+  // "deletes only files but not directories", leaving empty dirs behind
+  // that users are responsible for cleaning up).
+  std::uint64_t final_empty_dirs = 0;
+  std::uint64_t final_dirs = 0;
+  double final_empty_dir_fraction() const {
+    return final_dirs == 0 ? 0.0
+                           : static_cast<double>(final_empty_dirs) /
+                                 static_cast<double>(final_dirs);
+  }
+};
+
+class CensusAnalyzer : public StudyAnalyzer {
+ public:
+  explicit CensusAnalyzer(const Resolver& resolver);
+
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const CensusResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  const Resolver& resolver_;
+  U64Set distinct_;
+  std::vector<std::uint64_t> files_by_user_;     // dense user index
+  std::vector<std::uint64_t> files_by_project_;  // dense project index
+  std::vector<std::uint16_t> max_depth_by_project_;
+  std::vector<std::vector<double>> dir_depths_by_domain_;
+  CensusResult result_;
+};
+
+}  // namespace spider

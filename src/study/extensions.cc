@@ -1,0 +1,142 @@
+#include "study/extensions.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "snapshot/record.h"
+#include "util/table.h"
+#include "util/timeutil.h"
+
+namespace spider {
+
+ExtensionsAnalyzer::ExtensionsAnalyzer(const Resolver& resolver,
+                                       std::size_t top_k)
+    : resolver_(resolver),
+      top_k_(top_k),
+      unique_by_domain_(domain_count()) {}
+
+void ExtensionsAnalyzer::observe(const WeekObservation& obs) {
+  const SnapshotTable& table = obs.snap->table;
+  CountMap<std::string> weekly;
+  std::uint64_t files = 0, none = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.is_dir(i)) continue;
+    const std::string_view ext = path_extension(table.path(i));
+    ++files;
+    if (ext.empty()) {
+      ++none;
+    } else {
+      ++weekly[std::string(ext)];
+    }
+    if (distinct_.insert(table.path_hash(i))) {
+      ++result_.unique_files;
+      if (ext.empty()) {
+        ++result_.unique_no_extension;
+      } else {
+        const std::string key(ext);
+        ++unique_global_[key];
+        const int domain = resolver_.domain_of_gid(table.gid(i));
+        if (domain >= 0) {
+          ++unique_by_domain_[static_cast<std::size_t>(domain)][key];
+        }
+      }
+    }
+  }
+  result_.snapshot_dates.push_back(obs.snap->taken_at);
+  weekly_counts_.push_back(std::move(weekly));
+  weekly_files_.push_back(files);
+  weekly_none_.push_back(none);
+}
+
+void ExtensionsAnalyzer::finish() {
+  result_.global_top = top_k(unique_global_, top_k_);
+
+  result_.top3_by_domain.assign(domain_count(), {});
+  for (std::size_t d = 0; d < unique_by_domain_.size(); ++d) {
+    std::uint64_t domain_files = 0;
+    for (const auto& [ext, count] : unique_by_domain_[d]) {
+      domain_files += count;
+    }
+    // Extensionless files are part of the domain's denominator too; derive
+    // them from the census by re-counting is avoided — shares here follow
+    // the paper's Table 2 convention (percent of the domain's files).
+    for (const auto& [ext, count] : top_k(unique_by_domain_[d], 3)) {
+      const double pct = domain_files == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(domain_files);
+      result_.top3_by_domain[d].emplace_back(ext, pct);
+    }
+  }
+
+  const std::size_t weeks = weekly_counts_.size();
+  result_.share_top.assign(weeks, std::vector<double>(result_.global_top.size(), 0.0));
+  result_.share_none.assign(weeks, 0.0);
+  result_.share_other.assign(weeks, 0.0);
+  for (std::size_t w = 0; w < weeks; ++w) {
+    const double files =
+        std::max<std::uint64_t>(1, weekly_files_[w]);
+    double covered = 0;
+    for (std::size_t k = 0; k < result_.global_top.size(); ++k) {
+      const auto it = weekly_counts_[w].find(result_.global_top[k].first);
+      const double share =
+          it == weekly_counts_[w].end()
+              ? 0.0
+              : static_cast<double>(it->second) / files;
+      result_.share_top[w][k] = share;
+      covered += share;
+    }
+    result_.share_none[w] = static_cast<double>(weekly_none_[w]) / files;
+    result_.share_other[w] =
+        std::max(0.0, 1.0 - covered - result_.share_none[w]);
+  }
+}
+
+std::string ExtensionsAnalyzer::render() const {
+  std::ostringstream os;
+  const auto profiles = domain_profiles();
+  os << "Table 2: top-3 extensions per domain (share of domain files)\n";
+  AsciiTable t({"domain", "1st", "2nd", "3rd", "paper 1st"});
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const auto& top = result_.top3_by_domain[d];
+    if (top.empty()) continue;
+    std::vector<std::string> row{profiles[d].id};
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (k < top.size()) {
+        row.push_back(top[k].first + " (" +
+                      format_double(top[k].second, 1) + ")");
+      } else {
+        row.push_back("-");
+      }
+    }
+    row.push_back(std::string(profiles[d].top_ext[0].ext) + " (" +
+                  format_double(profiles[d].top_ext[0].percent, 1) + ")");
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+
+  os << "\nFig 10: top-20 extension shares over time ("
+     << format_with_commas(result_.unique_files) << " unique files, "
+     << format_percent(static_cast<double>(result_.unique_no_extension) /
+                       static_cast<double>(std::max<std::uint64_t>(
+                           1, result_.unique_files)))
+     << " extensionless)\n";
+  AsciiTable trend({"snapshot", "none", "other", "top1", "top2", "top3",
+                    "top4", "top5"});
+  const std::size_t step = std::max<std::size_t>(
+      1, result_.snapshot_dates.size() / 12);
+  for (std::size_t w = 0; w < result_.snapshot_dates.size(); w += step) {
+    std::vector<std::string> row{date_iso(result_.snapshot_dates[w]),
+                                 format_percent(result_.share_none[w]),
+                                 format_percent(result_.share_other[w])};
+    for (std::size_t k = 0; k < 5 && k < result_.global_top.size(); ++k) {
+      row.push_back(result_.global_top[k].first + " " +
+                    format_percent(result_.share_top[w][k]));
+    }
+    trend.add_row(std::move(row));
+  }
+  trend.print(os);
+  return os.str();
+}
+
+}  // namespace spider

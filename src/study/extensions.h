@@ -1,0 +1,59 @@
+// Table 2 + Fig 10: file-type popularity.
+//   Table 2 — per-domain top-3 extensions with their share of the domain's
+//             unique files;
+//   Fig 10 — the weekly share of the 20 globally most popular extensions
+//            (plus "no extension" and "other"), which exposes the .bb and
+//            .xyz campaign spikes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/agg.h"
+#include "engine/u64set.h"
+#include "study/resolve.h"
+#include "study/runner.h"
+
+namespace spider {
+
+struct ExtensionsResult {
+  /// Per-domain (extension, percent-of-domain-unique-files), top 3.
+  std::vector<std::vector<std::pair<std::string, double>>> top3_by_domain;
+
+  /// Global top-20 by unique-file count ("" never appears here;
+  /// extensionless files are tracked separately).
+  std::vector<std::pair<std::string, std::uint64_t>> global_top;
+  std::uint64_t unique_files = 0;
+  std::uint64_t unique_no_extension = 0;
+
+  /// Fig 10 trend: one row per snapshot.
+  std::vector<std::int64_t> snapshot_dates;
+  /// share_top[s][k] = share of global_top[k] among snapshot s's files.
+  std::vector<std::vector<double>> share_top;
+  std::vector<double> share_none;   // "no extension" share per snapshot
+  std::vector<double> share_other;  // everything else per snapshot
+};
+
+class ExtensionsAnalyzer : public StudyAnalyzer {
+ public:
+  explicit ExtensionsAnalyzer(const Resolver& resolver, std::size_t top_k = 20);
+
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const ExtensionsResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  const Resolver& resolver_;
+  std::size_t top_k_;
+  U64Set distinct_;
+  std::vector<CountMap<std::string>> unique_by_domain_;
+  CountMap<std::string> unique_global_;
+  std::vector<CountMap<std::string>> weekly_counts_;
+  std::vector<std::uint64_t> weekly_files_;
+  std::vector<std::uint64_t> weekly_none_;
+  ExtensionsResult result_;
+};
+
+}  // namespace spider

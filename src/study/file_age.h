@@ -1,0 +1,42 @@
+// Fig 16: file age — atime minus mtime, i.e. how long after its last write
+// a file is still being read. The paper uses the per-snapshot average to
+// argue the 90-day purge window is too tight (median 138 days, max 214,
+// above 90 in 86% of snapshots). Also supports the purge-window ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/runner.h"
+
+namespace spider {
+
+struct FileAgePoint {
+  std::int64_t date = 0;
+  double avg_age_days = 0;
+  double median_age_days = 0;
+};
+
+struct FileAgeResult {
+  std::vector<FileAgePoint> points;
+  double median_of_averages = 0;  // the paper's headline 138
+  double max_of_averages = 0;     // 214
+  double fraction_above_purge = 0;  // of snapshots; 86% in the paper
+  int purge_days = 90;
+};
+
+class FileAgeAnalyzer : public StudyAnalyzer {
+ public:
+  explicit FileAgeAnalyzer(int purge_days = 90) { result_.purge_days = purge_days; }
+
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const FileAgeResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  FileAgeResult result_;
+};
+
+}  // namespace spider

@@ -1,0 +1,76 @@
+#include "study/full_study.h"
+
+#include <sstream>
+
+#include "synth/langmap.h"
+#include "util/table.h"
+
+namespace spider {
+
+FullStudy::FullStudy(const Resolver& resolver, std::size_t burst_min_files)
+    : user_profile(resolver),
+      participation(resolver),
+      census(resolver),
+      extensions(resolver),
+      languages(resolver),
+      striping(resolver),
+      burstiness(resolver, burst_min_files),
+      network(resolver, participation),
+      collaboration(resolver, participation),
+      resolver_(resolver) {}
+
+void FullStudy::run(SnapshotSource& source) {
+  // Order matters for finish(): network and collaboration read the
+  // participation result, so participation precedes them.
+  StudyAnalyzer* analyzers[] = {
+      &user_profile, &participation, &census,    &extensions,
+      &languages,    &access_patterns, &striping, &growth,
+      &file_age,     &burstiness,    &network,   &collaboration,
+  };
+  run_study(source, analyzers);
+}
+
+std::string FullStudy::render_table1() const {
+  std::ostringstream os;
+  os << "Table 1: per-domain summary (measured from the synthetic series)\n";
+  AsciiTable t({"domain", "#entries(K)", "depth[med,max]", "top ext (%)",
+                "langs", "#OST", "write cv", "read cv", "network %",
+                "collab %"});
+  const auto profiles = domain_profiles();
+  const auto langs = ::spider::languages();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const std::uint64_t entries = census.result().files_by_domain[d] +
+                                  census.result().dirs_by_domain[d];
+    if (entries == 0) continue;
+    const FiveNumber& depth = census.result().depth_by_domain[d];
+    const auto& top = extensions.result().top3_by_domain[d];
+    const int lang1 = languages.result().top_language(d);
+    const int lang2 = languages.result().second_language(d);
+    const FiveNumber& wcv = burstiness.result().write_cv_by_domain[d];
+    const FiveNumber& rcv = burstiness.result().read_cv_by_domain[d];
+
+    std::string lang_cell;
+    if (lang1 >= 0) lang_cell = langs[static_cast<std::size_t>(lang1)].name;
+    if (lang2 >= 0) {
+      lang_cell += ", ";
+      lang_cell += langs[static_cast<std::size_t>(lang2)].name;
+    }
+    t.add_row({profiles[d].id,
+               format_double(static_cast<double>(entries) / 1000.0, 1),
+               "[" + format_double(depth.median, 0) + ", " +
+                   format_double(depth.max, 0) + "]",
+               top.empty() ? "-" : top[0].first + " (" +
+                                       format_double(top[0].second, 1) + ")",
+               lang_cell.empty() ? "-" : lang_cell,
+               format_double(striping.result().by_domain[d].max(), 0),
+               wcv.count ? format_cv(wcv.median) : "-",
+               rcv.count ? format_cv(rcv.median) : "-",
+               format_percent(
+                   network.result().giant_probability_by_domain[d]),
+               format_percent(collaboration.result().stats.domain_share(d))});
+  }
+  t.print(os);
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,53 @@
+// FullStudy: every analyzer wired together for a single streaming pass —
+// the whole paper in one run. render_table1() assembles the per-domain
+// summary that is the paper's Table 1.
+#pragma once
+
+#include <string>
+
+#include "study/access_patterns.h"
+#include "study/burstiness.h"
+#include "study/census.h"
+#include "study/collaboration.h"
+#include "study/extensions.h"
+#include "study/file_age.h"
+#include "study/growth.h"
+#include "study/languages.h"
+#include "study/network.h"
+#include "study/participation.h"
+#include "study/striping.h"
+#include "study/user_profile.h"
+
+namespace spider {
+
+class FullStudy {
+ public:
+  /// `burst_min_files`: Fig 17's >=100-files-per-week filter; pass a
+  /// proportionally smaller value for scale-reduced runs.
+  explicit FullStudy(const Resolver& resolver,
+                     std::size_t burst_min_files = 100);
+
+  /// One pass over the series; all analyzers observe every snapshot.
+  void run(SnapshotSource& source);
+
+  /// The paper's Table 1, measured from the synthetic series.
+  std::string render_table1() const;
+
+  UserProfileAnalyzer user_profile;
+  ParticipationAnalyzer participation;
+  CensusAnalyzer census;
+  ExtensionsAnalyzer extensions;
+  LanguagesAnalyzer languages;
+  AccessPatternsAnalyzer access_patterns;
+  StripingAnalyzer striping;
+  GrowthAnalyzer growth;
+  FileAgeAnalyzer file_age;
+  BurstinessAnalyzer burstiness;
+  NetworkAnalyzer network;
+  CollaborationAnalyzer collaboration;
+
+ private:
+  const Resolver& resolver_;
+};
+
+}  // namespace spider

@@ -1,0 +1,37 @@
+// Fig 15: growth of the live file and directory populations across the
+// study — the paper's 200M -> 1B file curve with a comparatively flat
+// directory count (<10% of entries in late snapshots).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/runner.h"
+
+namespace spider {
+
+struct GrowthPoint {
+  std::int64_t date = 0;
+  std::uint64_t files = 0;
+  std::uint64_t dirs = 0;
+};
+
+struct GrowthResult {
+  std::vector<GrowthPoint> points;
+  double growth_factor = 0;       // last files / first files
+  double final_dir_share = 0;     // dirs / entries at the last snapshot
+};
+
+class GrowthAnalyzer : public StudyAnalyzer {
+ public:
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const GrowthResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  GrowthResult result_;
+};
+
+}  // namespace spider

@@ -1,0 +1,46 @@
+// Job-log fusion — the paper's future work ("we anticipate that combining
+// multiple system logs (e.g., job logs) ... will allow more interesting
+// insights"). The synthetic facility emits a scheduler job log alongside
+// its snapshots; this analysis correlates the two observation channels:
+// weekly write-job counts from the job log against weekly new-file counts
+// measured independently from snapshot diffs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/resolve.h"
+#include "synth/generator.h"
+#include "util/stats.h"
+
+namespace spider {
+
+struct JobLogResult {
+  std::size_t write_jobs = 0;
+  std::size_t read_jobs = 0;
+  std::uint64_t files_written = 0;
+  std::uint64_t files_read = 0;
+
+  /// Weekly channels, aligned by snapshot interval (diff weeks only).
+  std::vector<std::uint64_t> jobs_per_interval;
+  std::vector<std::uint64_t> new_files_per_interval;
+
+  /// Pearson correlation between the two channels; the validation that
+  /// metadata-only churn measurements track actual scheduler activity.
+  double job_newfile_correlation = 0;
+
+  /// Jobs per domain (write + read).
+  std::vector<std::uint64_t> jobs_by_domain;
+
+  /// Files written per write job (the paper: "an individual application
+  /// run may produce a large number of files in a short period").
+  FiveNumber files_per_write_job;
+};
+
+/// Runs the generator once with job-log capture and snapshot diffs.
+JobLogResult analyze_job_log(FacilityGenerator& generator,
+                             const Resolver& resolver);
+
+std::string render_job_log(const JobLogResult& result);
+
+}  // namespace spider

@@ -1,0 +1,103 @@
+#include "study/languages.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "snapshot/record.h"
+#include "synth/langmap.h"
+#include "util/table.h"
+
+namespace spider {
+
+namespace {
+
+int best_language(const std::vector<std::uint64_t>& counts, int excluding) {
+  int best = -1;
+  for (std::size_t l = 0; l < counts.size(); ++l) {
+    if (static_cast<int>(l) == excluding || counts[l] == 0) continue;
+    if (best < 0 || counts[l] > counts[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int LanguagesResult::top_language(std::size_t domain) const {
+  return best_language(by_domain[domain], -1);
+}
+
+int LanguagesResult::second_language(std::size_t domain) const {
+  return best_language(by_domain[domain], top_language(domain));
+}
+
+LanguagesAnalyzer::LanguagesAnalyzer(const Resolver& resolver)
+    : resolver_(resolver), global_(languages().size(), 0) {
+  result_.by_domain.assign(domain_count(),
+                           std::vector<std::uint64_t>(languages().size(), 0));
+}
+
+void LanguagesAnalyzer::observe(const WeekObservation& obs) {
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.is_dir(i)) continue;
+    if (!distinct_.insert(table.path_hash(i))) continue;
+    const int lang = language_for_extension(path_extension(table.path(i)));
+    if (lang < 0) continue;
+    ++global_[static_cast<std::size_t>(lang)];
+    const int domain = resolver_.domain_of_gid(table.gid(i));
+    if (domain >= 0) {
+      ++result_.by_domain[static_cast<std::size_t>(domain)]
+                         [static_cast<std::size_t>(lang)];
+    }
+  }
+}
+
+void LanguagesAnalyzer::finish() {
+  const auto langs = languages();
+  std::vector<std::size_t> order;
+  for (std::size_t l = 0; l < langs.size(); ++l) {
+    if (global_[l] > 0) order.push_back(l);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return global_[a] > global_[b];
+  });
+  result_.ranking.clear();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t l = order[rank];
+    result_.ranking.push_back(LanguageRank{
+        langs[l].name, global_[l], static_cast<int>(rank) + 1,
+        langs[l].ieee_rank});
+  }
+}
+
+std::string LanguagesAnalyzer::render() const {
+  std::ostringstream os;
+  os << "Fig 11: programming-language popularity (by file-extension count; "
+        "IEEE Spectrum rank in parentheses)\n";
+  AsciiTable t({"rank", "language", "files", "IEEE rank"});
+  for (const LanguageRank& r : result_.ranking) {
+    t.add_row({std::to_string(r.our_rank), r.name,
+               format_with_commas(r.files),
+               "(" + std::to_string(r.ieee_rank) + ")"});
+  }
+  t.print(os);
+
+  os << "\nFig 12: per-domain top languages (measured vs Table 1)\n";
+  AsciiTable d({"domain", "top", "second", "paper"});
+  const auto profiles = domain_profiles();
+  const auto langs = languages();
+  for (std::size_t dom = 0; dom < profiles.size(); ++dom) {
+    const int top = result_.top_language(dom);
+    if (top < 0) continue;
+    const int second = result_.second_language(dom);
+    d.add_row({profiles[dom].id, langs[static_cast<std::size_t>(top)].name,
+               second < 0 ? "-" : langs[static_cast<std::size_t>(second)].name,
+               std::string(profiles[dom].lang1) + ", " + profiles[dom].lang2});
+  }
+  d.print(os);
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,52 @@
+// Fig 6: user participation across projects — CDF of projects per user,
+// CDF of users per project, and per-domain median users per project.
+// Membership is *observed from the snapshots* (a user participates in a
+// project when they own entries under it), exactly as the paper built its
+// file-generation network. The observed edges feed the network and
+// collaboration analyzers downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/u64set.h"
+#include "graph/bipartite.h"
+#include "study/resolve.h"
+#include "study/runner.h"
+#include "util/stats.h"
+
+namespace spider {
+
+struct ParticipationResult {
+  std::vector<MembershipEdge> observed;  // dense (user, project) pairs
+  EmpiricalCdf projects_per_user;
+  EmpiricalCdf users_per_project;
+  std::vector<double> median_users_by_domain;  // 0 when domain inactive
+  double mean_users_per_project = 0;
+  double frac_multi_project_users = 0;  // participate in > 1 project
+  double frac_gt2_project_users = 0;    // > 2 projects
+  double frac_ge8_project_users = 0;    // >= 8 projects
+  std::size_t active_users = 0;
+  std::size_t active_projects = 0;
+
+  /// Per-project member lists (dense project index -> dense user indices).
+  std::vector<std::vector<std::uint32_t>> project_members;
+};
+
+class ParticipationAnalyzer : public StudyAnalyzer {
+ public:
+  explicit ParticipationAnalyzer(const Resolver& resolver);
+
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const ParticipationResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  const Resolver& resolver_;
+  U64Set pairs_;
+  ParticipationResult result_;
+};
+
+}  // namespace spider

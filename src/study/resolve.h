@@ -1,0 +1,36 @@
+// Resolver: joins snapshot records (uid/gid) back to the account directory
+// (users, projects, science domains) — the paper's join of the LustreDU
+// snapshots against the OLCF user-accounting database.
+#pragma once
+
+#include "synth/plan.h"
+
+namespace spider {
+
+class Resolver {
+ public:
+  explicit Resolver(const FacilityPlan& plan) : plan_(plan) {}
+
+  const FacilityPlan& plan() const { return plan_; }
+
+  /// Dense user index for a uid, or -1.
+  int user_of_uid(std::uint32_t uid) const { return plan_.user_index(uid); }
+
+  /// Dense project index for a gid, or -1.
+  int project_of_gid(std::uint32_t gid) const {
+    const auto it = plan_.project_by_gid.find(gid);
+    return it == plan_.project_by_gid.end() ? -1
+                                            : static_cast<int>(it->second);
+  }
+
+  /// Science-domain index for a gid, or -1.
+  int domain_of_gid(std::uint32_t gid) const {
+    const int p = project_of_gid(gid);
+    return p < 0 ? -1 : plan_.projects[static_cast<std::size_t>(p)].domain;
+  }
+
+ private:
+  const FacilityPlan& plan_;
+};
+
+}  // namespace spider

@@ -1,0 +1,59 @@
+#include "study/runner.h"
+
+namespace spider {
+
+namespace {
+
+/// Deep-copies a snapshot (tables are move-only; the runner needs to
+/// retain the previous week after the source reclaims its buffer).
+Snapshot copy_snapshot(const Snapshot& snap) {
+  Snapshot copy;
+  copy.taken_at = snap.taken_at;
+  copy.table.reserve(snap.table.size());
+  for (std::size_t i = 0; i < snap.table.size(); ++i) {
+    copy.table.add(snap.table.path(i), snap.table.atime(i),
+                   snap.table.ctime(i), snap.table.mtime(i),
+                   snap.table.uid(i), snap.table.gid(i), snap.table.mode(i),
+                   snap.table.inode(i), snap.table.osts(i));
+  }
+  return copy;
+}
+
+}  // namespace
+
+void run_study(SnapshotSource& source,
+               std::span<StudyAnalyzer* const> analyzers) {
+  bool need_diff = false;
+  for (StudyAnalyzer* analyzer : analyzers) {
+    need_diff = need_diff || analyzer->wants_diff();
+  }
+
+  auto prev = std::make_unique<Snapshot>();
+  bool have_prev = false;
+
+  source.visit([&](std::size_t week, const Snapshot& snap) {
+    WeekObservation obs;
+    obs.week = week;
+    obs.snap = &snap;
+    obs.prev = have_prev ? prev.get() : nullptr;
+
+    DiffResult diff;
+    if (need_diff && have_prev) {
+      diff = diff_snapshots(prev->table, snap.table);
+      obs.diff = &diff;
+    }
+    for (StudyAnalyzer* analyzer : analyzers) analyzer->observe(obs);
+
+    *prev = copy_snapshot(snap);
+    have_prev = true;
+  });
+
+  for (StudyAnalyzer* analyzer : analyzers) analyzer->finish();
+}
+
+void run_study(SnapshotSource& source, StudyAnalyzer& analyzer) {
+  StudyAnalyzer* list[] = {&analyzer};
+  run_study(source, list);
+}
+
+}  // namespace spider

@@ -1,0 +1,44 @@
+// Study framework: analyzers consume the snapshot series in one streaming
+// pass (week by week, in order), the runner retains only the previous
+// week's snapshot and computes the adjacent-snapshot diff once for all
+// diff-based analyzers — the same pipeline shape the paper ran on Spark,
+// sized so the full study never needs more than two snapshots resident.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "engine/diff.h"
+#include "snapshot/series.h"
+
+namespace spider {
+
+struct WeekObservation {
+  std::size_t week = 0;        // dense emitted-snapshot index
+  const Snapshot* snap = nullptr;
+  const Snapshot* prev = nullptr;  // null on the first snapshot
+  const DiffResult* diff = nullptr;  // null unless requested & prev exists
+};
+
+class StudyAnalyzer {
+ public:
+  virtual ~StudyAnalyzer() = default;
+
+  /// Analyzers returning true receive the adjacent-snapshot DiffResult.
+  virtual bool wants_diff() const { return false; }
+
+  virtual void observe(const WeekObservation& obs) = 0;
+
+  /// Called once after the last snapshot.
+  virtual void finish() {}
+};
+
+/// Streams `source` through all analyzers. The diff (when any analyzer
+/// wants it) is computed once per week and shared.
+void run_study(SnapshotSource& source,
+               std::span<StudyAnalyzer* const> analyzers);
+
+/// Convenience for a single analyzer.
+void run_study(SnapshotSource& source, StudyAnalyzer& analyzer);
+
+}  // namespace spider

@@ -1,0 +1,57 @@
+#include "study/striping.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace spider {
+
+StripingAnalyzer::StripingAnalyzer(const Resolver& resolver)
+    : resolver_(resolver) {
+  result_.by_domain.assign(domain_count(), StreamingStats{});
+}
+
+void StripingAnalyzer::observe(const WeekObservation& obs) {
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.is_dir(i)) continue;
+    const std::uint32_t stripes = table.stripe_count(i);
+    result_.overall.add(stripes);
+    result_.max_stripe = std::max(result_.max_stripe, stripes);
+    const int domain = resolver_.domain_of_gid(table.gid(i));
+    if (domain >= 0) {
+      result_.by_domain[static_cast<std::size_t>(domain)].add(stripes);
+    }
+  }
+}
+
+void StripingAnalyzer::finish() {
+  result_.domains_tuning = 0;
+  result_.active_domains = 0;
+  for (const StreamingStats& stats : result_.by_domain) {
+    if (stats.count() == 0) continue;
+    ++result_.active_domains;
+    if (stats.min() != 4.0 || stats.max() != 4.0) ++result_.domains_tuning;
+  }
+}
+
+std::string StripingAnalyzer::render() const {
+  std::ostringstream os;
+  os << "Fig 14: OST stripe counts per domain (default = 4)\n";
+  AsciiTable t({"domain", "min", "avg", "max", "paper #OST"});
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    const StreamingStats& stats = result_.by_domain[d];
+    if (stats.count() == 0) continue;
+    t.add_row({profiles[d].id, format_double(stats.min(), 0),
+               format_double(stats.mean(), 2), format_double(stats.max(), 0),
+               std::to_string(profiles[d].ost_max)});
+  }
+  t.print(os);
+  os << result_.domains_tuning << " of " << result_.active_domains
+     << " domains tune stripe counts (paper: 20 of 35); max stripe "
+     << result_.max_stripe << " (paper: 1,008)\n";
+  return os.str();
+}
+
+}  // namespace spider

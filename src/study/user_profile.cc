@@ -1,0 +1,81 @@
+#include "study/user_profile.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace spider {
+
+namespace {
+const char* org_name(OrgType org) {
+  switch (org) {
+    case OrgType::kGovernment: return "government/natl-lab";
+    case OrgType::kAcademia: return "academia";
+    case OrgType::kIndustry: return "industry";
+    case OrgType::kOther: return "other (intl. institutes)";
+  }
+  return "?";
+}
+}  // namespace
+
+double UserProfileResult::org_fraction(OrgType org) const {
+  if (active_users == 0) return 0.0;
+  return static_cast<double>(by_org[static_cast<std::size_t>(org)]) /
+         static_cast<double>(active_users);
+}
+
+UserProfileAnalyzer::UserProfileAnalyzer(const Resolver& resolver)
+    : resolver_(resolver), seen_(resolver.plan().users.size(), 0) {}
+
+void UserProfileAnalyzer::observe(const WeekObservation& obs) {
+  const SnapshotTable& table = obs.snap->table;
+  for (const std::uint32_t uid : table.uids()) {
+    const int user = resolver_.user_of_uid(uid);
+    if (user >= 0) {
+      seen_[static_cast<std::size_t>(user)] = 1;
+    } else {
+      ++result_.unknown_uids;
+    }
+  }
+}
+
+void UserProfileAnalyzer::finish() {
+  result_.by_org.assign(kOrgTypeCount, 0);
+  result_.by_domain.assign(domain_count(), 0);
+  result_.active_users = 0;
+  const auto& users = resolver_.plan().users;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    if (!seen_[u]) continue;
+    ++result_.active_users;
+    ++result_.by_org[static_cast<std::size_t>(users[u].org)];
+    ++result_.by_domain[static_cast<std::size_t>(users[u].primary_domain)];
+  }
+}
+
+std::string UserProfileAnalyzer::render() const {
+  std::ostringstream os;
+  os << "Fig 5(a): active users by organization type (" << result_.active_users
+     << " active users)\n";
+  AsciiTable orgs({"organization", "users", "share"});
+  for (std::size_t o = 0; o < kOrgTypeCount; ++o) {
+    orgs.add_row({org_name(static_cast<OrgType>(o)),
+                  std::to_string(result_.by_org[o]),
+                  format_percent(result_.org_fraction(static_cast<OrgType>(o)))});
+  }
+  orgs.print(os);
+
+  os << "\nFig 5(b): active users by science domain\n";
+  AsciiTable doms({"domain", "users", "share"});
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    if (result_.by_domain[d] == 0) continue;
+    doms.add_row(
+        {profiles[d].id, std::to_string(result_.by_domain[d]),
+         format_percent(static_cast<double>(result_.by_domain[d]) /
+                        static_cast<double>(result_.active_users))});
+  }
+  doms.print(os);
+  return os.str();
+}
+
+}  // namespace spider

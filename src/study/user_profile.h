@@ -1,0 +1,38 @@
+// Fig 5: the profile of active users — "active" meaning the uid owns at
+// least one file or directory in some snapshot — classified by organization
+// type (5(a)) and by primary science domain (5(b)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/resolve.h"
+#include "study/runner.h"
+
+namespace spider {
+
+struct UserProfileResult {
+  std::size_t active_users = 0;
+  std::size_t unknown_uids = 0;  // uids with no account-directory entry
+  std::vector<std::size_t> by_org;     // indexed by OrgType
+  std::vector<std::size_t> by_domain;  // indexed by domain
+  double org_fraction(OrgType org) const;
+};
+
+class UserProfileAnalyzer : public StudyAnalyzer {
+ public:
+  explicit UserProfileAnalyzer(const Resolver& resolver);
+
+  void observe(const WeekObservation& obs) override;
+  void finish() override;
+
+  const UserProfileResult& result() const { return result_; }
+  std::string render() const;
+
+ private:
+  const Resolver& resolver_;
+  std::vector<std::uint8_t> seen_;  // by dense user index
+  UserProfileResult result_;
+};
+
+}  // namespace spider

@@ -1,0 +1,138 @@
+#include "synth/domains.h"
+
+namespace spider {
+
+namespace {
+
+// Transcribed from the paper's Tables 1 and 2. Fields:
+// {id, name, projects, entries_k, depth_med, depth_max,
+//  {ext1, ext2, ext3}, lang1, lang2, ost_max, wide_stripes,
+//  write_cv, read_cv, network_pct, collab_pct, dir_fraction, med_users}
+constexpr DomainProfile kDomains[] = {
+    {"aph", "Accelerator Physics", 4, 3367, 10, 22,
+     {{"h5", 1.3}, {"png", 1.1}, {"py", 0.7}}, "Python", "C", 4, false,
+     0.052, 0.001, 0.00, 0.02, 0.15, 3},
+    {"ard", "Aerodynamics", 16, 39443, 10, 24,
+     {{"png", 11.0}, {"gz", 8.3}, {"dat", 4.2}}, "Python", "C", 4, false,
+     0.209, 0.002, 43.75, 0.60, 0.14, 3},
+    {"ast", "Astrophysics", 15, 75365, 9, 24,
+     {{"bin", 3.5}, {"txt", 2.0}, {"ascii", 1.8}}, "Python", "C", 122, true,
+     0.247, 0.002, 20.00, 1.95, 0.13, 3},
+    {"atm", "Atmospheric Science", 4, 4959, 15, 18,
+     {{"png", 8.4}, {"o", 8.3}, {"svn-base", 6.4}}, "Fortran", "C", 4, false,
+     0.0, 0.0, 50.00, 0.24, 0.90, 2},
+    {"bif", "Bioinformatics", 5, 243339, 9, 23,
+     {{"fasta", 41.3}, {"fa", 23.1}, {"sif", 9.2}}, "Prolog", "Matlab", 4,
+     false, 0.295, 0.002, 40.00, 0.56, 0.08, 4},
+    {"bio", "Biology", 3, 62009, 10, 18,
+     {{"pdbqt", 97.6}, {"coor", 0.2}, {"xsc", 0.2}}, "C++", "C", 4, false,
+     0.104, 0.001, 66.67, 0.10, 0.05, 3},
+    {"bip", "Biophysics", 37, 595564, 11, 67,
+     {{"bz2", 54.8}, {"xyz", 23.3}, {"domtab", 5.4}}, "Python", "C", 4, true,
+     0.415, 0.003, 40.54, 2.24, 0.10, 3},
+    {"chm", "Chemistry", 14, 37272, 8, 17,
+     {{"xvg", 21.8}, {"txt", 5.7}, {"label", 5.5}}, "C", "Fortran", 4, false,
+     0.262, 0.001, 50.00, 0.25, 0.14, 3},
+    {"chp", "Physical Chemistry", 2, 379867, 8, 21,
+     {{"xyz", 63.4}, {"GraphGeod", 16.6}, {"Graph", 16.5}}, "C", "Python", 4,
+     false, 0.397, 0.003, 100.00, 2.09, 0.07, 12},
+    {"cli", "Climate Science", 21, 211876, 11, 50,
+     {{"nc", 40.3}, {"mat", 19.3}, {"txt", 3.6}}, "Matlab", "C", 4, false,
+     0.421, 0.003, 76.19, 45.80, 0.13, 11},
+    {"cmb", "Combustion", 24, 254813, 11, 27,
+     {{"png", 4.0}, {"h5", 2.0}, {"gz", 1.6}}, "C", "C++", 5, false,
+     0.304, 0.003, 66.67, 7.91, 0.14, 4},
+    {"cph", "Condensed Matter Physics", 13, 26488, 10, 30,
+     {{"dat", 10.2}, {"h5", 4.9}, {"gz", 4.0}}, "C", "C++", 4, false,
+     0.366, 0.002, 46.15, 2.22, 0.15, 3},
+    {"csc", "Computer Science", 62, 445189, 15, 40,
+     {{"h", 10.3}, {"py", 7.8}, {"txt", 4.9}}, "C", "Python", 33, true,
+     0.267, 0.003, 61.29, 38.54, 0.18, 4},
+    {"env", "Plasma Physics", 1, 26389, 11, 24,
+     {{"gz", 2.1}, {"bp", 0.8}, {"def", 0.8}}, "Fortran", "C", 2, false,
+     0.511, 0.003, 100.00, 1.96, 0.13, 14},
+    {"fus", "Fusion Energy", 16, 92844, 8, 25,
+     {{"psc", 13.8}, {"gda", 1.0}, {"hpp", 0.5}}, "C++", "C", 13, false,
+     0.346, 0.003, 62.50, 3.70, 0.12, 4},
+    {"gen", "General", 4, 833, 10, 432,
+     {{"data", 40.4}, {"index", 40.2}, {"F", 9.5}}, "Fortran", "C", 4, false,
+     0.262, 0.004, 25.00, 0.06, 0.20, 2},
+    {"geo", "Geosciences", 12, 308767, 9, 21,
+     {{"sac", 43.0}, {"mseed", 14.3}, {"xml", 11.9}}, "C", "Fortran", 29,
+     false, 0.342, 0.002, 50.00, 2.44, 0.10, 3},
+    {"hep", "High Energy Physics", 3, 2181, 14, 22,
+     {{"0", 3.1}, {"svn-base", 1.9}, {"py", 1.0}}, "Python", "C", 4, false,
+     0.343, 0.003, 33.33, 0.45, 0.67, 3},
+    {"lgt", "Lattice Gauge Theory", 3, 16710, 10, 20,
+     {{"dat", 24.8}, {"vml", 11.1}, {"actual", 9.4}}, "C", "C++", 4, false,
+     0.495, 0.003, 33.33, 0.31, 0.12, 3},
+    {"lsc", "Life Sciences", 4, 30351, 8, 24,
+     {{"map", 43.7}, {"gpf", 14.8}, {"dpf", 8.5}}, "C", "C++", 4, false,
+     0.196, 0.001, 25.00, 0.30, 0.11, 3},
+    {"mat", "Materials Science", 34, 202809, 16, 29,
+     {{"dat", 44.2}, {"d", 15.9}, {"txt", 14.9}}, "Fortran", "Prolog", 4,
+     false, 0.339, 0.003, 58.82, 5.45, 0.13, 3},
+    {"med", "Medical Science", 3, 538, 7, 18,
+     {{"txt", 69.4}, {"py", 3.2}, {"dat", 2.9}}, "Python", "C", 4, false,
+     0.004, 0.000, 0.00, 0.00, 0.16, 2},
+    {"mph", "Molecular Physics", 4, 2267, 5, 15,
+     {{"out", 17.6}, {"vtr", 17.4}, {"gen", 13.6}}, "Fortran", "C++", 4,
+     false, 0.404, 0.002, 50.00, 0.22, 0.15, 3},
+    {"nel", "Nanoelectronics", 4, 808, 11, 17,
+     {{"dat", 1.9}, {"bin", 1.8}, {"o", 1.5}}, "Fortran", "C++", 4, false,
+     0.462, 0.003, 50.00, 0.18, 0.17, 3},
+    {"nfi", "Nuclear Fission", 9, 22158, 11, 26,
+     {{"hpp", 8.0}, {"cpp", 8.0}, {"h", 6.3}}, "C++", "C", 4, false,
+     0.338, 0.002, 77.78, 14.95, 0.19, 12},
+    {"nfu", "Nuclear Fusion", 2, 301, 11, 14,
+     {{"m", 3.9}, {"1", 0.7}, {"inp", 0.6}}, "Matlab", "C", 4, false,
+     0.221, 0.001, 100.00, 0.02, 0.18, 3},
+    {"nph", "Nuclear Physics", 14, 286523, 7, 23,
+     {{"bb", 79.1}, {"xml", 1.8}, {"vml", 1.6}}, "C", "C++", 13, false,
+     0.385, 0.003, 92.86, 2.65, 0.06, 4},
+    {"nro", "Neuroscience", 1, 10935, 9, 19,
+     {{"txt", 53.7}, {"swc", 19.6}, {"log", 15.4}}, "Matlab", "C", 4, false,
+     0.361, 0.003, 100.00, 0.11, 0.12, 3},
+    {"nti", "Nanoscience", 6, 3359, 11, 18,
+     {{"cif", 3.5}, {"POSCAR", 2.3}, {"svn-base", 1.9}}, "Fortran", "C", 4,
+     false, 0.335, 0.002, 16.67, 1.09, 0.16, 3},
+    {"phy", "Physics", 9, 8155, 8, 20,
+     {{"rst", 32.6}, {"jld", 18.2}, {"txt", 13.5}}, "C++", "Fortran", 5,
+     false, 0.333, 0.002, 55.56, 0.53, 0.14, 3},
+    {"pss", "Solar/Space Physics", 1, 0.09, 3, 4,
+     {{"nc", 45.3}, {"m", 44.1}, {"tar", 6.5}}, "Matlab", "Prolog", 4, false,
+     0.0, 0.000, 0.00, 0.00, 0.25, 2},
+    {"stf", "Staff", 9, 631468, 12, 2030,
+     {{"log", 10.3}, {"inp", 4.3}, {"pn", 3.9}}, "Matlab", "C++", 7, false,
+     0.249, 0.002, 77.78, 22.61, 0.15, 16},
+    {"syb", "Systems Biology", 2, 451, 8, 17,
+     {{"txt", 24.0}, {"npy", 10.4}, {"c", 5.7}}, "C", "Python", 4, false,
+     0.0, 0.0, 50.00, 0.07, 0.17, 2},
+    {"tur", "Turbulence", 9, 320295, 8, 16,
+     {{"water", 0.9}, {"h5", 0.6}, {"vtr", 0.4}}, "Python", "C++", 44, false,
+     0.340, 0.002, 33.33, 0.30, 0.09, 3},
+    {"ven", "Vendor", 10, 1271, 12, 26,
+     {{"hpp", 6.0}, {"html", 5.3}, {"o", 5.1}}, "C++", "C", 4, false,
+     0.082, 0.003, 30.00, 1.23, 0.20, 3},
+};
+
+}  // namespace
+
+std::span<const DomainProfile> domain_profiles() { return kDomains; }
+
+std::size_t domain_count() { return std::size(kDomains); }
+
+int domain_index(std::string_view id) {
+  for (std::size_t i = 0; i < std::size(kDomains); ++i) {
+    if (id == kDomains[i].id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int total_projects() {
+  int total = 0;
+  for (const DomainProfile& d : kDomains) total += d.projects;
+  return total;
+}
+
+}  // namespace spider

@@ -1,0 +1,76 @@
+// The 35 science-domain profiles that calibrate the facility simulator.
+//
+// Every field is transcribed from the paper's Table 1 (per-domain summary),
+// Table 2 (top-3 file extensions), Figure 7(b) (directory fraction), and
+// the prose (OST outliers, burstiness exclusions). The generator samples
+// from these profiles; the study then re-measures them from the synthetic
+// snapshots, closing the loop paper -> generator -> analysis -> report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace spider {
+
+struct ExtensionShare {
+  const char* ext;     // "" = not present
+  double percent = 0;  // share of the domain's files, in percent
+};
+
+struct DomainProfile {
+  const char* id;    // three-letter tag, e.g. "cli"
+  const char* name;  // "Climate Science"
+  int projects;      // number of project allocations
+
+  /// Unique entries over the 500-day study, in thousands (Table 1).
+  double entries_k;
+
+  int depth_median;  // median directory depth of the domain's projects
+  int depth_max;     // deepest observed path
+
+  ExtensionShare top_ext[3];  // Table 2's top-3 extensions
+
+  const char* lang1;  // most popular programming language (Table 1)
+  const char* lang2;  // second most popular
+
+  /// Table 1 "# OST": the domain's characteristic maximum stripe count.
+  int ost_max;
+  /// Whether the domain occasionally stripes across the full 1,008 OSTs
+  /// (the paper names ast/csc/bip as wide-stripe users).
+  bool wide_stripes;
+
+  /// Burstiness targets: cv of within-week mtime (write) / atime (read)
+  /// distributions. 0 marks the paper's "-" cells (domains whose projects
+  /// access fewer than 100 files a week and are excluded from Fig 17).
+  double write_cv;
+  double read_cv;
+
+  /// Table 1 "Network (%)": probability that a domain project belongs to
+  /// the largest connected component.
+  double network_pct;
+  /// Table 1 "Collab. (%)": share of collaborating user pairs whose shared
+  /// projects include this domain.
+  double collab_pct;
+
+  /// Fraction of the domain's entries that are directories (Fig 7(b):
+  /// ~0.15 on average, 0.90 for atm, 0.67 for hep).
+  double dir_fraction;
+
+  /// Median users per project (Fig 6(c): >10 for env/nfi/chp/cli and stf).
+  int median_project_users;
+};
+
+/// All 35 domains, ordered as the paper's Table 1 (alphabetical by tag).
+std::span<const DomainProfile> domain_profiles();
+
+/// Number of domains (35).
+std::size_t domain_count();
+
+/// Index of a domain tag in domain_profiles(), or -1 if unknown.
+int domain_index(std::string_view id);
+
+/// Total projects across all domains (380 in the study).
+int total_projects();
+
+}  // namespace spider

@@ -1,0 +1,794 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "synth/langmap.h"
+#include "synth/treegen.h"
+#include "util/hash.h"
+#include "util/timeutil.h"
+
+namespace spider {
+
+namespace {
+
+constexpr std::int64_t kWeekMid = kSecondsPerWeek / 2;
+constexpr double kDefaultWriteCv = 0.35;  // for Fig 17's excluded domains
+constexpr std::uint32_t kSpiderOstCount = 2016;
+constexpr std::uint32_t kMaxStripes = 1008;
+
+// ---- extension model --------------------------------------------------
+
+enum class ExtKind : std::uint8_t {
+  kNamed = 0,    // ordinary "name.ext"
+  kNone = 1,     // no extension at all
+  kNumeric = 2,  // "result.1", "f.00000245" — sequence-numbered outputs
+  kSource = 3,   // programming-language source file
+};
+
+struct ExtChoice {
+  ExtKind kind = ExtKind::kNamed;
+  std::string ext;  // for kNamed; for kSource the language decides
+};
+
+/// Per-domain extension mixture: Table 2's top-3 at their published shares,
+/// with the residual split between extensionless files, numeric-suffix
+/// outputs, source code, and a common scientific pool — tuned so the
+/// global Fig 10 picture ("other" ~35%, "no extension" ~16%) emerges.
+class ExtensionModel {
+ public:
+  explicit ExtensionModel(const DomainProfile& profile) : profile_(profile) {
+    auto push = [this](ExtKind kind, std::string ext, double weight) {
+      if (weight <= 0) return;
+      kinds_.push_back(kind);
+      exts_.push_back(std::move(ext));
+      weights_.push_back(weight);
+    };
+    double top = 0;
+    for (const ExtensionShare& share : profile.top_ext) {
+      if (share.ext != nullptr && share.percent > 0) top += share.percent;
+    }
+    const double residual = std::max(2.0, 100.0 - top);
+    // Residual split (weights sum to 100; scaled by `residual`).
+    struct Common {
+      const char* ext;
+      double w;
+    };
+    static constexpr Common kCommons[] = {
+        {"png", 5.0}, {"txt", 4.5}, {"dat", 4.0}, {"log", 3.5}, {"gz", 3.0},
+        {"h5", 2.5},  {"o", 2.2},   {"out", 2.0}, {"xml", 1.6}, {"bin", 1.4},
+        {"tar", 1.0}, {"err", 0.9}, {"csv", 0.8}, {"jpg", 0.7}, {"rst", 0.6},
+        {"bak", 0.5}, {"vtk", 0.5}, {"ppm", 0.5}, {"mat", 0.4}, {"npy", 0.3},
+    };
+    double common_total = 0;
+    double max_common = 0;
+    for (const Common& c : kCommons) {
+      common_total += c.w;
+      max_common = std::max(max_common, c.w);
+    }
+    const double no_ext_w = 24.0, numeric_w = 11.0, source_w = 9.0;
+    const double denom = no_ext_w + numeric_w + source_w + common_total;
+    const double scale = residual / denom;
+
+    // Table 2's listed top-3 keep their published shares, floored just
+    // above the strongest residual extension so they stay the domain's
+    // measured top-3 even when their shares are tiny (the paper's
+    // low-dominance domains like aph's h5 at 1.3%).
+    const double floors[3] = {1.20, 1.05, 0.95};
+    for (int k = 0; k < 3; ++k) {
+      const ExtensionShare& share = profile.top_ext[k];
+      if (share.ext != nullptr && share.percent > 0) {
+        push(ExtKind::kNamed, share.ext,
+             std::max(share.percent, floors[k] * max_common * scale));
+      }
+    }
+    push(ExtKind::kNone, "", residual * no_ext_w / denom);
+    push(ExtKind::kNumeric, "", residual * numeric_w / denom);
+    push(ExtKind::kSource, "", residual * source_w / denom);
+    for (const Common& c : kCommons) {
+      // A common extension that is also one of the domain's listed top-3
+      // would double up and could overtake it; skip those.
+      bool listed = false;
+      for (const ExtensionShare& share : profile.top_ext) {
+        if (share.ext != nullptr && std::string_view(c.ext) == share.ext) {
+          listed = true;
+        }
+      }
+      if (!listed) push(ExtKind::kNamed, c.ext, c.w * scale);
+    }
+    sampler_ = AliasSampler{std::span<const double>(weights_)};
+
+    // Language mixture for source files: primary 45%, secondary 25%,
+    // global base weights 30%.
+    const auto langs = languages();
+    lang_weights_.assign(langs.size(), 0.0);
+    for (std::size_t i = 0; i < langs.size(); ++i) {
+      lang_weights_[i] = 0.30 * langs[i].base_weight;
+    }
+    const int l1 = language_index(profile.lang1);
+    const int l2 = language_index(profile.lang2);
+    if (l1 >= 0) lang_weights_[static_cast<std::size_t>(l1)] += 1.8;
+    if (l2 >= 0) lang_weights_[static_cast<std::size_t>(l2)] += 1.0;
+    lang_sampler_ = AliasSampler{std::span<const double>(lang_weights_)};
+  }
+
+  ExtChoice sample(Rng& rng) const {
+    const std::size_t i = sampler_.sample(rng);
+    ExtChoice choice;
+    choice.kind = kinds_[i];
+    if (choice.kind == ExtKind::kNamed) {
+      choice.ext = exts_[i];
+    } else if (choice.kind == ExtKind::kSource) {
+      const LanguageInfo& lang = languages()[lang_sampler_.sample(rng)];
+      // First extension dominates (".c" over ".h" etc. is handled by the
+      // language's own list ordering).
+      std::size_t n = 0;
+      while (lang.exts[n] != nullptr) ++n;
+      const std::size_t pick =
+          rng.chance(0.6) ? 0 : rng.uniform_u64(n);
+      choice.kind = ExtKind::kNamed;
+      choice.ext = lang.exts[pick];
+    }
+    return choice;
+  }
+
+ private:
+  const DomainProfile& profile_;
+  std::vector<ExtKind> kinds_;
+  std::vector<std::string> exts_;
+  std::vector<double> weights_;
+  AliasSampler sampler_;
+  std::vector<double> lang_weights_;
+  AliasSampler lang_sampler_;
+};
+
+// ---- live state ---------------------------------------------------------
+
+struct BatchState {
+  std::int64_t last_read = 0;
+  std::int64_t refresh_seconds = 0;  // 0 => forgotten, never re-read
+  bool rewrite_on_touch = false;     // periodic touch rewrites, not reads
+};
+
+struct LiveFile {
+  std::string name;  // within its directory
+  std::uint32_t dir = 0;
+  std::int64_t ctime = 0, mtime = 0, atime = 0;
+  std::uint32_t uid = 0;
+  std::uint64_t inode = 0;
+  std::uint32_t batch = 0;
+  std::uint32_t ost_seed = 0;
+  std::uint16_t stripes = 4;
+  bool dataset = false;
+};
+
+struct ProjectState {
+  std::uint32_t index = 0;
+  const ProjectInfo* info = nullptr;
+  const DomainProfile* profile = nullptr;
+  std::unique_ptr<ProjectTree> tree;
+  std::unique_ptr<ExtensionModel> extensions;
+  std::vector<LiveFile> files;
+  std::vector<BatchState> batches;
+  std::vector<std::uint8_t> batch_read_this_week;
+  AliasSampler member_activity;
+  Rng rng{0};
+  double weight = 0;         // share of facility file creates
+  double dir_ratio = 0;      // dirs per file
+  std::uint64_t created_total = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t deletes_last_week = 0;
+};
+
+const char* const kFilePrefixes[] = {"out", "chk", "step", "traj", "dump",
+                                     "frame", "state", "mesh", "field",
+                                     "part"};
+
+/// Campaign create-rate multiplier (paper Fig 10's .bb and .xyz events).
+double campaign_multiplier(std::string_view domain_id, std::size_t week) {
+  if (domain_id == "nph" && week >= 24 && week < 32) return 6.0;
+  if (domain_id == "chp" && week >= 55 && week < 62) return 6.0;
+  return 1.0;
+}
+
+bool campaign_forced_ext(std::string_view domain_id, std::size_t week,
+                         std::string* ext) {
+  if (domain_id == "nph" && week >= 24 && week < 32) {
+    *ext = "bb";
+    return true;
+  }
+  if (domain_id == "chp" && week >= 55 && week < 62) {
+    *ext = "xyz";
+    return true;
+  }
+  return false;
+}
+
+class Simulation {
+ public:
+  Simulation(const FacilityConfig& config, const FacilityPlan& plan,
+             const JobVisitor* jobs = nullptr)
+      : config_(config), plan_(plan), rng_(config.seed), jobs_(jobs) {
+    setup_projects();
+    seed_initial_population();
+  }
+
+  void run(const SnapshotVisitor& visitor) {
+    const auto gaps = FacilityGenerator::gap_weeks(config_);
+    in_study_ = true;  // job records start with the observation window
+    std::size_t emitted = 0;
+    for (std::size_t week = 0; week < config_.weeks; ++week) {
+      simulate_week(week);
+      const bool gap = config_.maintenance_gaps &&
+                       std::find(gaps.begin(), gaps.end(), week) != gaps.end();
+      if (gap) continue;
+      Snapshot snap;
+      snap.taken_at = week_start(week + 1);  // collected at week end
+      emit(snap.table);
+      visitor(emitted++, snap);
+    }
+  }
+
+ private:
+  std::int64_t week_start(std::size_t week) const {
+    return config_.start_epoch() +
+           static_cast<std::int64_t>(week) * kSecondsPerWeek;
+  }
+
+  double population_target(std::size_t week) const {
+    const double w = static_cast<double>(week) /
+                     static_cast<double>(std::max<std::size_t>(
+                         config_.weeks - 1, 1));
+    return config_.scale * config_.initial_files *
+           std::pow(config_.final_files / config_.initial_files, w);
+  }
+
+  void setup_projects() {
+    const auto domains = domain_profiles();
+    // Facility-wide file-create share per domain: Table 1 entry volumes,
+    // discounted by the domain's directory fraction (entries include dirs).
+    std::vector<double> domain_weight(domains.size(), 0.0);
+    double total = 0;
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      domain_weight[d] =
+          std::max(0.01, domains[d].entries_k * (1.0 - domains[d].dir_fraction));
+      total += domain_weight[d];
+    }
+
+    projects_.resize(plan_.projects.size());
+    std::vector<double> project_share_in_domain(plan_.projects.size(), 0.0);
+    std::vector<double> domain_share_sum(domains.size(), 0.0);
+    for (std::uint32_t p = 0; p < plan_.projects.size(); ++p) {
+      ProjectState& state = projects_[p];
+      state.index = p;
+      state.info = &plan_.projects[p];
+      state.profile = &domains[static_cast<std::size_t>(state.info->domain)];
+      state.rng = Rng(mix64(config_.seed ^ (0x9e37ULL + p * 0x100000001b3ULL)));
+      // Heavily skewed spread of activity across a domain's projects: one
+      // or two dominate (the paper's chp domain put 372M of its 380M
+      // entries in a single project, and the per-project median is 20K
+      // files against a 10.7M mean — a ~500x mean/median ratio).
+      project_share_in_domain[p] = state.rng.lognormal(0.0, 1.8);
+      domain_share_sum[static_cast<std::size_t>(state.info->domain)] +=
+          project_share_in_domain[p];
+    }
+    for (std::uint32_t p = 0; p < plan_.projects.size(); ++p) {
+      ProjectState& state = projects_[p];
+      const std::size_t d = static_cast<std::size_t>(state.info->domain);
+      state.weight = (domain_weight[d] / total) *
+                     (project_share_in_domain[p] / domain_share_sum[d]);
+      // The 0.75 factor keeps the *live* directory share under the paper's
+      // 10% (Fig 15) while the per-domain unique-census ratios (Fig 7(b))
+      // stay ordered by the profile fractions.
+      state.dir_ratio = 0.75 * state.profile->dir_fraction /
+                        (1.0 - state.profile->dir_fraction);
+      state.tree = std::make_unique<ProjectTree>(
+          "/lustre/atlas2/" + state.info->name, *state.profile,
+          state.rng.fork());
+      state.extensions = std::make_unique<ExtensionModel>(*state.profile);
+      // Member activity: the lead members carry most sessions (sharpens
+      // the paper's project-vs-user file-count gap, Observation 3).
+      std::vector<double> activity;
+      for (std::size_t m = 0; m < state.info->members.size(); ++m) {
+        activity.push_back(std::pow(static_cast<double>(1 + m), -1.7));
+      }
+      state.member_activity = AliasSampler{std::span<const double>(activity)};
+      state.tree->set_clock(config_.start_epoch());
+      for (const std::uint32_t member : state.info->members) {
+        const UserAccount& user = plan_.users[member];
+        state.tree->ensure_user_dir(user.name, user.uid);
+      }
+      // Most projects carve at least one excursion near the domain's
+      // typical depth, so the per-project max-depth CDF (Fig 8(a)) shows
+      // the paper's ">30% of projects deeper than 10" tail.
+      if (state.rng.chance(0.6)) {
+        const double spread = state.rng.uniform(0.8, 1.3);
+        const int target = std::clamp(
+            static_cast<int>(std::lround(
+                spread * state.profile->depth_median)),
+            6, std::min(state.profile->depth_max - 1,
+                        state.profile->depth_median + 8));
+        const std::uint32_t owner =
+            plan_.users[state.info->members.front()].uid;
+        state.tree->add_deep_chain(static_cast<std::size_t>(target), owner);
+      }
+    }
+
+    // The pathological deep trees: one General project at depth 432, one
+    // Staff project at depth 2030 (metadata stress tests).
+    add_deep_chain("gen", 432);
+    add_deep_chain("stf", 2030);
+  }
+
+  void add_deep_chain(std::string_view domain_id, std::size_t depth) {
+    for (ProjectState& state : projects_) {
+      if (domain_id == state.profile->id) {
+        const std::uint32_t member = state.info->members.front();
+        state.tree->add_deep_chain(depth, plan_.users[member].uid);
+        return;
+      }
+    }
+  }
+
+  std::uint32_t member_uid(ProjectState& state) {
+    const std::size_t m = state.member_activity.sample(state.rng);
+    return plan_.users[state.info->members[m]].uid;
+  }
+
+  std::uint16_t sample_stripes(ProjectState& state) {
+    const DomainProfile& profile = *state.profile;
+    const double r = state.rng.uniform();
+    if (r < 0.05) {
+      return static_cast<std::uint16_t>(1 + state.rng.uniform_u64(2));
+    }
+    if (profile.ost_max > 4) {
+      if (profile.wide_stripes && r < 0.054) return kMaxStripes;
+      if (r < 0.18) {
+        return static_cast<std::uint16_t>(
+            state.rng.uniform_int(5, profile.ost_max));
+      }
+    }
+    return 4;
+  }
+
+  /// Creates one batch of files in a project at session time `when`.
+  void create_batch(ProjectState& state, std::size_t count,
+                    std::int64_t when, bool dataset, std::size_t week) {
+    if (count == 0) return;
+    const std::uint32_t uid = member_uid(state);
+    // Directory growth tracks the *live* file population (directories are
+    // never purged, so the live ratio stays near the domain profile while
+    // the unique-entries ratio comes out lower — both as the paper reports:
+    // Fig 7's 275M dirs vs 4.07B unique files, Fig 15's <10% live share).
+    const auto target_dirs = static_cast<std::size_t>(
+        static_cast<double>(state.files.size() + count) * state.dir_ratio);
+    state.tree->set_clock(when);
+    if (target_dirs > state.tree->dir_count()) {
+      state.tree->grow(target_dirs - state.tree->dir_count());
+    }
+
+    ExtChoice ext = state.extensions->sample(state.rng);
+    std::string forced;
+    if (campaign_forced_ext(state.profile->id, week, &forced) &&
+        state.rng.chance(0.9)) {
+      ext.kind = ExtKind::kNamed;
+      ext.ext = forced;
+    }
+
+    const std::uint32_t batch_id =
+        static_cast<std::uint32_t>(state.batches.size());
+    BatchState batch;
+    batch.last_read = when;
+    if (dataset && !state.rng.chance(config_.forgotten_batch_fraction)) {
+      batch.refresh_seconds = static_cast<std::int64_t>(
+          state.rng.uniform(config_.refresh_days_min,
+                            config_.refresh_days_max) *
+          static_cast<double>(kSecondsPerDay));
+      batch.rewrite_on_touch =
+          state.rng.chance(config_.rewrite_touch_fraction);
+    }
+    state.batches.push_back(batch);
+    state.batch_read_this_week.push_back(0);
+
+    const char* prefix =
+        kFilePrefixes[state.rng.uniform_u64(std::size(kFilePrefixes))];
+    const std::uint16_t stripes = sample_stripes(state);
+    const std::uint32_t ost_seed =
+        static_cast<std::uint32_t>(state.rng.next_u64());
+    // Sessions use one or two target directories.
+    const std::size_t dir_a = state.tree->sample_file_dir(state.rng);
+    const std::size_t dir_b = state.tree->sample_file_dir(state.rng);
+
+    char buf[96];
+    for (std::size_t i = 0; i < count; ++i) {
+      LiveFile file;
+      file.dir = static_cast<std::uint32_t>(
+          (i % 3 == 2) ? dir_b : dir_a);
+      const std::uint64_t seq = state.seq++;
+      switch (ext.kind) {
+        case ExtKind::kNone:
+          std::snprintf(buf, sizeof(buf), "%s%u_%llu", prefix, batch_id,
+                        static_cast<unsigned long long>(seq));
+          break;
+        case ExtKind::kNumeric:
+          std::snprintf(buf, sizeof(buf), "%s%u.%08llu", prefix, batch_id,
+                        static_cast<unsigned long long>(seq));
+          break;
+        default:
+          std::snprintf(buf, sizeof(buf), "%s%u_%llu.%s", prefix, batch_id,
+                        static_cast<unsigned long long>(seq),
+                        ext.ext.c_str());
+          break;
+      }
+      file.name = buf;
+      // Tight within-session spread: sessions are minutes long.
+      file.ctime = file.mtime = file.atime =
+          when + static_cast<std::int64_t>(state.rng.uniform_u64(300));
+      file.uid = uid;
+      file.inode = next_inode_++;
+      file.batch = batch_id;
+      file.stripes = stripes;
+      file.ost_seed = ost_seed ^ static_cast<std::uint32_t>(seq);
+      file.dataset = dataset;
+      state.files.push_back(std::move(file));
+    }
+    state.created_total += count;
+    live_files_ += count;
+
+    if (jobs_ != nullptr && in_study_) {
+      JobRecord job;
+      job.project = state.index;
+      job.uid = uid;
+      job.start = when;
+      // Duration derives from a hash, not the project RNG: capturing the
+      // job log must never perturb the snapshot stream.
+      job.end = when + 300 + static_cast<std::int64_t>(
+                                 mix64(static_cast<std::uint64_t>(when) ^
+                                       count) %
+                                 (3 * 3600));
+      job.files_written = count;
+      (*jobs_)(job);
+    }
+  }
+
+  void seed_initial_population() {
+    const double initial = population_target(0);
+    const std::int64_t start = config_.start_epoch();
+    for (ProjectState& state : projects_) {
+      auto files = static_cast<std::uint64_t>(initial * state.weight);
+      files = std::max(files, config_.min_project_files / 2);
+      std::uint64_t made = 0;
+      while (made < files) {
+        const std::size_t batch_size = std::min<std::uint64_t>(
+            files - made, 40 + state.rng.uniform_u64(260));
+        const bool dataset = state.rng.chance(config_.initial_dataset_fraction);
+        std::int64_t when;
+        if (dataset) {
+          // Old datasets: written up to ~500 days before the study,
+          // last read recently enough to have survived the purge.
+          when = start - static_cast<std::int64_t>(
+                             state.rng.uniform(40.0, 450.0) *
+                             static_cast<double>(kSecondsPerDay));
+        } else {
+          when = start - static_cast<std::int64_t>(
+                             state.rng.uniform(1.0, 55.0) *
+                             static_cast<double>(kSecondsPerDay));
+        }
+        create_batch(state, batch_size, when, dataset, /*week=*/0);
+        // Backdate the batch read clock and refresh the atimes.
+        BatchState& batch = state.batches.back();
+        const std::int64_t read_at =
+            start - static_cast<std::int64_t>(
+                        state.rng.uniform(1.0, 80.0) *
+                        static_cast<double>(kSecondsPerDay));
+        if (read_at > when) {
+          batch.last_read = read_at;
+          for (auto it = state.files.end() -
+                         static_cast<std::ptrdiff_t>(batch_size);
+               it != state.files.end(); ++it) {
+            it->atime = read_at + static_cast<std::int64_t>(
+                                      state.rng.uniform_u64(1200));
+          }
+        }
+        made += batch_size;
+      }
+    }
+  }
+
+  void simulate_week(std::size_t week) {
+    const std::int64_t start = week_start(week);
+    const double target_next = population_target(week + 1);
+    const double deficit =
+        target_next - static_cast<double>(live_files_) +
+        static_cast<double>(deletes_last_week_);
+    const double creates_total = std::max(0.0, deficit);
+
+    for (ProjectState& state : projects_) {
+      simulate_project_week(state, week, start, creates_total);
+    }
+
+    // Facility-wide purge sweep at week end.
+    const std::int64_t cutoff =
+        week_start(week + 1) -
+        static_cast<std::int64_t>(config_.purge_days) * kSecondsPerDay;
+    // The population controller compensates only *net* losses: recreated
+    // deletions were already replaced within the week.
+    double net_losses = 0;
+    for (ProjectState& state : projects_) {
+      net_losses += static_cast<double>(state.deletes_last_week) *
+                    (1.0 - config_.recreate_fraction);
+      net_losses += static_cast<double>(purge_project(state, cutoff));
+    }
+    deletes_last_week_ = static_cast<std::uint64_t>(net_losses);
+  }
+
+  void simulate_project_week(ProjectState& state, std::size_t week,
+                             std::int64_t start, double creates_total) {
+    const DomainProfile& profile = *state.profile;
+    Rng& rng = state.rng;
+
+    // ---- writes ----------------------------------------------------------
+    const double mult = campaign_multiplier(profile.id, week);
+    double planned = creates_total * state.weight * mult;
+    // Keep tiny projects visible over the study.
+    const double floor_rate = static_cast<double>(config_.min_project_files) /
+                              static_cast<double>(config_.weeks);
+    planned = std::max(planned, floor_rate);
+    auto creates = static_cast<std::uint64_t>(std::lround(
+        planned * rng.uniform(0.6, 1.4)));
+
+    const double write_cv =
+        profile.write_cv > 0 ? profile.write_cv : kDefaultWriteCv;
+    // The 1.55 factor compensates for the downward bias of estimating the
+    // weekly dispersion from a handful of session centers (the measured
+    // per-project cv then lands on the Table 1 target).
+    const double write_sigma =
+        std::max(120.0, 1.55 * write_cv * static_cast<double>(kWeekMid));
+
+    if (creates > 0) {
+      const std::size_t sessions = static_cast<std::size_t>(
+          std::clamp<std::uint64_t>(1 + rng.poisson(1.8), 1, 6));
+      for (std::size_t s = 0; s < sessions; ++s) {
+        std::size_t share =
+            s + 1 == sessions ? creates - (creates / sessions) * s
+                              : creates / sessions;
+        const double offset =
+            std::clamp(rng.normal(static_cast<double>(kWeekMid), write_sigma),
+                       0.0, static_cast<double>(kSecondsPerWeek - 400));
+        // A session writes several output groups; each batch carries one
+        // extension, so capping batch size keeps per-domain extension
+        // shares near their targets instead of lurching batch-by-batch.
+        while (share > 0) {
+          const std::size_t chunk = std::min<std::size_t>(
+              share, 60 + rng.uniform_u64(120));
+          const bool dataset = rng.chance(config_.dataset_fraction);
+          create_batch(state, chunk,
+                       start + static_cast<std::int64_t>(offset), dataset,
+                       week);
+          share -= chunk;
+        }
+      }
+    }
+
+    // ---- checkpoint rewrites ----------------------------------------------
+    const double update_offset =
+        std::clamp(rng.normal(static_cast<double>(kWeekMid), write_sigma),
+                   0.0, static_cast<double>(kSecondsPerWeek - 1200));
+    const std::int64_t update_time =
+        start + static_cast<std::int64_t>(update_offset);
+    for (LiveFile& file : state.files) {
+      if (!file.dataset && file.ctime < start &&
+          rng.chance(config_.update_fraction)) {
+        file.mtime = file.ctime =
+            update_time + static_cast<std::int64_t>(rng.uniform_u64(600));
+        file.atime = file.mtime;
+      }
+    }
+
+    // ---- read campaign -----------------------------------------------------
+    const double read_cv = profile.read_cv > 0 ? profile.read_cv : 0.002;
+    const double read_sigma =
+        std::max(30.0, read_cv * static_cast<double>(kWeekMid));
+    const std::int64_t read_time = start + kWeekMid;
+    std::fill(state.batch_read_this_week.begin(),
+              state.batch_read_this_week.end(), 0);
+    bool any_read = false;
+    for (std::size_t b = 0; b < state.batches.size(); ++b) {
+      BatchState& batch = state.batches[b];
+      if (batch.refresh_seconds <= 0) continue;
+      if (read_time - batch.last_read >= batch.refresh_seconds) {
+        batch.last_read = read_time;
+        state.batch_read_this_week[b] = 1;
+        any_read = true;
+      }
+    }
+    std::uint64_t files_read = 0;
+    if (any_read) {
+      for (LiveFile& file : state.files) {
+        if (!state.batch_read_this_week[file.batch] ||
+            file.ctime >= start) {  // this week's new files are "new"
+          continue;
+        }
+        if (state.batches[file.batch].rewrite_on_touch) {
+          // Periodic rewrite: the whole batch is regenerated in place
+          // (same paths), so the diff classifies it as "updated".
+          file.mtime = file.ctime = file.atime =
+              read_time + static_cast<std::int64_t>(rng.uniform_u64(900));
+        } else {
+          const double jitter = rng.normal(0.0, read_sigma);
+          file.atime = std::max(
+              file.mtime,
+              read_time + static_cast<std::int64_t>(std::llround(jitter)));
+          ++files_read;
+        }
+      }
+    }
+    if (jobs_ != nullptr && files_read > 0) {
+      JobRecord job;
+      job.project = state.index;
+      // Hash-derived attributes: see the write-job note above.
+      job.uid = plan_.users[state.info->members.front()].uid;
+      job.start = read_time;
+      job.end = read_time + 1200 + static_cast<std::int64_t>(
+                                       mix64(static_cast<std::uint64_t>(
+                                                 read_time) ^
+                                             files_read) %
+                                       (2 * 3600));
+      job.files_read = files_read;
+      (*jobs_)(job);
+    }
+
+    // ---- user deletions + output-tree rewrites -----------------------------
+    // Jobs clean their previous run's outputs and write fresh ones under
+    // new names, so most deletions are paired with same-week creations.
+    std::uint64_t deleted = 0;
+    for (std::size_t i = 0; i < state.files.size();) {
+      LiveFile& file = state.files[i];
+      if (!file.dataset && file.ctime < start &&
+          rng.chance(config_.transient_delete_prob)) {
+        file = std::move(state.files.back());
+        state.files.pop_back();
+        ++deleted;
+      } else {
+        ++i;
+      }
+    }
+    state.deletes_last_week = deleted;
+    live_files_ -= deleted;
+
+    auto recreated = static_cast<std::uint64_t>(
+        static_cast<double>(deleted) * config_.recreate_fraction);
+    while (recreated > 0) {
+      const double offset =
+          std::clamp(rng.normal(static_cast<double>(kWeekMid), write_sigma),
+                     0.0, static_cast<double>(kSecondsPerWeek - 400));
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(recreated, 60 + rng.uniform_u64(120));
+      create_batch(state, chunk, start + static_cast<std::int64_t>(offset),
+                   /*dataset=*/false, week);
+      recreated -= chunk;
+    }
+  }
+
+  std::uint64_t purge_project(ProjectState& state, std::int64_t cutoff) {
+    std::uint64_t purged = 0;
+    for (std::size_t i = 0; i < state.files.size();) {
+      if (state.files[i].atime < cutoff) {
+        state.files[i] = std::move(state.files.back());
+        state.files.pop_back();
+        ++purged;
+      } else {
+        ++i;
+      }
+    }
+    live_files_ -= purged;
+    return purged;
+  }
+
+  void emit(SnapshotTable& table) {
+    std::size_t rows = 0;
+    for (const ProjectState& state : projects_) {
+      rows += state.tree->dir_count() + state.files.size();
+    }
+    table.reserve(rows);
+
+    std::string path;
+    std::vector<std::uint32_t> osts;
+    for (const ProjectState& state : projects_) {
+      const std::uint32_t gid = state.info->gid;
+      const ProjectTree& tree = *state.tree;
+      for (std::size_t d = 0; d < tree.dir_count(); ++d) {
+        const std::int64_t t =
+            tree.dir_ctime(d) > 0 ? tree.dir_ctime(d) : config_.start_epoch();
+        table.add(tree.dir_path(d), t, t, t, tree.dir_uid(d), gid,
+                  kModeDirectory | 0775,
+                  (1ULL << 40) | (static_cast<std::uint64_t>(state.index)
+                                  << 22) |
+                      d,
+                  {});
+      }
+      for (const LiveFile& file : state.files) {
+        path.assign(tree.dir_path(file.dir));
+        path += '/';
+        path += file.name;
+        osts.clear();
+        for (std::uint16_t s = 0; s < file.stripes; ++s) {
+          osts.push_back(static_cast<std::uint32_t>(
+              hash_combine(file.ost_seed, s) % kSpiderOstCount));
+        }
+        table.add(path, file.atime, file.ctime, file.mtime, file.uid, gid,
+                  kModeRegular | 0664, file.inode, osts);
+      }
+    }
+  }
+
+  const FacilityConfig& config_;
+  const FacilityPlan& plan_;
+  Rng rng_;
+  const JobVisitor* jobs_ = nullptr;
+  bool in_study_ = false;
+  std::vector<ProjectState> projects_;
+  std::uint64_t next_inode_ = 1'000'000'000ULL;
+  std::uint64_t live_files_ = 0;
+  std::uint64_t deletes_last_week_ = 0;
+};
+
+}  // namespace
+
+std::int64_t FacilityConfig::start_epoch() const {
+  return epoch_from_civil({2015, 1, 5});
+}
+
+FacilityGenerator::FacilityGenerator(FacilityConfig config)
+    : config_(config), plan_(plan_facility(config.seed)) {}
+
+std::vector<std::size_t> FacilityGenerator::gap_weeks(
+    const FacilityConfig& config) {
+  if (!config.maintenance_gaps) return {};
+  // Deterministic maintenance windows at fixed fractions of the study;
+  // with the default 86 weeks this drops 14 weeks, leaving the paper's 72
+  // usable snapshots. Adjacent fractions model multi-week outages. Shorter
+  // runs drop proportionally fewer weeks (the paper's ~16% gap density),
+  // and week 0 is never a gap so every series has a first snapshot.
+  static constexpr double kGapFractions[] = {
+      0.11, 0.26, 0.27, 0.38, 0.48, 0.55, 0.56,
+      0.65, 0.73, 0.80, 0.87, 0.88, 0.94, 0.975};
+  constexpr std::size_t kFractionCount = std::size(kGapFractions);
+  const std::size_t target = std::min<std::size_t>(
+      kFractionCount, config.weeks * kFractionCount / 86);
+  std::vector<std::size_t> gaps;
+  for (std::size_t i = 0; i < target; ++i) {
+    // Spread the selected gaps across the full fraction list.
+    const double f = kGapFractions[i * kFractionCount / target];
+    const auto week =
+        static_cast<std::size_t>(f * static_cast<double>(config.weeks));
+    if (week > 0 && week < config.weeks &&
+        (gaps.empty() || gaps.back() != week)) {
+      gaps.push_back(week);
+    }
+  }
+  return gaps;
+}
+
+std::size_t FacilityGenerator::count() const {
+  const auto gaps = gap_weeks(config_);
+  std::size_t gap_count = 0;
+  for (const std::size_t g : gaps) {
+    if (g < config_.weeks) ++gap_count;
+  }
+  return config_.weeks - gap_count;
+}
+
+void FacilityGenerator::visit(const SnapshotVisitor& visitor) {
+  Simulation sim(config_, plan_);
+  sim.run(visitor);
+}
+
+void FacilityGenerator::visit_with_jobs(const SnapshotVisitor& visitor,
+                                        const JobVisitor& jobs) {
+  Simulation sim(config_, plan_, &jobs);
+  sim.run(visitor);
+}
+
+}  // namespace spider

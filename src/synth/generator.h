@@ -1,0 +1,123 @@
+// FacilityGenerator: the synthetic Spider II. Drives ~20 months of
+// simulated facility activity — bursty write sessions, tight read
+// campaigns, checkpoint rewrites, user deletions, the 90-day purge sweep,
+// and the two create-rate campaign events the paper observed (.bb files in
+// July 2015, .xyz files in February 2016) — and emits weekly LustreDU-style
+// snapshots through the SnapshotSource interface.
+//
+// Everything is calibrated against the paper's published numbers (see
+// domains.h and plan.h for the static structure; FacilityConfig below for
+// the dynamic knobs). File volume scales with `scale`; users, projects,
+// domains and the membership network are always full-scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/series.h"
+#include "synth/plan.h"
+
+namespace spider {
+
+struct FacilityConfig {
+  std::uint64_t seed = 20150105;
+
+  /// Fraction of Spider II's file volume to simulate. 0.001 => the study
+  /// peaks near one million live entries instead of one billion.
+  double scale = 0.001;
+
+  /// Simulated weeks (January 2015 - August 2016 spans ~86; the paper
+  /// sampled 72 snapshot dates out of it).
+  std::size_t weeks = 86;
+
+  /// Emit only non-gap weeks (14 deterministic maintenance gaps), matching
+  /// the paper's 72 usable snapshots. When false every week is emitted.
+  bool maintenance_gaps = true;
+
+  /// Scratch purge policy: files whose atime is older than this are
+  /// removed by the weekly purge sweep. Directories are never purged.
+  int purge_days = 90;
+
+  // ---- population dynamics ------------------------------------------------
+  /// Live files at week 0 (pre-scale; 200M matches Fig 15's start).
+  double initial_files = 200e6;
+  /// Live files at the final week (1B matches Fig 15's peak).
+  double final_files = 1000e6;
+  /// Fraction of created files that are long-lived datasets (re-read for
+  /// months); the rest are transient checkpoints/outputs. Real jobs write
+  /// outputs under fresh names and clean up the previous run's, so both
+  /// the weekly new% and deleted% far exceed the net growth rate.
+  double dataset_fraction = 0.35;
+  /// Fraction of the *initial* population that is long-lived datasets.
+  /// Spider's standing population is dominated by old, re-read data (the
+  /// paper's Fig 16 file ages), so this is higher than the flow mix.
+  double initial_dataset_fraction = 0.70;
+  /// Weekly deletion probability of a transient file (user cleanup).
+  double transient_delete_prob = 0.55;
+  /// Fraction of deleted transients immediately recreated under fresh
+  /// names — jobs rewriting their output trees. This is what makes the
+  /// weekly new% and deleted% (Fig 13) far exceed the net growth rate.
+  double recreate_fraction = 0.75;
+  /// Fraction of live transient files rewritten (checkpoint-style) weekly.
+  double update_fraction = 0.30;
+  /// Dataset re-read cadence, in days: each batch draws its refresh period
+  /// uniformly from [min, max]. Periods beyond purge_days lose files.
+  double refresh_days_min = 56;
+  double refresh_days_max = 88;
+  /// Fraction of dataset batches whose periodic touch *rewrites* the batch
+  /// (mtime moves: "updated") instead of just reading it ("readonly").
+  double rewrite_touch_fraction = 0.40;
+  /// Fraction of dataset batches whose owners forget them (never re-read
+  /// => purged at 90 days), feeding the purge statistics.
+  double forgotten_batch_fraction = 0.06;
+  /// Minimum files a project creates over the study, so tiny domains
+  /// remain visible at small scales.
+  std::uint64_t min_project_files = 30;
+
+  std::int64_t start_epoch() const;  // Monday 2015-01-05
+};
+
+/// One scheduler job observed by the facility (the paper's future-work
+/// data source: "combining multiple system logs (e.g., job logs) ... will
+/// allow more interesting insights"). Write jobs are the bursty sessions;
+/// read jobs are the analysis/visualization campaigns.
+struct JobRecord {
+  std::uint32_t project = 0;  // dense project index
+  std::uint32_t uid = 0;      // submitting user
+  std::int64_t start = 0;     // epoch seconds
+  std::int64_t end = 0;
+  std::uint64_t files_written = 0;
+  std::uint64_t files_read = 0;
+};
+
+using JobVisitor = std::function<void(const JobRecord&)>;
+
+class FacilityGenerator : public SnapshotSource {
+ public:
+  explicit FacilityGenerator(FacilityConfig config);
+
+  /// Number of snapshots visit() will deliver (weeks minus gaps).
+  std::size_t count() const override;
+
+  /// Re-runs the whole simulation (deterministic in config.seed) and
+  /// delivers weekly snapshots in order. Snapshot `week` indices are dense
+  /// over emitted snapshots; taken_at carries the real (gappy) dates.
+  void visit(const SnapshotVisitor& visitor) override;
+
+  /// Like visit(), but additionally streams the scheduler job log
+  /// (interleaved chronologically per week, before that week's snapshot).
+  void visit_with_jobs(const SnapshotVisitor& visitor,
+                       const JobVisitor& jobs);
+
+  const FacilityPlan& plan() const { return plan_; }
+  const FacilityConfig& config() const { return config_; }
+
+  /// The deterministic maintenance-gap week numbers for a config.
+  static std::vector<std::size_t> gap_weeks(const FacilityConfig& config);
+
+ private:
+  FacilityConfig config_;
+  FacilityPlan plan_;
+};
+
+}  // namespace spider

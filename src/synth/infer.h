@@ -1,0 +1,30 @@
+// Facility inference: reconstructs the account structure (users, projects,
+// domains, memberships) from the snapshots alone, so the study runs on
+// *external* LustreDU data where no ground-truth plan exists — the mode the
+// paper itself operated in, joining snapshot UIDs against the accounting
+// database. Without that database, organizations are unknown (kOther) and
+// science domains are guessed from the project-name prefix (OLCF project
+// ids start with their domain tag: cli104, nph07, ...).
+#pragma once
+
+#include "snapshot/series.h"
+#include "synth/plan.h"
+
+namespace spider {
+
+struct InferenceStats {
+  std::size_t users = 0;
+  std::size_t projects = 0;
+  std::size_t memberships = 0;
+  /// Projects whose name prefix did not match any known domain tag; they
+  /// are filed under General ("gen").
+  std::size_t unmatched_projects = 0;
+};
+
+/// One pass over `source`; returns a plan suitable for Resolver/FullStudy.
+/// Users are ordered by first appearance; a user's primary domain is the
+/// domain where they own the most entries.
+FacilityPlan infer_facility(SnapshotSource& source,
+                            InferenceStats* stats = nullptr);
+
+}  // namespace spider

@@ -1,0 +1,37 @@
+// Programming-language <-> file-extension mapping used by both sides of the
+// loop: the generator emits source files from it, and the Fig 11/12 study
+// counts files back into languages through it.
+//
+// The mapping deliberately reproduces the paper's quirks: it ranks purely
+// by file-extension counts, so ".pl" lands on Prolog (which is why Prolog
+// implausibly ranks 8th in the paper — Perl scripts count as Prolog) and
+// ".m" on Matlab. ".d" is NOT mapped to D: Materials Science emits ".d"
+// *data* files at 15.9% share, which would otherwise rocket D into the top
+// five. IEEE Spectrum ranks are carried for the Fig 11 comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace spider {
+
+struct LanguageInfo {
+  const char* name;       // "Fortran"
+  int ieee_rank;          // IEEE Spectrum 2017 rank (paper Fig 11 parens)
+  const char* exts[5];    // nullptr-terminated extension list
+  double base_weight;     // global generation weight among source files
+};
+
+/// All modeled languages (30, mirroring the paper's Fig 11 width), ordered
+/// by target popularity in the synthetic facility.
+std::span<const LanguageInfo> languages();
+
+/// Index into languages() of the language owning `ext`, or -1.
+/// Extension matching is case-sensitive ("F" is Fortran, "f" too; "R" is R).
+int language_for_extension(std::string_view ext);
+
+/// Index of a language by name, or -1.
+int language_index(std::string_view name);
+
+}  // namespace spider

@@ -1,0 +1,371 @@
+#include "synth/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/components.h"
+#include "util/prng.h"
+
+namespace spider {
+
+namespace {
+
+constexpr std::uint32_t kUidBase = 10000;
+constexpr std::uint32_t kGidBase = 3000;
+constexpr std::size_t kTargetUsers = 1362;  // paper §4.1.1
+
+/// Table 3's component-size histogram: {size, count}, descending size.
+/// The giant (1,259-vertex) component is wired separately.
+constexpr std::pair<int, int> kSmallComponentHistogram[] = {
+    {18, 1}, {14, 1}, {11, 1}, {9, 2}, {8, 1},
+    {7, 6},  {5, 7},  {4, 15}, {3, 31}, {2, 94},
+};
+
+std::string project_name(const DomainProfile& domain, int seq) {
+  return std::string(domain.id) + std::to_string(101 + seq);
+}
+
+/// Samples a giant-component user's project count. Tuned so the *overall*
+/// Fig 6(a) quantiles land (>60% of all users in >1 project, ~20% in >2,
+/// ~2% in >=8) after accounting for the ~23% of users who live in small
+/// single-project communities and mostly have degree 1.
+int sample_user_degree(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.22) return 1;
+  if (u < 0.74) return 2;
+  if (u < 0.974) {
+    static const std::vector<double> w = power_law_weights(3, 7, 1.6);
+    return 3 + static_cast<int>(rng.weighted_pick(w));
+  }
+  return 8 + static_cast<int>(rng.uniform_u64(5));
+}
+
+OrgType sample_org(Rng& rng) {
+  const double weights[] = {kOrgShare[0], kOrgShare[1], kOrgShare[2],
+                            kOrgShare[3]};
+  return static_cast<OrgType>(rng.weighted_pick(weights));
+}
+
+}  // namespace
+
+int FacilityPlan::user_index(std::uint32_t uid) const {
+  const auto it = user_by_uid.find(uid);
+  return it == user_by_uid.end() ? -1 : static_cast<int>(it->second);
+}
+
+int FacilityPlan::project_index(std::string_view name) const {
+  const auto it = project_by_name.find(std::string(name));
+  return it == project_by_name.end() ? -1 : static_cast<int>(it->second);
+}
+
+FacilityPlan plan_facility(std::uint64_t seed) {
+  Rng rng(seed);
+  FacilityPlan plan;
+  const auto domains = domain_profiles();
+
+  // --- 1. Projects, and each domain's giant-component quota --------------
+  std::vector<std::uint32_t> giant_projects;
+  std::vector<std::uint32_t> small_projects;
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    const DomainProfile& domain = domains[d];
+    const int giant_quota = static_cast<int>(
+        std::lround(domain.network_pct / 100.0 * domain.projects));
+    for (int k = 0; k < domain.projects; ++k) {
+      ProjectInfo project;
+      project.name = project_name(domain, k);
+      project.domain = static_cast<int>(d);
+      project.giant_intent = k < giant_quota;
+      const std::uint32_t index =
+          static_cast<std::uint32_t>(plan.projects.size());
+      (project.giant_intent ? giant_projects : small_projects)
+          .push_back(index);
+      plan.projects.push_back(std::move(project));
+    }
+  }
+
+  auto new_user = [&plan, &rng](int primary_domain) -> std::uint32_t {
+    const std::uint32_t index = static_cast<std::uint32_t>(plan.users.size());
+    UserAccount user;
+    user.uid = kUidBase + index;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "u%04u", index);
+    user.name = buf;
+    user.primary_domain = primary_domain;
+    user.org = sample_org(rng);
+    plan.users.push_back(std::move(user));
+    return index;
+  };
+
+  // --- 2. Small disjoint communities (Table 3 histogram) -----------------
+  // Build the component plan: sizes descending; each component holds one
+  // project, and surplus small projects double up in the largest ones.
+  std::vector<int> component_sizes;
+  for (const auto& [size, count] : kSmallComponentHistogram) {
+    for (int i = 0; i < count; ++i) component_sizes.push_back(size);
+  }
+  rng.shuffle(small_projects);
+  while (small_projects.size() < component_sizes.size()) {
+    component_sizes.pop_back();  // fewer small projects than planned comps
+  }
+
+  std::size_t next_small = 0;
+  std::size_t doubled = small_projects.size() - component_sizes.size();
+  for (std::size_t c = 0; c < component_sizes.size(); ++c) {
+    const int size = component_sizes[c];
+    std::vector<std::uint32_t> comp_projects{small_projects[next_small++]};
+    if (doubled > 0 && size >= 3) {
+      comp_projects.push_back(small_projects[next_small++]);
+      --doubled;
+    }
+    const int user_count =
+        std::max(1, size - static_cast<int>(comp_projects.size()));
+    const int primary = plan.projects[comp_projects[0]].domain;
+    std::vector<std::uint32_t> comp_users;
+    for (int u = 0; u < user_count; ++u) {
+      comp_users.push_back(new_user(primary));
+    }
+    // Everybody joins the first project; the second project (if any) gets
+    // the tail half plus a bridge user so the component stays connected.
+    plan.projects[comp_projects[0]].members = comp_users;
+    if (comp_projects.size() == 2) {
+      auto& second = plan.projects[comp_projects[1]].members;
+      second.assign(comp_users.begin() + comp_users.size() / 2,
+                    comp_users.end());
+      if (second.empty()) second.push_back(comp_users.front());
+    }
+  }
+  // Any leftover small projects (when the histogram ran out) become
+  // singleton communities of one user each.
+  while (next_small < small_projects.size()) {
+    const std::uint32_t p = small_projects[next_small++];
+    plan.projects[p].members.push_back(new_user(plan.projects[p].domain));
+  }
+
+  // --- 3. Giant-component users ------------------------------------------
+  const std::size_t giant_user_count =
+      kTargetUsers > plan.users.size() ? kTargetUsers - plan.users.size() : 0;
+
+  // Primary-domain demand: proportional to each domain's giant projects
+  // weighted by its membership appetite (Fig 6(c) medians).
+  std::vector<double> domain_demand(domains.size(), 0.0);
+  for (const std::uint32_t p : giant_projects) {
+    const int d = plan.projects[p].domain;
+    domain_demand[static_cast<std::size_t>(d)] +=
+        domains[static_cast<std::size_t>(d)].median_project_users;
+  }
+  const AliasSampler demand_sampler{std::span<const double>(domain_demand)};
+
+  std::vector<std::uint32_t> giant_users;
+  for (std::size_t i = 0; i < giant_user_count; ++i) {
+    giant_users.push_back(
+        new_user(static_cast<int>(demand_sampler.sample(rng))));
+  }
+
+  // Giant projects per domain, for affinity-guided matching.
+  std::vector<std::vector<std::uint32_t>> giant_by_domain(domains.size());
+  for (const std::uint32_t p : giant_projects) {
+    giant_by_domain[static_cast<std::size_t>(plan.projects[p].domain)]
+        .push_back(p);
+  }
+  std::vector<double> giant_domain_weight(domains.size(), 0.0);
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    giant_domain_weight[d] = static_cast<double>(giant_by_domain[d].size());
+  }
+  const AliasSampler any_domain_sampler{
+      std::span<const double>(giant_domain_weight)};
+
+  auto join = [&plan](std::uint32_t user, std::uint32_t project) -> bool {
+    auto& members = plan.projects[project].members;
+    if (std::find(members.begin(), members.end(), user) != members.end()) {
+      return false;
+    }
+    members.push_back(user);
+    return true;
+  };
+
+  // --- 4. User-driven affinity matching ----------------------------------
+  if (!giant_projects.empty()) {
+    std::vector<std::uint32_t> order = giant_users;
+    rng.shuffle(order);
+    for (const std::uint32_t user : order) {
+      const int degree = sample_user_degree(rng);
+      // Heavy participants need a domain with enough projects; otherwise
+      // two of them would share nearly the whole domain and overtake the
+      // paper's six-project extreme pair.
+      if (degree >= 8) {
+        const std::size_t primary_pool_size =
+            giant_by_domain[static_cast<std::size_t>(
+                                plan.users[user].primary_domain)]
+                .size();
+        if (primary_pool_size < 30) {
+          for (int attempt = 0; attempt < 64; ++attempt) {
+            const std::size_t d = any_domain_sampler.sample(rng);
+            if (giant_by_domain[d].size() >= 30) {
+              plan.users[user].primary_domain = static_cast<int>(d);
+              break;
+            }
+          }
+        }
+      }
+      // Heavy participants concentrate in their own domain — the paper's
+      // "2% of users joined eight or more projects in a science domain".
+      // High affinity keeps cross-domain links scarce, which keeps the
+      // giant component thin and its diameter long (the paper measured 18).
+      const double affinity = degree >= 8 ? 0.94 : 0.84;
+      const std::size_t primary =
+          static_cast<std::size_t>(plan.users[user].primary_domain);
+      for (int slot = 0; slot < degree; ++slot) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          std::size_t d = primary;
+          if (giant_by_domain[d].empty() || !rng.chance(affinity)) {
+            d = any_domain_sampler.sample(rng);
+          }
+          const auto& pool = giant_by_domain[d];
+          if (pool.empty()) continue;
+          if (join(user, pool[rng.uniform_u64(pool.size())])) break;
+        }
+      }
+    }
+  }
+
+  // --- 5. Forced structures ----------------------------------------------
+  // The extreme pair: two climate users sharing five cli projects and one
+  // csc project (paper §4.3.3).
+  const int cli = domain_index("cli");
+  const int csc = domain_index("csc");
+  if (cli >= 0 && csc >= 0 && !giant_users.empty() &&
+      giant_by_domain[static_cast<std::size_t>(cli)].size() >= 5 &&
+      !giant_by_domain[static_cast<std::size_t>(csc)].empty()) {
+    std::uint32_t pair[2];
+    for (int i = 0; i < 2; ++i) {
+      pair[i] = giant_users[rng.uniform_u64(giant_users.size())];
+      plan.users[pair[i]].primary_domain = cli;
+    }
+    if (pair[0] != pair[1]) {
+      for (int k = 0; k < 5; ++k) {
+        const std::uint32_t p =
+            giant_by_domain[static_cast<std::size_t>(cli)][static_cast<std::size_t>(k)];
+        join(pair[0], p);
+        join(pair[1], p);
+      }
+      const auto& cscs = giant_by_domain[static_cast<std::size_t>(csc)];
+      const std::uint32_t p = cscs[rng.uniform_u64(cscs.size())];
+      join(pair[0], p);
+      join(pair[1], p);
+    }
+  }
+
+  // Hub entities: staff/csc liaison users joined to several central
+  // projects (the paper found 2 stf + 2 csc + 1 env + 1 chp projects and 6
+  // users at the network center).
+  const int stf = domain_index("stf");
+  const int env = domain_index("env");
+  const int chp = domain_index("chp");
+  std::vector<std::uint32_t> hub_projects;
+  auto take_hubs = [&](int d, std::size_t n) {
+    if (d < 0) return;
+    const auto& pool = giant_by_domain[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < std::min(n, pool.size()); ++i) {
+      hub_projects.push_back(pool[i]);
+    }
+  };
+  take_hubs(stf, 2);
+  take_hubs(csc, 2);
+  take_hubs(env, 1);
+  take_hubs(chp, 1);
+  if (!giant_users.empty()) {
+    for (int h = 0; h < 6; ++h) {
+      const std::uint32_t user =
+          giant_users[rng.uniform_u64(giant_users.size())];
+      if (h < 4 && stf >= 0) plan.users[user].primary_domain = stf;
+      for (const std::uint32_t p : hub_projects) {
+        if (rng.chance(0.4)) join(user, p);
+      }
+    }
+  }
+
+  // --- 6. Connectivity repair ---------------------------------------------
+  // The giant-intended subgraph must be one component. Fragments are
+  // chained bridge-to-bridge (not star-merged) so path lengths — and hence
+  // the component diameter the paper reports — stay long.
+  if (!giant_projects.empty() && !giant_users.empty()) {
+    const std::uint32_t nu = static_cast<std::uint32_t>(plan.users.size());
+    const std::uint32_t np = static_cast<std::uint32_t>(plan.projects.size());
+    UnionFind uf(nu + np);
+    for (const std::uint32_t p : giant_projects) {
+      for (const std::uint32_t u : plan.projects[p].members) {
+        uf.unite(u, nu + p);
+      }
+    }
+    // Representative project of each fragment, in deterministic order.
+    std::vector<std::uint32_t> fragment_reps;
+    std::vector<std::uint8_t> seen(nu + np, 0);
+    for (const std::uint32_t p : giant_projects) {
+      const VertexId root = uf.find(nu + p);
+      if (!seen[root]) {
+        seen[root] = 1;
+        fragment_reps.push_back(p);
+      }
+    }
+    for (std::size_t f = 1; f < fragment_reps.size(); ++f) {
+      // Bridge: one member of fragment f joins fragment f-1's project.
+      const std::uint32_t from = fragment_reps[f];
+      const std::uint32_t to = fragment_reps[f - 1];
+      if (plan.projects[from].members.empty()) {
+        plan.projects[from].members.push_back(
+            giant_users[rng.uniform_u64(giant_users.size())]);
+      }
+      const std::uint32_t bridge = plan.projects[from].members.front();
+      join(bridge, to);
+      uf.unite(bridge, nu + to);
+      uf.unite(bridge, nu + from);
+    }
+    // Users the matching never placed (possible at degree-slot collisions)
+    // join one project of their primary domain so every planned user is
+    // active.
+    std::vector<std::uint32_t> membership_count(plan.users.size(), 0);
+    for (const ProjectInfo& project : plan.projects) {
+      for (const std::uint32_t u : project.members) ++membership_count[u];
+    }
+    for (const std::uint32_t user : giant_users) {
+      if (membership_count[user] == 0) {
+        const std::size_t d =
+            static_cast<std::size_t>(plan.users[user].primary_domain);
+        const auto& pool =
+            giant_by_domain[d].empty() ? giant_projects : giant_by_domain[d];
+        join(user, pool[rng.uniform_u64(pool.size())]);
+      }
+    }
+  }
+
+  // Projects that still have no members (e.g. a giant quota of a domain
+  // with no users drawn) get one dedicated user so every allocation is
+  // active, as in the study (all 380 projects produced files).
+  for (std::uint32_t p = 0; p < plan.projects.size(); ++p) {
+    if (plan.projects[p].members.empty()) {
+      plan.projects[p].members.push_back(new_user(plan.projects[p].domain));
+    }
+  }
+
+  // --- 7. Staff users are government; finalize ids and maps ---------------
+  const int stf_index = domain_index("stf");
+  for (UserAccount& user : plan.users) {
+    if (user.primary_domain == stf_index) user.org = OrgType::kGovernment;
+  }
+  for (std::uint32_t p = 0; p < plan.projects.size(); ++p) {
+    plan.projects[p].gid = kGidBase + p;
+    std::sort(plan.projects[p].members.begin(),
+              plan.projects[p].members.end());
+    for (const std::uint32_t u : plan.projects[p].members) {
+      plan.memberships.push_back(MembershipEdge{u, p});
+    }
+    plan.project_by_gid[plan.projects[p].gid] = p;
+    plan.project_by_name[plan.projects[p].name] = p;
+  }
+  for (std::uint32_t u = 0; u < plan.users.size(); ++u) {
+    plan.user_by_uid[plan.users[u].uid] = u;
+  }
+  return plan;
+}
+
+}  // namespace spider

@@ -1,0 +1,77 @@
+// Facility planning: who the users are, which projects exist, and which
+// users generate files in which projects — i.e. the ground-truth
+// file-generation network of the synthetic facility.
+//
+// The planner targets, at full scale (nothing here depends on the file
+// scale factor):
+//   * 1,362 active users across 380 projects in 35 domains (paper §4.1.1);
+//   * org mix: >50% government, ~24% academia, ~19% industry (Fig 5(a));
+//   * projects-per-user distribution: 40% one project, 40% two, 18% three
+//     to seven, 2% eight or more (Fig 6(a) quantiles);
+//   * per-domain P(project in giant component) = Table 1 "Network (%)";
+//   * small disjoint communities matching Table 3's size histogram, one
+//     giant component of ~1,259 vertices;
+//   * high-membership domains (env/nfi/chp/cli, stf) with >10 median users
+//     per project (Fig 6(c));
+//   * an extreme collaborating pair sharing five cli projects plus one csc
+//     project (§4.3.3), and stf/csc hub entities at the network center.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "synth/domains.h"
+
+namespace spider {
+
+enum class OrgType : std::uint8_t {
+  kGovernment = 0,
+  kAcademia = 1,
+  kIndustry = 2,
+  kOther = 3,
+};
+
+inline constexpr std::size_t kOrgTypeCount = 4;
+
+/// Fig 5(a) shares.
+inline constexpr double kOrgShare[kOrgTypeCount] = {0.52, 0.24, 0.19, 0.05};
+
+struct UserAccount {
+  std::uint32_t uid = 0;   // POSIX uid (10000 + dense index)
+  std::string name;        // "u0042"
+  OrgType org = OrgType::kGovernment;
+  int primary_domain = 0;  // index into domain_profiles()
+};
+
+struct ProjectInfo {
+  std::string name;  // "<domain><100+seq>", e.g. "cli104"
+  int domain = 0;
+  std::uint32_t gid = 0;  // POSIX gid (3000 + dense index)
+  std::vector<std::uint32_t> members;  // dense user indices
+  bool giant_intent = false;  // planner meant this for the giant component
+};
+
+struct FacilityPlan {
+  std::vector<UserAccount> users;
+  std::vector<ProjectInfo> projects;
+
+  /// Flattened user-project incidence (derived from projects[].members).
+  std::vector<MembershipEdge> memberships;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> user_by_uid;
+  std::unordered_map<std::uint32_t, std::uint32_t> project_by_gid;
+  std::unordered_map<std::string, std::uint32_t> project_by_name;
+
+  /// Dense user index for a uid; -1 when unknown.
+  int user_index(std::uint32_t uid) const;
+  /// Dense project index for a project directory name; -1 when unknown.
+  int project_index(std::string_view name) const;
+};
+
+/// Deterministically plans the whole facility from one seed.
+FacilityPlan plan_facility(std::uint64_t seed);
+
+}  // namespace spider

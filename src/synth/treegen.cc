@@ -1,0 +1,135 @@
+#include "synth/treegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace spider {
+
+namespace {
+
+/// Directory-name vocabulary; scientific trees are full of these.
+constexpr const char* kDirWords[] = {
+    "run",    "data",   "analysis", "output",  "restart", "src",
+    "results", "input",  "post",     "viz",     "case",    "step",
+    "configs", "tmp",    "archive",  "batch",   "grid",    "test",
+};
+
+}  // namespace
+
+ProjectTree::ProjectTree(std::string root, const DomainProfile& profile,
+                         Rng rng)
+    : profile_(profile), rng_(rng) {
+  path_hashes_.insert(hash_bytes(root));
+  paths_.push_back(std::move(root));
+  // Root lives at /lustre/atlas2/<project> — 3 components.
+  depths_.push_back(3);
+  uids_.push_back(0);
+  ctimes_.push_back(0);
+}
+
+std::size_t ProjectTree::add_dir(std::size_t parent, std::string_view name,
+                                 std::uint32_t uid, bool can_be_hot) {
+  const std::size_t id = paths_.size();
+  std::string path = paths_[parent];
+  path += '/';
+  path += name;
+  // Random word+number names can collide under one parent; a file system
+  // is a tree, so disambiguate with a sibling counter.
+  if (!path_hashes_.insert(hash_bytes(path))) {
+    std::size_t salt = 0;
+    std::string candidate;
+    do {
+      candidate = path + "_" + std::to_string(salt++);
+    } while (!path_hashes_.insert(hash_bytes(candidate)));
+    path = std::move(candidate);
+  }
+  paths_.push_back(std::move(path));
+  depths_.push_back(static_cast<std::uint16_t>(depths_[parent] + 1));
+  uids_.push_back(uid);
+  ctimes_.push_back(now_);
+  // A minority of directories become "hot" and absorb most files,
+  // reproducing the files-per-directory concentration the paper observes.
+  if (can_be_hot && (hot_dirs_.empty() || rng_.chance(0.15))) {
+    hot_dirs_.push_back(static_cast<std::uint32_t>(id));
+  }
+  return id;
+}
+
+std::size_t ProjectTree::ensure_user_dir(std::string_view user_name,
+                                         std::uint32_t uid) {
+  for (const std::uint32_t id : user_dirs_) {
+    const std::string& p = paths_[id];
+    const std::size_t slash = p.rfind('/');
+    if (p.compare(slash + 1, std::string::npos, user_name) == 0) return id;
+  }
+  const std::size_t id = add_dir(0, user_name, uid, /*can_be_hot=*/true);
+  user_dirs_.push_back(static_cast<std::uint32_t>(id));
+  // The first member owns the project root (the PI's allocation dir).
+  if (uids_[0] == 0) uids_[0] = uid;
+  return id;
+}
+
+void ProjectTree::grow(std::size_t count) {
+  if (user_dirs_.empty() || count == 0) return;
+  // Content directories target path depths sampled around the domain
+  // median (Table 1), built as chains descending from an existing anchor.
+  const double median_extra =
+      std::max(1.0, static_cast<double>(profile_.depth_median) - 4.0);
+  const double mu = std::log(median_extra);
+
+  std::size_t budget = count;
+  while (budget > 0) {
+    const std::size_t anchor =
+        user_dirs_[rng_.uniform_u64(user_dirs_.size())];
+    const int cap = std::min<int>(profile_.depth_max - 1, 64);
+    int target_depth = static_cast<int>(
+        std::lround(4.0 + rng_.lognormal(mu, 0.35)));
+    target_depth = std::clamp(target_depth, 5, std::max(5, cap));
+
+    std::size_t parent = anchor;
+    while (depths_[parent] + 1 < target_depth && budget > 0) {
+      const char* word = kDirWords[rng_.uniform_u64(std::size(kDirWords))];
+      std::string name = std::string(word) +
+                         std::to_string(rng_.uniform_u64(1000));
+      parent = add_dir(parent, name, uids_[anchor], /*can_be_hot=*/true);
+      --budget;
+    }
+    if (budget > 0) {
+      const char* word = kDirWords[rng_.uniform_u64(std::size(kDirWords))];
+      add_dir(parent,
+              std::string(word) + std::to_string(rng_.uniform_u64(1000)),
+              uids_[anchor], /*can_be_hot=*/true);
+      --budget;
+    }
+  }
+}
+
+void ProjectTree::add_deep_chain(std::size_t target_depth, std::uint32_t uid) {
+  std::size_t parent =
+      user_dirs_.empty() ? 0 : user_dirs_[rng_.uniform_u64(user_dirs_.size())];
+  // The chain id keeps multiple chains under one anchor disjoint.
+  const std::string prefix = "c" + std::to_string(chain_count_++) + "_";
+  std::size_t level = 0;
+  while (depths_[parent] + 1 <= target_depth) {
+    parent = add_dir(parent, prefix + std::to_string(level++), uid,
+                     /*can_be_hot=*/false);
+  }
+}
+
+std::size_t ProjectTree::sample_file_dir(Rng& rng) const {
+  // 85% of placements go to the hot set, biased hard toward its head
+  // (cubed-uniform index), so a handful of directories absorb most files —
+  // the paper's "large number of files within a single directory".
+  if (!hot_dirs_.empty() && rng.chance(0.85)) {
+    const double u = rng.uniform();
+    const auto index = static_cast<std::size_t>(
+        u * u * u * static_cast<double>(hot_dirs_.size()));
+    return hot_dirs_[std::min(index, hot_dirs_.size() - 1)];
+  }
+  if (paths_.size() <= 1) return 0;
+  return 1 + rng.uniform_u64(paths_.size() - 1);  // skip the root
+}
+
+}  // namespace spider

@@ -1,0 +1,5 @@
+#include "util/arena.h"
+
+// StringArena is header-only; this translation unit exists so the library
+// has a home for future out-of-line definitions and so the header is
+// compiled standalone at least once.

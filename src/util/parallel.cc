@@ -1,0 +1,115 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace spider {
+
+namespace {
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_current_pool == this; }
+
+void ThreadPool::worker_loop() {
+  tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+namespace detail {
+
+void parallel_chunks(ThreadPool& pool, std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+
+  // Inline execution when the work is tiny or we are already inside a
+  // worker (avoids pool-on-pool deadlock for nested parallel regions). The
+  // chunking contract (no chunk exceeds `grain`) holds on this path too.
+  if (n <= grain || pool.size() <= 1 || pool.on_worker_thread()) {
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(num_chunks);
+  auto done_mu = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+
+  auto drain = [next, remaining, done_mu, done_cv, n, grain, num_chunks,
+                &fn]() {
+    for (;;) {
+      const std::size_t c = next->fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      fn(begin, end);
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(*done_mu);
+        done_cv->notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker; each drains chunks from the shared counter.
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<std::size_t>(pool.size(), num_chunks));
+  for (unsigned i = 0; i + 1 < helpers; ++i) pool.submit(drain);
+
+  // The caller participates too, so progress never depends on queue
+  // position behind unrelated long-running tasks.
+  drain();
+
+  std::unique_lock<std::mutex> lock(*done_mu);
+  done_cv->wait(lock, [&] {
+    return remaining->load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace detail
+
+}  // namespace spider

@@ -1,0 +1,211 @@
+#include "util/prng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace spider {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // All-zero state is the one invalid state for xoshiro; SplitMix64 cannot
+  // produce four zero outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is nudged away from 0 so log() stays finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean > 64.0) {
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(draw));
+  }
+  // Knuth: multiply uniforms until the product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights)
+    if (w > 0) total += w;
+  if (total <= 0.0) return weights.empty() ? 0 : uniform_u64(weights.size());
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) {
+      target -= weights[i];
+      if (target <= 0.0) return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  std::vector<double> w(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = weights[i];
+    if (x > 0 && std::isfinite(x)) {
+      w[i] = x;
+      total += x;
+    }
+  }
+  if (total <= 0.0) {
+    // Degenerate: uniform.
+    for (std::size_t i = 0; i < n; ++i) {
+      prob_[i] = 1.0;
+      alias_[i] = static_cast<std::uint32_t>(i);
+    }
+    return;
+  }
+
+  // Vose's stable construction with small/large worklists.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = w[i] * n / total;
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (std::uint32_t s : small) {  // numeric leftovers
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t i = rng.uniform_u64(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<double> power_law_weights(std::size_t kmin, std::size_t kmax,
+                                      double alpha) {
+  std::vector<double> w;
+  w.reserve(kmax - kmin + 1);
+  for (std::size_t k = kmin; k <= kmax; ++k) {
+    w.push_back(std::pow(static_cast<double>(k), -alpha));
+  }
+  return w;
+}
+
+}  // namespace spider

@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation and samplers.
+//
+// Every stochastic component in the project draws from these generators with
+// an explicit 64-bit seed, so the whole study (generator + analyses) is
+// bit-reproducible across runs and platforms. std:: distributions are
+// deliberately avoided: their output is implementation-defined, which would
+// make the calibration tests flaky across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spider {
+
+/// SplitMix64: tiny, statistically solid generator used for seeding and for
+/// one-shot hashing of seeds. (Vigna, 2015.)
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna): the project-wide workhorse PRNG.
+/// Small state, fast, passes BigCrush; good enough for simulation work.
+class Rng {
+ public:
+  /// Seeds the four state words via SplitMix64, per the reference guidance.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be nonzero. Uses Lemire's multiply-shift
+  /// rejection method to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Poisson with the given mean. Knuth's method for small means, a
+  /// normal approximation (rounded, clamped at 0) for mean > 64.
+  std::uint64_t poisson(double mean);
+
+  /// Derive an independent child generator; used to hand each simulated
+  /// entity (project, user, week) its own stream without correlation.
+  Rng fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Linear scan; use AliasSampler for repeated draws from one table.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+/// Walker/Vose alias method: O(1) sampling from a fixed discrete
+/// distribution after O(n) setup. Used for extension mixes, language mixes,
+/// and domain weights, which are sampled millions of times.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+  /// Weights need not be normalized; negative/NaN weights are treated as 0.
+  /// An all-zero table degenerates to uniform.
+  explicit AliasSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Zipf(s) sampler over ranks {1..n} via inverse-CDF on a precomputed
+/// cumulative table. Heavy-tailed popularity (file reuse, membership
+/// degrees) follows Zipf in this project, matching the paper's power-law
+/// observations.
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Bounded discrete power-law sampler: P(k) ~ k^-alpha for k in [kmin,kmax].
+std::vector<double> power_law_weights(std::size_t kmin, std::size_t kmax,
+                                      double alpha);
+
+}  // namespace spider

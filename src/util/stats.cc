@@ -1,0 +1,182 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> sample, double p) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+FiveNumber five_number_summary(std::span<const double> sample) {
+  FiveNumber fn;
+  if (sample.empty()) return fn;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  fn.min = copy.front();
+  fn.max = copy.back();
+  fn.q25 = percentile_sorted(copy, 25.0);
+  fn.median = percentile_sorted(copy, 50.0);
+  fn.q75 = percentile_sorted(copy, 75.0);
+  fn.count = copy.size();
+  return fn;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  return percentile_sorted(sorted_, clamped * 100.0);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q =
+        points == 1 ? 1.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    const double x = quantile(q);
+    out.emplace_back(x, fraction_at_most(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.n = n;
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit log_log_fit(std::span<const std::uint64_t> count_by_value) {
+  std::vector<double> lx, ly;
+  for (std::size_t v = 1; v < count_by_value.size(); ++v) {
+    if (count_by_value[v] == 0) continue;
+    lx.push_back(std::log10(static_cast<double>(v)));
+    ly.push_back(std::log10(static_cast<double>(count_by_value[v])));
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace spider

@@ -1,0 +1,115 @@
+// Streaming and batch statistics used throughout the analyses: Welford
+// accumulators, coefficient of variation (the paper's burstiness metric),
+// percentiles, empirical CDFs, histograms, and log-log least squares (the
+// power-law fit for the file-generation network).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// Numerically stable single-pass accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (Chan et al. parallel combination); enables
+  /// per-thread accumulation followed by a reduction.
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); the paper's cv uses population
+  /// moments of the observed timestamps.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation, stddev/mean; 0 when the mean is 0.
+  double cv() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary (min, q25, median, q75, max), as plotted in the
+/// paper's Figure 9 (directory depth) and Figure 17 (burstiness).
+struct FiveNumber {
+  double min = 0, q25 = 0, median = 0, q75 = 0, max = 0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample; p in [0, 100].
+/// Sorts a copy; use percentile_sorted for pre-sorted data.
+double percentile(std::span<const double> sample, double p);
+double percentile_sorted(std::span<const double> sorted, double p);
+
+FiveNumber five_number_summary(std::span<const double> sample);
+
+/// Empirical CDF over a sample; supports both directions of query used in
+/// the paper's CDF figures (Fig 6, Fig 8).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  /// P(X <= x).
+  double fraction_at_most(double x) const;
+  /// Smallest x with P(X <= x) >= q, q in [0, 1].
+  double quantile(double q) const;
+  std::size_t count() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evenly spaced (x, F(x)) points for plotting / report output.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  void merge(const Histogram& other);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ordinary least squares fit y = slope * x + intercept with R^2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  std::size_t n = 0;
+};
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits log10(count) vs log10(degree) over a degree histogram; the returned
+/// slope is the power-law exponent (negative for a decaying tail). Zero
+/// counts are skipped. Mirrors the paper's Figure 18(b) analysis.
+LinearFit log_log_fit(std::span<const std::uint64_t> count_by_value);
+
+}  // namespace spider

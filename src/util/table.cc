@@ -1,0 +1,134 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace spider {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void AsciiTable::set_alignment(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cell;
+      if (aligns_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_row(os, header_);
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string format_with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_count(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  if (*suffix == '\0' && v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_cv(double value) {
+  char buf[64];
+  if (value != 0.0 && std::abs(value) < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.2e", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+  }
+  return buf;
+}
+
+}  // namespace spider

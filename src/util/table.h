@@ -1,0 +1,56 @@
+// ASCII report rendering: every bench harness prints its table/figure as an
+// aligned text table (the "same rows/series the paper reports"), so output
+// is diffable and greppable. Also hosts small numeric formatting helpers
+// (K/M/B suffixes, percentages) shared by the reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// Column alignment for AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Minimal aligned-text table. Usage:
+///   AsciiTable t({"domain", "#entries", "share"});
+///   t.add_row({"bip", "595,564", "14.6%"});
+///   t.print(std::cout);
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void set_alignment(std::size_t column, Align align);
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal rule between row groups.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+  std::vector<Align> aligns_;
+};
+
+/// 1234567 -> "1,234,567".
+std::string format_with_commas(std::uint64_t value);
+
+/// 1234567 -> "1.23M"; 1234 -> "1.23K"; keeps three significant digits.
+std::string format_count(double value);
+
+/// 0.4215 -> "42.15%" (two decimals).
+std::string format_percent(double fraction);
+
+/// Fixed-precision double.
+std::string format_double(double value, int decimals);
+
+/// Scientific-ish compact for small cv values: 0.00234 -> "2.34e-03" when
+/// |value| < 0.01, fixed otherwise.
+std::string format_cv(double value);
+
+}  // namespace spider

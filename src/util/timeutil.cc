@@ -1,0 +1,63 @@
+#include "util/timeutil.h"
+
+#include <cstdio>
+
+namespace spider {
+
+std::int64_t days_from_civil(const CivilDate& date) {
+  // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  const int y = date.year - (date.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (date.month + (date.month > 2 ? -3 : 9)) + 2) / 5 + date.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  CivilDate date;
+  date.year = static_cast<int>(y + (m <= 2 ? 1 : 0));
+  date.month = m;
+  date.day = d;
+  return date;
+}
+
+std::int64_t epoch_from_civil(const CivilDate& date) {
+  return days_from_civil(date) * kSecondsPerDay;
+}
+
+CivilDate civil_from_epoch(std::int64_t epoch_seconds) {
+  std::int64_t days = epoch_seconds / kSecondsPerDay;
+  if (epoch_seconds < 0 && epoch_seconds % kSecondsPerDay != 0) --days;
+  return civil_from_days(days);
+}
+
+std::string date_tag(std::int64_t epoch_seconds) {
+  const CivilDate d = civil_from_epoch(epoch_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d%02u%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string date_iso(std::int64_t epoch_seconds) {
+  const CivilDate d = civil_from_epoch(epoch_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+double seconds_to_days(std::int64_t seconds) {
+  return static_cast<double>(seconds) / static_cast<double>(kSecondsPerDay);
+}
+
+}  // namespace spider

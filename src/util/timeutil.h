@@ -1,0 +1,46 @@
+// Civil-date <-> epoch-second conversions and study-calendar helpers.
+//
+// The study spans January 2015 – August 2016, sampled weekly (the paper
+// uses one snapshot per week out of the daily collection, 72 snapshot dates
+// with a few maintenance gaps). All timestamps in the project are POSIX
+// epoch seconds (UTC), matching the LustreDU record fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spider {
+
+inline constexpr std::int64_t kSecondsPerDay = 86'400;
+inline constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1-12
+  unsigned day = 1;    // 1-31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date
+/// (Howard Hinnant's days_from_civil algorithm).
+std::int64_t days_from_civil(const CivilDate& date);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days_since_epoch);
+
+/// Epoch seconds at 00:00 UTC of the given civil date.
+std::int64_t epoch_from_civil(const CivilDate& date);
+
+CivilDate civil_from_epoch(std::int64_t epoch_seconds);
+
+/// "20150126"-style tag, as used in the paper's snapshot names.
+std::string date_tag(std::int64_t epoch_seconds);
+
+/// "2015-01-26".
+std::string date_iso(std::int64_t epoch_seconds);
+
+/// Fractional days between two epoch timestamps.
+double seconds_to_days(std::int64_t seconds);
+
+}  // namespace spider

@@ -1,0 +1,136 @@
+#include "engine/purge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "snapshot/series.h"
+#include "util/timeutil.h"
+
+namespace spider {
+namespace {
+
+constexpr std::int64_t kNow = 1'470'000'000;
+
+RawRecord make_file(const std::string& path, int age_days) {
+  RawRecord rec;
+  rec.path = path;
+  rec.atime = kNow - age_days * kSecondsPerDay;
+  rec.ctime = rec.mtime = rec.atime - kSecondsPerDay;
+  rec.mode = kModeRegular | 0664;
+  rec.osts = {1};
+  return rec;
+}
+
+TEST(PurgeListTest, SelectsOnlyStaleFiles) {
+  SnapshotTable table;
+  table.add(make_file("/lustre/atlas2/cli101/u/fresh", 5));
+  table.add(make_file("/lustre/atlas2/cli101/u/edge", 89));
+  table.add(make_file("/lustre/atlas2/cli101/u/stale", 91));
+  table.add(make_file("/lustre/atlas2/nph101/u/ancient", 200));
+  RawRecord dir;
+  dir.path = "/lustre/atlas2/cli101/u";
+  dir.mode = kModeDirectory | 0775;
+  dir.atime = dir.ctime = dir.mtime = kNow - 500 * kSecondsPerDay;
+  table.add(dir);
+
+  const PurgeReport report = build_purge_list(table, kNow, PurgePolicy{});
+  EXPECT_EQ(report.scanned_files, 4u);
+  ASSERT_EQ(report.candidates(), 2u);
+  EXPECT_EQ(table.path(report.candidate_rows[0]),
+            "/lustre/atlas2/cli101/u/stale");
+  EXPECT_EQ(table.path(report.candidate_rows[1]),
+            "/lustre/atlas2/nph101/u/ancient");
+  EXPECT_DOUBLE_EQ(report.candidate_fraction(), 0.5);
+  EXPECT_EQ(report.by_project.at("cli101"), 1u);
+  EXPECT_EQ(report.by_project.at("nph101"), 1u);
+}
+
+TEST(PurgeListTest, WindowControlsSelection) {
+  SnapshotTable table;
+  table.add(make_file("/lustre/atlas2/p/u/a", 70));
+  PurgePolicy tight;
+  tight.age_days = 60;
+  PurgePolicy loose;
+  loose.age_days = 120;
+  EXPECT_EQ(build_purge_list(table, kNow, tight).candidates(), 1u);
+  EXPECT_EQ(build_purge_list(table, kNow, loose).candidates(), 0u);
+}
+
+TEST(PurgeListTest, ExemptionsHonored) {
+  SnapshotTable table;
+  table.add(make_file("/lustre/atlas2/cli101/u/stale", 120));
+  table.add(make_file("/lustre/atlas2/nph101/u/stale", 120));
+  PurgePolicy policy;
+  policy.exempt_projects = {"cli101"};
+  const PurgeReport report = build_purge_list(table, kNow, policy);
+  EXPECT_EQ(report.candidates(), 1u);
+  EXPECT_EQ(report.exempted_files, 1u);
+  EXPECT_EQ(table.path(report.candidate_rows[0]),
+            "/lustre/atlas2/nph101/u/stale");
+}
+
+TEST(PurgeListTest, EmptyTable) {
+  const SnapshotTable table;
+  const PurgeReport report = build_purge_list(table, kNow, PurgePolicy{});
+  EXPECT_EQ(report.candidates(), 0u);
+  EXPECT_DOUBLE_EQ(report.candidate_fraction(), 0.0);
+}
+
+TEST(PurgeListTest, WriteListEmitsPaths) {
+  SnapshotTable table;
+  table.add(make_file("/lustre/atlas2/p/u/stale1", 100));
+  table.add(make_file("/lustre/atlas2/p/u/stale2", 100));
+  const PurgeReport report = build_purge_list(table, kNow, PurgePolicy{});
+  std::ostringstream os;
+  const std::uint64_t bytes = write_purge_list(table, report, os);
+  EXPECT_EQ(os.str(),
+            "/lustre/atlas2/p/u/stale1\n/lustre/atlas2/p/u/stale2\n");
+  EXPECT_EQ(bytes, os.str().size());
+}
+
+TEST(PurgeListTest, LargeTableDeterministicOrder) {
+  SnapshotTable table;
+  for (int i = 0; i < 50'000; ++i) {
+    table.add(make_file("/lustre/atlas2/p/u/f" + std::to_string(i),
+                        i % 2 == 0 ? 10 : 120));
+  }
+  const PurgeReport report = build_purge_list(table, kNow, PurgePolicy{});
+  EXPECT_EQ(report.candidates(), 25'000u);
+  EXPECT_TRUE(std::is_sorted(report.candidate_rows.begin(),
+                             report.candidate_rows.end()));
+}
+
+TEST(StridedSourceTest, DeliversEveryNth) {
+  SnapshotSeries series;
+  for (int w = 0; w < 7; ++w) {
+    Snapshot snap;
+    snap.taken_at = 1000 + w;
+    series.add(std::move(snap));
+  }
+  StridedSource strided(series, 3);
+  EXPECT_EQ(strided.count(), 3u);  // weeks 0, 3, 6
+  std::vector<std::int64_t> seen;
+  std::vector<std::size_t> indices;
+  strided.visit([&](std::size_t week, const Snapshot& snap) {
+    indices.push_back(week);
+    seen.push_back(snap.taken_at);
+  });
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1000, 1003, 1006}));
+}
+
+TEST(StridedSourceTest, StrideOneIsIdentity) {
+  SnapshotSeries series;
+  Snapshot snap;
+  snap.taken_at = 42;
+  series.add(std::move(snap));
+  StridedSource strided(series, 1);
+  EXPECT_EQ(strided.count(), 1u);
+  StridedSource zero(series, 0);  // guards against division by zero
+  EXPECT_EQ(zero.count(), 1u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,179 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bipartite.h"
+#include "graph/components.h"
+#include "graph/metrics.h"
+
+namespace spider {
+namespace {
+
+Graph path_graph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(GraphTest, BuildsCsrWithDedupAndNoSelfLoops) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);  // {0,1} deduped, {2,2} dropped
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  const auto n1 = g.neighbors(1);
+  EXPECT_EQ(std::vector<VertexId>(n1.begin(), n1.end()),
+            (std::vector<VertexId>{0, 2}));
+}
+
+TEST(GraphTest, OutOfRangeEdgesDropped) {
+  const std::vector<Edge> edges = {{0, 5}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(UnionFindTest, UniteAndFind) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.set_size(0), 2u);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.set_size(3), 4u);
+}
+
+TEST(ComponentsTest, TwoComponentsAndHistogram) {
+  //  0-1-2   3-4   5(isolated)
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const Graph g = Graph::from_edges(6, edges);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.count, 3u);
+  EXPECT_EQ(info.label[0], info.label[1]);
+  EXPECT_EQ(info.label[1], info.label[2]);
+  EXPECT_EQ(info.label[3], info.label[4]);
+  EXPECT_NE(info.label[0], info.label[3]);
+  EXPECT_EQ(info.size[info.largest], 3u);
+  EXPECT_TRUE(info.in_largest(2));
+  EXPECT_FALSE(info.in_largest(5));
+  EXPECT_EQ(info.members(info.largest), (std::vector<VertexId>{0, 1, 2}));
+
+  const auto hist = component_size_histogram(info);
+  EXPECT_EQ(hist.at(1), 1u);
+  EXPECT_EQ(hist.at(2), 1u);
+  EXPECT_EQ(hist.at(3), 1u);
+}
+
+TEST(MetricsTest, BfsDistances) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+  EXPECT_EQ(eccentricity(g, 0), 4u);
+  EXPECT_EQ(eccentricity(g, 2), 2u);
+}
+
+TEST(MetricsTest, UnreachableVertices) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(eccentricity(g, 0), 1u);
+}
+
+TEST(MetricsTest, PathGraphDiameterRadiusCenter) {
+  const Graph g = path_graph(7);
+  std::vector<VertexId> all(7);
+  for (VertexId v = 0; v < 7; ++v) all[v] = v;
+  const DiameterInfo info = component_diameter(g, all);
+  EXPECT_EQ(info.diameter, 6u);
+  EXPECT_EQ(info.radius, 3u);
+  EXPECT_EQ(info.centers, (std::vector<VertexId>{3}));
+  EXPECT_EQ(double_sweep_lower_bound(g, 3), 6u);
+}
+
+TEST(MetricsTest, CycleDiameter) {
+  std::vector<Edge> edges;
+  constexpr VertexId kN = 10;
+  for (VertexId v = 0; v < kN; ++v) edges.emplace_back(v, (v + 1) % kN);
+  const Graph g = Graph::from_edges(kN, edges);
+  std::vector<VertexId> all(kN);
+  for (VertexId v = 0; v < kN; ++v) all[v] = v;
+  const DiameterInfo info = component_diameter(g, all);
+  EXPECT_EQ(info.diameter, 5u);
+  EXPECT_EQ(info.radius, 5u);
+  EXPECT_EQ(info.centers.size(), kN);  // every vertex is central on a cycle
+}
+
+TEST(MetricsTest, DegreeHistogramAndPowerLaw) {
+  // Star graph: one hub of degree 9, nine leaves of degree 1.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 10; ++v) edges.emplace_back(0, v);
+  const Graph g = Graph::from_edges(10, edges);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 10u);
+  EXPECT_EQ(hist[1], 9u);
+  EXPECT_EQ(hist[9], 1u);
+  const LinearFit fit = degree_power_law_fit(g);
+  EXPECT_LT(fit.slope, 0.0);
+}
+
+TEST(BipartiteTest, VertexNumbering) {
+  const std::vector<MembershipEdge> members = {{0, 0}, {1, 0}, {1, 1}};
+  const BipartiteGraph bg(2, 2, members);
+  EXPECT_EQ(bg.graph().vertex_count(), 4u);
+  EXPECT_EQ(bg.graph().edge_count(), 3u);
+  EXPECT_TRUE(bg.is_project_vertex(2));
+  EXPECT_FALSE(bg.is_project_vertex(1));
+  EXPECT_EQ(bg.project_of_vertex(3), 1u);
+  EXPECT_EQ(bg.project_vertex(0), 2u);
+}
+
+TEST(BipartiteTest, OutOfRangeMembershipsDropped) {
+  const std::vector<MembershipEdge> members = {{0, 0}, {5, 0}, {0, 9}};
+  const BipartiteGraph bg(2, 2, members);
+  EXPECT_EQ(bg.graph().edge_count(), 1u);
+}
+
+TEST(CollaborationTest, PairCountingAndDomains) {
+  // Projects: p0 (domain 0) members {0,1,2}; p1 (domain 1) members {1,2};
+  // p2 (domain 0) members {1,2} -> pair (1,2) shares 3 projects.
+  const std::vector<std::vector<std::uint32_t>> members = {
+      {0, 1, 2}, {1, 2}, {1, 2}};
+  const std::vector<std::uint32_t> domains = {0, 1, 0};
+  const CollaborationStats stats =
+      collaboration_stats(4, members, domains, 2);
+  EXPECT_EQ(stats.total_user_pairs, 6u);  // C(4,2)
+  EXPECT_EQ(stats.collaborating_pairs, 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(stats.max_shared_projects, 3u);
+  EXPECT_EQ(stats.max_pair_user_a, 1u);
+  EXPECT_EQ(stats.max_pair_user_b, 2u);
+  EXPECT_EQ(stats.pairs_touching_domain[0], 3u);
+  EXPECT_EQ(stats.pairs_touching_domain[1], 1u);
+  EXPECT_DOUBLE_EQ(stats.collaborating_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.domain_share(1), 1.0 / 3.0);
+}
+
+TEST(CollaborationTest, DuplicateMembersCountOnce) {
+  const std::vector<std::vector<std::uint32_t>> members = {{0, 1, 1, 0}};
+  const std::vector<std::uint32_t> domains = {0};
+  const CollaborationStats stats =
+      collaboration_stats(2, members, domains, 1);
+  EXPECT_EQ(stats.collaborating_pairs, 1u);
+  EXPECT_EQ(stats.max_shared_projects, 1u);
+}
+
+}  // namespace
+}  // namespace spider

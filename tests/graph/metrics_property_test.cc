@@ -1,0 +1,106 @@
+// Property tests for the graph metrics on random graphs: structural
+// invariants that must hold regardless of topology.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/components.h"
+#include "graph/metrics.h"
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+Graph random_graph(Rng& rng, VertexId n, std::size_t edges) {
+  std::vector<Edge> list;
+  for (std::size_t e = 0; e < edges; ++e) {
+    list.emplace_back(static_cast<VertexId>(rng.uniform_u64(n)),
+                      static_cast<VertexId>(rng.uniform_u64(n)));
+  }
+  return Graph::from_edges(n, list);
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphPropertyTest, ComponentSizesPartitionVertices) {
+  Rng rng(GetParam());
+  const Graph g = random_graph(rng, 300, 250);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(std::accumulate(info.size.begin(), info.size.end(), 0u),
+            g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    ASSERT_LT(info.label[v], info.count);
+  }
+  // Neighbors share a component.
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      ASSERT_EQ(info.label[v], info.label[u]);
+    }
+  }
+  // Histogram counts match component count.
+  std::uint32_t total = 0;
+  for (const auto& [size, count] : component_size_histogram(info)) {
+    total += count;
+  }
+  EXPECT_EQ(total, info.count);
+}
+
+TEST_P(GraphPropertyTest, BfsDistancesAreMetric) {
+  Rng rng(GetParam() ^ 0xabc);
+  const Graph g = random_graph(rng, 200, 300);
+  const VertexId src = static_cast<VertexId>(rng.uniform_u64(200));
+  const auto dist = bfs_distances(g, src);
+  EXPECT_EQ(dist[src], 0u);
+  // Triangle property along edges: reachable neighbors differ by <= 1.
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (dist[v] == kUnreachable) continue;
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      ASSERT_NE(dist[u], kUnreachable);
+      ASSERT_LE(dist[u], dist[v] + 1);
+      ASSERT_LE(dist[v], dist[u] + 1);
+    }
+  }
+  // Symmetry: d(src -> x) == d(x -> src) in an undirected graph.
+  const VertexId other = static_cast<VertexId>(rng.uniform_u64(200));
+  const auto back = bfs_distances(g, other);
+  EXPECT_EQ(dist[other], back[src]);
+}
+
+TEST_P(GraphPropertyTest, DiameterBoundsAndCenters) {
+  Rng rng(GetParam() ^ 0xdef);
+  const Graph g = random_graph(rng, 150, 200);
+  const ComponentInfo info = connected_components(g);
+  const auto members = info.members(info.largest);
+  if (members.size() < 3) GTEST_SKIP() << "degenerate random graph";
+  const DiameterInfo di = component_diameter(g, members);
+
+  // radius <= diameter <= 2 * radius.
+  EXPECT_LE(di.radius, di.diameter);
+  EXPECT_LE(di.diameter, 2 * di.radius);
+  // Double sweep never exceeds the exact diameter.
+  EXPECT_LE(double_sweep_lower_bound(g, members.front()), di.diameter);
+  // Every center attains the radius.
+  for (const VertexId c : di.centers) {
+    EXPECT_EQ(eccentricity(g, c), di.radius);
+  }
+  ASSERT_FALSE(di.centers.empty());
+}
+
+TEST_P(GraphPropertyTest, DegreeHistogramAccountsAllVertices) {
+  Rng rng(GetParam() ^ 0x555);
+  const Graph g = random_graph(rng, 400, 600);
+  const auto hist = degree_histogram(g);
+  std::uint64_t vertices = 0, degree_mass = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    vertices += hist[d];
+    degree_mass += d * hist[d];
+  }
+  EXPECT_EQ(vertices, g.vertex_count());
+  EXPECT_EQ(degree_mass, 2 * g.edge_count());  // handshake lemma
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,87 @@
+// Fuzz-style property tests for the PSV parser: arbitrary input must never
+// crash, and every valid record — including awkward path bytes — must
+// round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "snapshot/psv.h"
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+class PsvFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsvFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam());
+  RawRecord rec;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line;
+    const std::size_t length = rng.uniform_u64(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Bias toward structure-relevant bytes so field logic is exercised.
+      const double pick = rng.uniform();
+      if (pick < 0.25) {
+        line += '|';
+      } else if (pick < 0.5) {
+        line += static_cast<char>('0' + rng.uniform_u64(10));
+      } else if (pick < 0.6) {
+        line += '/';
+      } else {
+        line += static_cast<char>(rng.uniform_u64(256));
+      }
+    }
+    std::string error;
+    psv_parse_record(line, &rec, &error);  // must not crash or hang
+  }
+}
+
+TEST_P(PsvFuzz, ValidRecordsRoundTripExactly) {
+  Rng rng(GetParam() ^ 0xf00d);
+  for (int trial = 0; trial < 500; ++trial) {
+    RawRecord rec;
+    // Paths with awkward-but-legal bytes (spaces, UTF-8, dots, '=').
+    rec.path = "/lustre/atlas2/p/u";
+    const std::size_t segments = 1 + rng.uniform_u64(6);
+    for (std::size_t s = 0; s < segments; ++s) {
+      rec.path += '/';
+      const std::size_t length = 1 + rng.uniform_u64(24);
+      for (std::size_t i = 0; i < length; ++i) {
+        static constexpr char kChars[] =
+            "abcXYZ012 ._-+=%#@()[]{}~\xc3\xa9";
+        rec.path += kChars[rng.uniform_u64(sizeof(kChars) - 1)];
+      }
+    }
+    rec.atime = rng.uniform_int(-1000, 4'000'000'000LL);
+    rec.ctime = rng.uniform_int(0, 4'000'000'000LL);
+    rec.mtime = rng.uniform_int(0, 4'000'000'000LL);
+    rec.uid = static_cast<std::uint32_t>(rng.next_u64());
+    rec.gid = static_cast<std::uint32_t>(rng.next_u64());
+    rec.mode = static_cast<std::uint32_t>(rng.uniform_u64(01000000));
+    rec.inode = rng.next_u64();
+    const std::size_t stripes = rng.uniform_u64(8);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      rec.osts.push_back(static_cast<std::uint32_t>(rng.uniform_u64(2016)));
+    }
+
+    RawRecord parsed;
+    std::string error;
+    ASSERT_TRUE(psv_parse_record(psv_format_record(rec), &parsed, &error))
+        << error << "\npath: " << rec.path;
+    EXPECT_EQ(parsed.path, rec.path);
+    EXPECT_EQ(parsed.atime, rec.atime);
+    EXPECT_EQ(parsed.ctime, rec.ctime);
+    EXPECT_EQ(parsed.mtime, rec.mtime);
+    EXPECT_EQ(parsed.uid, rec.uid);
+    EXPECT_EQ(parsed.gid, rec.gid);
+    EXPECT_EQ(parsed.mode, rec.mode);
+    EXPECT_EQ(parsed.inode, rec.inode);
+    EXPECT_EQ(parsed.osts, rec.osts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsvFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,70 @@
+#include "snapshot/record.h"
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+TEST(PathDepthTest, CountsComponents) {
+  EXPECT_EQ(path_depth("/"), 0u);
+  EXPECT_EQ(path_depth(""), 0u);
+  EXPECT_EQ(path_depth("/a"), 1u);
+  EXPECT_EQ(path_depth("/a/b/c"), 3u);
+  EXPECT_EQ(path_depth("/lustre/atlas2/cli101/u0042/run1/out.nc"), 6u);
+  // Repeated and trailing slashes do not create components.
+  EXPECT_EQ(path_depth("//a//b/"), 2u);
+}
+
+TEST(PathComponentTest, Indexing) {
+  const std::string_view p = "/lustre/atlas2/cli101/u0042/run1/out.nc";
+  EXPECT_EQ(path_component(p, 0), "lustre");
+  EXPECT_EQ(path_component(p, 1), "atlas2");
+  EXPECT_EQ(path_component(p, 2), "cli101");
+  EXPECT_EQ(path_component(p, 3), "u0042");
+  EXPECT_EQ(path_component(p, 5), "out.nc");
+  EXPECT_EQ(path_component(p, 6), "");
+  EXPECT_EQ(path_project(p), "cli101");
+  EXPECT_EQ(path_user(p), "u0042");
+}
+
+TEST(PathBasenameTest, Variants) {
+  EXPECT_EQ(path_basename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(path_basename("/a/b/"), "b");
+  EXPECT_EQ(path_basename("/"), "");
+  EXPECT_EQ(path_basename("plain"), "plain");
+}
+
+TEST(PathParentTest, Variants) {
+  EXPECT_EQ(path_parent("/a/b/c"), "/a/b");
+  EXPECT_EQ(path_parent("/a"), "/");
+  EXPECT_EQ(path_parent("/"), "/");
+  EXPECT_EQ(path_parent("/a/b/"), "/a");
+}
+
+TEST(PathExtensionTest, PaperConventions) {
+  EXPECT_EQ(path_extension("/p/u/data.nc"), "nc");
+  EXPECT_EQ(path_extension("/p/u/x.tar.gz"), "gz");
+  // Numeric suffixes are extensions in the paper's counting.
+  EXPECT_EQ(path_extension("/p/u/result.1"), "1");
+  // Checkpoint-style names with embedded dots.
+  EXPECT_EQ(path_extension("/p/u/f.00000245"), "00000245");
+  // No extension cases.
+  EXPECT_EQ(path_extension("/p/u/README"), "");
+  EXPECT_EQ(path_extension("/p/u/.bashrc"), "");
+  EXPECT_EQ(path_extension("/p/u/trailingdot."), "");
+  // Case is preserved.
+  EXPECT_EQ(path_extension("/p/u/graph.GraphGeod"), "GraphGeod");
+}
+
+TEST(ModeTest, TypeBits) {
+  EXPECT_TRUE(mode_is_regular(kModeRegular | 0644));
+  EXPECT_FALSE(mode_is_dir(kModeRegular | 0644));
+  EXPECT_TRUE(mode_is_dir(kModeDirectory | 0755));
+  EXPECT_FALSE(mode_is_regular(kModeDirectory | 0755));
+  RawRecord rec;
+  rec.mode = kModeDirectory | 0775;
+  EXPECT_TRUE(rec.is_dir());
+}
+
+}  // namespace
+}  // namespace spider

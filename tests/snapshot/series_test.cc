@@ -1,0 +1,149 @@
+#include "snapshot/series.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "snapshot/scol.h"
+#include "util/timeutil.h"
+
+namespace spider {
+namespace {
+
+namespace fs = std::filesystem;
+
+Snapshot make_snapshot(int week, std::size_t rows) {
+  Snapshot snap;
+  snap.taken_at = epoch_from_civil({2015, 1, 5}) + week * kSecondsPerWeek;
+  for (std::size_t i = 0; i < rows; ++i) {
+    RawRecord rec;
+    rec.path = "/lustre/atlas2/p/u/week" + std::to_string(week) + "_f" +
+               std::to_string(i);
+    rec.mtime = rec.ctime = rec.atime = snap.taken_at - 100;
+    rec.inode = i;
+    rec.osts = {1, 2, 3, 4};
+    snap.table.add(rec);
+  }
+  return snap;
+}
+
+TEST(SnapshotSeriesTest, VisitInOrder) {
+  SnapshotSeries series;
+  for (int w = 0; w < 5; ++w) series.add(make_snapshot(w, 3));
+  EXPECT_EQ(series.count(), 5u);
+  std::vector<std::size_t> weeks;
+  std::int64_t prev_time = 0;
+  series.visit([&](std::size_t week, const Snapshot& snap) {
+    weeks.push_back(week);
+    EXPECT_GT(snap.taken_at, prev_time);
+    prev_time = snap.taken_at;
+  });
+  EXPECT_EQ(weeks, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SnapshotSeriesTest, VisitIsRepeatable) {
+  SnapshotSeries series;
+  series.add(make_snapshot(0, 2));
+  int visits = 0;
+  series.visit([&](std::size_t, const Snapshot&) { ++visits; });
+  series.visit([&](std::size_t, const Snapshot&) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+class DirectorySeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) / "spider_series_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_str() const { return dir_.string(); }
+  fs::path dir_;
+};
+
+TEST_F(DirectorySeriesTest, SaveThenLoadRoundTrip) {
+  SnapshotSeries series;
+  for (int w = 0; w < 4; ++w) series.add(make_snapshot(w, 10 + w));
+
+  std::string error;
+  ASSERT_TRUE(save_series(series, dir_str(), &error)) << error;
+
+  DirectorySeries loaded;
+  ASSERT_TRUE(loaded.open(dir_str(), &error)) << error;
+  EXPECT_EQ(loaded.count(), 4u);
+
+  std::size_t visited = 0;
+  loaded.visit([&](std::size_t week, const Snapshot& snap) {
+    EXPECT_EQ(snap.table.size(), 10 + week);
+    EXPECT_EQ(snap.taken_at, series.at(week).taken_at);
+    EXPECT_EQ(snap.table.path(0), series.at(week).table.path(0));
+    ++visited;
+  });
+  EXPECT_EQ(visited, 4u);
+}
+
+TEST_F(DirectorySeriesTest, FilesSortedByDateNotName) {
+  // Write out of order and with a distractor file.
+  Snapshot later = make_snapshot(10, 1);
+  Snapshot earlier = make_snapshot(2, 1);
+  std::string error;
+  ASSERT_TRUE(write_scol_file(later.table,
+                              (dir_ / ("snap_" + date_tag(later.taken_at) +
+                                       ".scol")).string(),
+                              &error))
+      << error;
+  ASSERT_TRUE(write_scol_file(earlier.table,
+                              (dir_ / ("snap_" + date_tag(earlier.taken_at) +
+                                       ".scol")).string(),
+                              &error))
+      << error;
+  { std::ofstream junk(dir_ / "README.txt"); junk << "not a snapshot"; }
+
+  DirectorySeries loaded;
+  ASSERT_TRUE(loaded.open(dir_str(), &error)) << error;
+  ASSERT_EQ(loaded.count(), 2u);
+  std::vector<std::int64_t> times;
+  loaded.visit([&](std::size_t, const Snapshot& snap) {
+    times.push_back(snap.taken_at);
+  });
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_LT(times[0], times[1]);
+}
+
+TEST_F(DirectorySeriesTest, CorruptSnapshotIsSkipped) {
+  SnapshotSeries series;
+  series.add(make_snapshot(0, 5));
+  series.add(make_snapshot(1, 5));
+  std::string error;
+  ASSERT_TRUE(save_series(series, dir_str(), &error)) << error;
+
+  // Corrupt the second file's tail.
+  DirectorySeries listing;
+  ASSERT_TRUE(listing.open(dir_str(), &error)) << error;
+  {
+    std::fstream f(listing.files()[1],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);
+    f.put('\xff');
+  }
+
+  DirectorySeries loaded;
+  ASSERT_TRUE(loaded.open(dir_str(), &error)) << error;
+  std::size_t visited = 0;
+  loaded.visit([&](std::size_t, const Snapshot&) { ++visited; });
+  EXPECT_EQ(visited, 1u) << "corrupt week must be skipped, not fatal";
+}
+
+TEST_F(DirectorySeriesTest, OpenFailsOnMissingOrEmptyDirectory) {
+  DirectorySeries series;
+  std::string error;
+  EXPECT_FALSE(series.open(dir_str() + "/does_not_exist", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(series.open(dir_str(), &error)) << "empty dir has no snaps";
+}
+
+}  // namespace
+}  // namespace spider

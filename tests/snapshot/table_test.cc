@@ -1,0 +1,111 @@
+#include "snapshot/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+
+namespace spider {
+namespace {
+
+RawRecord make_record(const std::string& path, std::int64_t t,
+                      bool dir = false) {
+  RawRecord rec;
+  rec.path = path;
+  rec.atime = t + 10;
+  rec.ctime = t;
+  rec.mtime = t;
+  rec.uid = 1000;
+  rec.gid = 2000;
+  rec.mode = dir ? (kModeDirectory | 0775) : (kModeRegular | 0664);
+  rec.inode = 42;
+  if (!dir) rec.osts = {3, 7, 11, 15};
+  return rec;
+}
+
+TEST(SnapshotTableTest, AddAndAccess) {
+  SnapshotTable t;
+  EXPECT_TRUE(t.empty());
+  const auto r0 = t.add(make_record("/lustre/atlas2/p1/u1", 100, true));
+  const auto r1 = t.add(make_record("/lustre/atlas2/p1/u1/a.dat", 200));
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.path(1), "/lustre/atlas2/p1/u1/a.dat");
+  EXPECT_EQ(t.atime(1), 210);
+  EXPECT_EQ(t.mtime(1), 200);
+  EXPECT_EQ(t.uid(1), 1000u);
+  EXPECT_TRUE(t.is_dir(0));
+  EXPECT_FALSE(t.is_dir(1));
+  EXPECT_EQ(t.depth(0), 4);
+  EXPECT_EQ(t.depth(1), 5);
+  EXPECT_EQ(t.file_count(), 1u);
+  EXPECT_EQ(t.dir_count(), 1u);
+}
+
+TEST(SnapshotTableTest, OstListsAreCsrPacked) {
+  SnapshotTable t;
+  t.add(make_record("/lustre/atlas2/p/u/dir", 1, true));  // empty list
+  t.add(make_record("/lustre/atlas2/p/u/f1", 2));
+  RawRecord wide = make_record("/lustre/atlas2/p/u/f2", 3);
+  wide.osts.assign(1008, 0);
+  for (std::uint32_t i = 0; i < 1008; ++i) wide.osts[i] = i;
+  t.add(wide);
+
+  EXPECT_EQ(t.stripe_count(0), 0u);
+  EXPECT_EQ(t.stripe_count(1), 4u);
+  EXPECT_EQ(t.stripe_count(2), 1008u);
+  EXPECT_EQ(t.osts(1)[2], 11u);
+  EXPECT_EQ(t.osts(2)[1007], 1007u);
+}
+
+TEST(SnapshotTableTest, PathHashMatchesHashBytes) {
+  SnapshotTable t;
+  t.add(make_record("/lustre/atlas2/p/u/f", 5));
+  EXPECT_EQ(t.path_hash(0), hash_bytes("/lustre/atlas2/p/u/f"));
+}
+
+TEST(SnapshotTableTest, RowRoundTrip) {
+  SnapshotTable t;
+  const RawRecord original = make_record("/lustre/atlas2/p/u/f.h5", 777);
+  t.add(original);
+  const RawRecord copy = t.row(0);
+  EXPECT_EQ(copy.path, original.path);
+  EXPECT_EQ(copy.atime, original.atime);
+  EXPECT_EQ(copy.ctime, original.ctime);
+  EXPECT_EQ(copy.mtime, original.mtime);
+  EXPECT_EQ(copy.uid, original.uid);
+  EXPECT_EQ(copy.gid, original.gid);
+  EXPECT_EQ(copy.mode, original.mode);
+  EXPECT_EQ(copy.inode, original.inode);
+  EXPECT_EQ(copy.osts, original.osts);
+}
+
+TEST(SnapshotTableTest, ManyRowsKeepStableViews) {
+  SnapshotTable t;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 5000; ++i) {
+    paths.push_back("/lustre/atlas2/proj/u/file_" + std::to_string(i) +
+                    ".dat");
+    t.add(make_record(paths.back(), i));
+  }
+  // Arena growth must not invalidate earlier views.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(t.path(static_cast<std::size_t>(i)), paths[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GT(t.memory_bytes(), 0u);
+}
+
+TEST(SnapshotTableTest, ColumnSpansMatchRowAccessors) {
+  SnapshotTable t;
+  for (int i = 0; i < 10; ++i) {
+    t.add(make_record("/lustre/atlas2/p/u/f" + std::to_string(i), i * 100));
+  }
+  const auto mtimes = t.mtimes();
+  ASSERT_EQ(mtimes.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(mtimes[i], t.mtime(i));
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,362 @@
+// End-to-end integration: generate a small-scale facility, run the whole
+// study in one pass, and assert the paper's qualitative findings hold.
+// This is the "does the reproduction reproduce" test.
+#include "study/full_study.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "synth/langmap.h"
+
+namespace spider {
+namespace {
+
+/// Shared fixture: simulate once (it takes a few seconds), reuse across
+/// all assertions.
+class FullStudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FacilityConfig config;
+    config.scale = 0.0001;
+    config.weeks = 60;
+    generator_ = new FacilityGenerator(config);
+    resolver_ = new Resolver(generator_->plan());
+    study_ = new FullStudy(*resolver_, /*burst_min_files=*/10);
+    study_->run(*generator_);
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete resolver_;
+    delete generator_;
+    study_ = nullptr;
+    resolver_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static FacilityGenerator* generator_;
+  static Resolver* resolver_;
+  static FullStudy* study_;
+};
+
+FacilityGenerator* FullStudyTest::generator_ = nullptr;
+Resolver* FullStudyTest::resolver_ = nullptr;
+FullStudy* FullStudyTest::study_ = nullptr;
+
+TEST_F(FullStudyTest, Fig5_UserProfile) {
+  const UserProfileResult& r = study_->user_profile.result();
+  // Every planned user generated files (Observation 1's 1,362 actives).
+  EXPECT_EQ(r.active_users, 1362u);
+  EXPECT_EQ(r.unknown_uids, 0u);
+  // Government majority; academia + industry a sizeable minority.
+  EXPECT_GT(r.org_fraction(OrgType::kGovernment), 0.45);
+  const double acad_ind = r.org_fraction(OrgType::kAcademia) +
+                          r.org_fraction(OrgType::kIndustry);
+  EXPECT_NEAR(acad_ind, 0.42, 0.10);  // paper: 42%
+}
+
+TEST_F(FullStudyTest, Fig6_Participation) {
+  const ParticipationResult& r = study_->participation.result();
+  EXPECT_EQ(r.active_projects, 380u);
+  EXPECT_GT(r.frac_multi_project_users, 0.55);
+  EXPECT_NEAR(r.frac_gt2_project_users, 0.20, 0.07);
+  EXPECT_NEAR(r.frac_ge8_project_users, 0.02, 0.015);
+  // Highly-staffed domains (Fig 6(c)).
+  for (const char* tag : {"cli", "env", "chp", "nfi", "stf"}) {
+    const int d = domain_index(tag);
+    EXPECT_GE(r.median_users_by_domain[static_cast<std::size_t>(d)], 10.0)
+        << tag;
+  }
+}
+
+TEST_F(FullStudyTest, Fig7_CensusOrderingAndRatios) {
+  const CensusResult& r = study_->census.result();
+  EXPECT_GT(r.total_files, 0u);
+  // Directories are a small minority overall (paper: 275M dirs vs 4.07B
+  // files, ~6%).
+  const double dir_share =
+      static_cast<double>(r.total_dirs) /
+      static_cast<double>(r.total_files + r.total_dirs);
+  EXPECT_LT(dir_share, 0.25);
+  EXPECT_GT(dir_share, 0.02);
+  // Big domains out-produce small ones, per Table 1's entry volumes.
+  const auto files = [&](const char* tag) {
+    return r.files_by_domain[static_cast<std::size_t>(domain_index(tag))];
+  };
+  EXPECT_GT(files("bip"), files("aph"));
+  EXPECT_GT(files("stf"), files("med"));
+  EXPECT_GT(files("csc"), files("nfu"));
+  // atm is directory-heavy; nph is file-heavy (Fig 7(b)).
+  EXPECT_GT(r.dir_fraction(static_cast<std::size_t>(domain_index("atm"))),
+            3 * r.dir_fraction(static_cast<std::size_t>(domain_index("nph"))));
+}
+
+TEST_F(FullStudyTest, Fig8_DepthsAndCounts) {
+  const CensusResult& r = study_->census.result();
+  // Knee at depth 5: nothing user-generated sits above the project root.
+  EXPECT_EQ(r.project_max_depth.fraction_at_most(3.9), 0.0);
+  // A meaningful share of projects goes deeper than 10 (paper: >30%).
+  EXPECT_GT(1.0 - r.project_max_depth.fraction_at_most(10), 0.15);
+  // Deep outliers exist (432 / 2030 chains).
+  EXPECT_EQ(r.max_depth, 2030u);
+  // Projects hold substantially more files than users (paper: medians
+  // 20K vs 2K, ~10x). At test scale the per-project activity floor
+  // compresses the gap (EXPERIMENTS.md deviation #3); assert direction
+  // with margin rather than the full paper ratio.
+  EXPECT_GT(r.median_files_per_project, 2 * r.median_files_per_user);
+}
+
+TEST_F(FullStudyTest, Fig9_DomainDepthMedians) {
+  const CensusResult& r = study_->census.result();
+  // mat (median 16) digs deeper than mph (median 5).
+  const FiveNumber& mat =
+      r.depth_by_domain[static_cast<std::size_t>(domain_index("mat"))];
+  const FiveNumber& mph =
+      r.depth_by_domain[static_cast<std::size_t>(domain_index("mph"))];
+  EXPECT_GT(mat.median, mph.median);
+}
+
+TEST_F(FullStudyTest, Table2_DominantExtensions) {
+  const ExtensionsResult& r = study_->extensions.result();
+  // Domains with a heavily dominant type keep it on top with a large
+  // share; the measured share should be within ~15 points of Table 2.
+  const struct {
+    const char* domain;
+    const char* ext;
+    double pct;
+  } expected[] = {
+      {"bio", "pdbqt", 97.6}, {"nph", "bb", 79.1}, {"chp", "xyz", 63.4},
+      {"bip", "bz2", 54.8},   {"cli", "nc", 40.3},
+  };
+  for (const auto& e : expected) {
+    const auto& top =
+        r.top3_by_domain[static_cast<std::size_t>(domain_index(e.domain))];
+    ASSERT_FALSE(top.empty()) << e.domain;
+    EXPECT_EQ(top[0].first, e.ext) << e.domain;
+    EXPECT_NEAR(top[0].second, e.pct, 15.0) << e.domain;
+  }
+}
+
+TEST_F(FullStudyTest, Fig10_TrendAndSpikes) {
+  const ExtensionsResult& r = study_->extensions.result();
+  ASSERT_FALSE(r.share_other.empty());
+  // "other" + "no extension" cover a large share (paper: ~51%).
+  double other = 0, none = 0;
+  for (std::size_t w = 0; w < r.share_other.size(); ++w) {
+    other += r.share_other[w] / static_cast<double>(r.share_other.size());
+    none += r.share_none[w] / static_cast<double>(r.share_none.size());
+  }
+  EXPECT_GT(other + none, 0.25);
+  EXPECT_GT(none, 0.05);
+
+  // The .bb campaign (July 2015) must be visible: its weekly share peaks
+  // well above its starting share.
+  int bb_index = -1;
+  for (std::size_t k = 0; k < r.global_top.size(); ++k) {
+    if (r.global_top[k].first == "bb") bb_index = static_cast<int>(k);
+  }
+  ASSERT_GE(bb_index, 0) << ".bb must be a top-20 extension";
+  double bb_start = r.share_top.front()[static_cast<std::size_t>(bb_index)];
+  double bb_peak = 0;
+  for (const auto& week : r.share_top) {
+    bb_peak = std::max(bb_peak, week[static_cast<std::size_t>(bb_index)]);
+  }
+  EXPECT_GT(bb_peak, bb_start * 1.5 + 0.01);
+}
+
+TEST_F(FullStudyTest, Fig11_LanguageRanking) {
+  const LanguagesResult& r = study_->languages.result();
+  ASSERT_GE(r.ranking.size(), 15u);
+  auto rank_of = [&](const char* name) {
+    for (const LanguageRank& lr : r.ranking) {
+      if (lr.name == name) return lr.our_rank;
+    }
+    return 999;
+  };
+  // C in the top 3; the traditional-language story: Fortran well inside
+  // the top 10 despite a deep IEEE rank; Prolog present (the .pl quirk);
+  // emerging languages present but far down.
+  EXPECT_LE(rank_of("C"), 3);
+  EXPECT_LE(rank_of("Python"), 6);
+  EXPECT_LE(rank_of("Fortran"), 10);
+  EXPECT_LE(rank_of("Prolog"), 14);
+  EXPECT_LT(rank_of("C"), rank_of("Go"));
+  EXPECT_LT(rank_of("Fortran"), rank_of("Swift"));
+  EXPECT_NE(rank_of("Scala"), 999);
+}
+
+TEST_F(FullStudyTest, Fig12_DomainLanguages) {
+  const LanguagesResult& r = study_->languages.result();
+  const auto langs = languages();
+  // Matlab-heavy domains (paper: nfu, pss, cli's lang1). pss is tiny, so
+  // assert "no language beats Matlab" rather than a strict argmax (ties at
+  // a handful of files are sampling noise at test scale).
+  const int matlab = language_index("Matlab");
+  ASSERT_GE(matlab, 0);
+  for (const char* tag : {"nfu", "pss", "cli"}) {
+    const auto& counts =
+        r.by_domain[static_cast<std::size_t>(domain_index(tag))];
+    const std::uint64_t m = counts[static_cast<std::size_t>(matlab)];
+    for (std::size_t l = 0; l < counts.size(); ++l) {
+      EXPECT_GE(m, counts[l]) << tag << " lost to " << langs[l].name;
+    }
+  }
+  // Fortran-led domains keep Fortran in their top two.
+  const std::size_t atm = static_cast<std::size_t>(domain_index("atm"));
+  const int atm1 = r.top_language(atm), atm2 = r.second_language(atm);
+  const bool fortran_top2 =
+      (atm1 >= 0 &&
+       std::string(langs[static_cast<std::size_t>(atm1)].name) == "Fortran") ||
+      (atm2 >= 0 &&
+       std::string(langs[static_cast<std::size_t>(atm2)].name) == "Fortran");
+  EXPECT_TRUE(fortran_top2);
+}
+
+TEST_F(FullStudyTest, Fig13_AccessPatternMix) {
+  const AccessPatternsResult& r = study_->access_patterns.result();
+  ASSERT_GT(r.weeks.size(), 10u);
+  // Qualitative shape: untouched dominates; new > deleted; both new and
+  // deleted are substantial; readonly is the smallest touched class.
+  EXPECT_GT(r.avg_untouched, 0.55);
+  EXPECT_GT(r.avg_new, r.avg_deleted * 0.9);
+  EXPECT_GT(r.avg_new, 0.05);
+  EXPECT_GT(r.avg_deleted, 0.04);
+  EXPECT_LT(r.avg_readonly, r.avg_updated);
+  EXPECT_GT(r.avg_readonly, 0.01);
+}
+
+TEST_F(FullStudyTest, Fig14_Striping) {
+  const StripingResult& r = study_->striping.result();
+  // Default stripe count dominates the population.
+  EXPECT_NEAR(r.overall.mean(), 4.0, 3.0);
+  // Wide stripes exist (paper max: 1,008) and many domains tune.
+  EXPECT_EQ(r.max_stripe, 1008u);
+  EXPECT_GE(r.domains_tuning, 15u);
+  // ast uses wider stripes than bio (Table 1: 122 vs 4).
+  const auto& ast =
+      r.by_domain[static_cast<std::size_t>(domain_index("ast"))];
+  const auto& bio =
+      r.by_domain[static_cast<std::size_t>(domain_index("bio"))];
+  EXPECT_GT(ast.max(), bio.max());
+}
+
+TEST_F(FullStudyTest, Fig15_Growth) {
+  const GrowthResult& r = study_->growth.result();
+  EXPECT_NEAR(r.growth_factor, 5.0, 2.0);  // paper: 200M -> 1B
+  EXPECT_LT(r.final_dir_share, 0.15);      // paper: <10%
+  // Directory count is steadier than file count.
+  const double file_growth =
+      static_cast<double>(r.points.back().files) /
+      static_cast<double>(std::max<std::uint64_t>(1, r.points.front().files));
+  const double dir_growth =
+      static_cast<double>(r.points.back().dirs) /
+      static_cast<double>(std::max<std::uint64_t>(1, r.points.front().dirs));
+  EXPECT_LT(dir_growth, file_growth);
+}
+
+TEST_F(FullStudyTest, Fig16_FileAges) {
+  const FileAgeResult& r = study_->file_age.result();
+  // Files are read far beyond the purge window (paper: median 138 days,
+  // >90 in 86% of snapshots).
+  EXPECT_GT(r.median_of_averages, 60.0);
+  EXPECT_LT(r.median_of_averages, 250.0);
+  // The 60-week test horizon compresses the growth curve, diluting the
+  // population with young files faster than the real 86-week study; the
+  // default-config benches land near the paper's 86%.
+  EXPECT_GT(r.fraction_above_purge, 0.12);
+}
+
+TEST_F(FullStudyTest, Fig17_Burstiness) {
+  const BurstinessResult& r = study_->burstiness.result();
+  ASSERT_GT(r.qualifying_write_samples, 50u);
+  ASSERT_GT(r.qualifying_read_samples, 50u);
+  // Reads are orders of magnitude burstier than writes (paper: ~100x).
+  EXPECT_GT(r.overall_write_cv_median, 20 * r.overall_read_cv_median);
+  EXPECT_GT(r.overall_write_cv_median, 0.05);
+  EXPECT_LT(r.overall_write_cv_median, 1.0);
+  EXPECT_LT(r.overall_read_cv_median, 0.02);
+}
+
+TEST_F(FullStudyTest, Fig18_PowerLaw) {
+  const NetworkResult& r = study_->network.result();
+  EXPECT_LT(r.power_law.slope, -1.0);
+  EXPECT_GT(r.power_law.r2, 0.6);
+}
+
+TEST_F(FullStudyTest, Table3_Components) {
+  const NetworkResult& r = study_->network.result();
+  EXPECT_NEAR(static_cast<double>(r.component_count), 160.0, 8.0);
+  EXPECT_EQ(r.component_histogram.at(2), 94u);
+  EXPECT_EQ(r.component_histogram.at(3), 31u);
+  EXPECT_NEAR(static_cast<double>(r.giant_vertices), 1259.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(r.giant_users), 1051.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(r.giant_projects), 208.0, 15.0);
+  // Sparse, long-path network: diameter near the paper's 18, with centers
+  // well inside it.
+  EXPECT_GE(r.giant_diameter, 8u);
+  EXPECT_LE(r.giant_diameter, 26u);
+  EXPECT_LT(r.giant_radius, r.giant_diameter);
+}
+
+TEST_F(FullStudyTest, Fig19_GiantMembership) {
+  const NetworkResult& r = study_->network.result();
+  // Per-domain giant-component probability tracks Table 1's Network %.
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    EXPECT_NEAR(r.giant_probability_by_domain[d] * 100.0,
+                profiles[d].network_pct, 26.0)
+        << profiles[d].id;
+  }
+  // csc contributes the largest share of giant projects (paper: 18%).
+  const double csc_share =
+      r.giant_share_by_domain[static_cast<std::size_t>(domain_index("csc"))];
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    EXPECT_GE(csc_share, r.giant_share_by_domain[d]) << profiles[d].id;
+  }
+}
+
+TEST_F(FullStudyTest, Fig20_Collaboration) {
+  const CollaborationResult& r = study_->collaboration.result();
+  EXPECT_NEAR(static_cast<double>(r.stats.total_user_pairs), 926841.0, 10.0);
+  // ~1% of pairs collaborate.
+  EXPECT_GT(r.stats.collaborating_fraction(), 0.004);
+  EXPECT_LT(r.stats.collaborating_fraction(), 0.04);
+  // The forced extreme pair: 6 projects, 5 cli + 1 csc.
+  EXPECT_EQ(r.stats.max_shared_projects, 6u);
+  EXPECT_EQ(r.max_pair_description, "5x cli + 1x csc");
+  // cli leads collaboration, csc second (paper: 45.8% and 38.5%).
+  const double cli_share =
+      r.stats.domain_share(static_cast<std::size_t>(domain_index("cli")));
+  const double csc_share =
+      r.stats.domain_share(static_cast<std::size_t>(domain_index("csc")));
+  for (std::size_t d = 0; d < domain_count(); ++d) {
+    if (static_cast<int>(d) == domain_index("cli")) continue;
+    EXPECT_GE(cli_share, r.stats.domain_share(d))
+        << domain_profiles()[d].id;
+  }
+  EXPECT_GT(csc_share, 0.05);
+}
+
+TEST_F(FullStudyTest, Table1_RendersAllDomains) {
+  const std::string table = study_->render_table1();
+  for (const DomainProfile& d : domain_profiles()) {
+    EXPECT_NE(table.find(d.id), std::string::npos) << d.id;
+  }
+}
+
+TEST_F(FullStudyTest, RendersAreNonEmpty) {
+  EXPECT_GT(study_->user_profile.render().size(), 100u);
+  EXPECT_GT(study_->participation.render().size(), 100u);
+  EXPECT_GT(study_->census.render().size(), 100u);
+  EXPECT_GT(study_->extensions.render().size(), 100u);
+  EXPECT_GT(study_->languages.render().size(), 100u);
+  EXPECT_GT(study_->access_patterns.render().size(), 100u);
+  EXPECT_GT(study_->striping.render().size(), 100u);
+  EXPECT_GT(study_->growth.render().size(), 100u);
+  EXPECT_GT(study_->file_age.render().size(), 100u);
+  EXPECT_GT(study_->burstiness.render().size(), 100u);
+  EXPECT_GT(study_->network.render().size(), 100u);
+  EXPECT_GT(study_->collaboration.render().size(), 100u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,62 @@
+#include "study/joblog.h"
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+TEST(JobLogTest, ChannelsAgree) {
+  FacilityConfig config;
+  config.scale = 0.00005;
+  config.weeks = 24;
+  FacilityGenerator generator(config);
+  Resolver resolver(generator.plan());
+
+  const JobLogResult result = analyze_job_log(generator, resolver);
+
+  EXPECT_GT(result.write_jobs, 100u);
+  EXPECT_GT(result.read_jobs, 100u);
+  EXPECT_GT(result.files_written, 1000u);
+  EXPECT_GT(result.files_read, 1000u);
+  ASSERT_GT(result.jobs_per_interval.size(), 5u);
+  EXPECT_EQ(result.jobs_per_interval.size(),
+            result.new_files_per_interval.size());
+
+  // The two observation channels (scheduler log, snapshot diffs) must
+  // correlate strongly: job counts drive file creation.
+  EXPECT_GT(result.job_newfile_correlation, 0.4);
+
+  // Every write job created at least one file; batches are capped.
+  EXPECT_GE(result.files_per_write_job.min, 1.0);
+  EXPECT_LE(result.files_per_write_job.max, 200.0);
+
+  // Domain job counts exist for large domains.
+  EXPECT_GT(result.jobs_by_domain[static_cast<std::size_t>(
+                domain_index("bip"))],
+            result.jobs_by_domain[static_cast<std::size_t>(
+                domain_index("pss"))]);
+}
+
+TEST(JobLogTest, VisitWithJobsMatchesPlainVisit) {
+  // The snapshot stream must be identical with and without job capture.
+  FacilityConfig config;
+  config.scale = 0.00002;
+  config.weeks = 8;
+  FacilityGenerator generator(config);
+
+  std::vector<std::size_t> plain_sizes, with_jobs_sizes;
+  generator.visit([&](std::size_t, const Snapshot& snap) {
+    plain_sizes.push_back(snap.table.size());
+  });
+  std::size_t jobs = 0;
+  generator.visit_with_jobs(
+      [&](std::size_t, const Snapshot& snap) {
+        with_jobs_sizes.push_back(snap.table.size());
+      },
+      [&](const JobRecord&) { ++jobs; });
+  EXPECT_EQ(plain_sizes, with_jobs_sizes);
+  EXPECT_GT(jobs, 0u);
+}
+
+}  // namespace
+}  // namespace spider

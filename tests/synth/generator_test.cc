@@ -1,0 +1,168 @@
+// Invariant and calibration tests for the facility generator, run at a
+// small scale so the whole suite stays fast.
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "snapshot/record.h"
+#include "util/hash.h"
+#include "util/timeutil.h"
+
+namespace spider {
+namespace {
+
+FacilityConfig small_config() {
+  FacilityConfig config;
+  config.scale = 0.00005;
+  config.weeks = 24;
+  return config;
+}
+
+TEST(FacilityGeneratorTest, CountMatchesEmittedSnapshots) {
+  FacilityGenerator gen(small_config());
+  std::size_t emitted = 0;
+  std::size_t last_week = 0;
+  gen.visit([&](std::size_t week, const Snapshot&) {
+    EXPECT_EQ(week, emitted);  // dense indices in order
+    ++emitted;
+    last_week = week;
+  });
+  EXPECT_EQ(emitted, gen.count());
+  EXPECT_LT(gen.count(), small_config().weeks);  // gaps removed some
+  EXPECT_EQ(last_week + 1, emitted);
+}
+
+TEST(FacilityGeneratorTest, GapsAreDeterministicAndBounded) {
+  const auto gaps = FacilityGenerator::gap_weeks(small_config());
+  EXPECT_FALSE(gaps.empty());
+  EXPECT_EQ(gaps, FacilityGenerator::gap_weeks(small_config()));
+  for (const std::size_t g : gaps) EXPECT_LT(g, small_config().weeks);
+
+  FacilityConfig no_gaps = small_config();
+  no_gaps.maintenance_gaps = false;
+  EXPECT_TRUE(FacilityGenerator::gap_weeks(no_gaps).empty());
+  EXPECT_EQ(FacilityGenerator(no_gaps).count(), no_gaps.weeks);
+}
+
+TEST(FacilityGeneratorTest, DefaultConfigEmits72Of86) {
+  FacilityConfig config;  // defaults: 86 weeks, gaps on
+  EXPECT_EQ(FacilityGenerator::gap_weeks(config).size(), 14u);
+  EXPECT_EQ(FacilityGenerator(config).count(), 72u);
+}
+
+TEST(FacilityGeneratorTest, RecordsAreWellFormed) {
+  FacilityGenerator gen(small_config());
+  const std::int64_t start = small_config().start_epoch();
+  std::size_t weeks_checked = 0;
+  gen.visit([&](std::size_t week, const Snapshot& snap) {
+    if (week % 7 != 0) return;  // sample a few weeks
+    ++weeks_checked;
+    const SnapshotTable& t = snap.table;
+    ASSERT_GT(t.size(), 0u);
+    std::set<std::string_view> paths;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // Canonical prefix and project component resolvable.
+      ASSERT_EQ(t.path(i).rfind("/lustre/atlas2/", 0), 0u) << t.path(i);
+      ASSERT_FALSE(path_project(t.path(i)).empty());
+      // Unique paths within a snapshot.
+      ASSERT_TRUE(paths.insert(t.path(i)).second) << t.path(i);
+      // Timestamp sanity: ctime <= snapshot date, atime >= mtime' rules.
+      ASSERT_LE(t.ctime(i), snap.taken_at);
+      ASSERT_GE(t.atime(i), t.mtime(i) - 1);
+      // Purge invariant: no file atime older than purge window + slack.
+      if (!t.is_dir(i)) {
+        ASSERT_GE(t.atime(i),
+                  snap.taken_at - 91 * kSecondsPerDay) << t.path(i);
+        ASSERT_GE(t.stripe_count(i), 1u);
+        ASSERT_LE(t.stripe_count(i), 1008u);
+      } else {
+        ASSERT_EQ(t.stripe_count(i), 0u);
+      }
+      ASSERT_NE(t.uid(i), 0u);
+      ASSERT_NE(t.gid(i), 0u);
+    }
+    ASSERT_GE(snap.taken_at, start);
+  });
+  EXPECT_GT(weeks_checked, 1u);
+}
+
+TEST(FacilityGeneratorTest, DeterministicAcrossVisits) {
+  FacilityGenerator gen(small_config());
+  std::vector<std::uint64_t> digests_a, digests_b;
+  auto digest_into = [](std::vector<std::uint64_t>& out) {
+    return [&out](std::size_t, const Snapshot& snap) {
+      std::uint64_t digest = snap.table.size();
+      for (std::size_t i = 0; i < snap.table.size(); i += 37) {
+        digest = hash_combine(digest, snap.table.path_hash(i));
+        digest = hash_combine(digest,
+                              static_cast<std::uint64_t>(snap.table.atime(i)));
+      }
+      out.push_back(digest);
+    };
+  };
+  gen.visit(digest_into(digests_a));
+  gen.visit(digest_into(digests_b));
+  EXPECT_EQ(digests_a, digests_b);
+
+  // A different seed must diverge.
+  FacilityConfig other = small_config();
+  other.seed ^= 0xabcdef;
+  FacilityGenerator gen2(other);
+  std::vector<std::uint64_t> digests_c;
+  gen2.visit(digest_into(digests_c));
+  EXPECT_NE(digests_a, digests_c);
+}
+
+TEST(FacilityGeneratorTest, PopulationTracksGrowthCurve) {
+  FacilityConfig config = small_config();
+  config.weeks = 30;
+  FacilityGenerator gen(config);
+  std::vector<std::size_t> files;
+  gen.visit([&](std::size_t, const Snapshot& snap) {
+    files.push_back(snap.table.file_count());
+  });
+  ASSERT_GT(files.size(), 5u);
+  // Growth toward 5x overall; monotone within noise.
+  EXPECT_GT(files.back(), files.front() * 2);
+  // The curve is exponential-ish: the last quarter grows faster than the
+  // first quarter in absolute terms.
+  const std::size_t q = files.size() / 4;
+  EXPECT_GT(files[files.size() - 1] - files[files.size() - 1 - q],
+            files[q] - files[0]);
+}
+
+TEST(FacilityGeneratorTest, ScaleControlsVolume) {
+  FacilityConfig small = small_config();
+  FacilityConfig big = small_config();
+  big.scale = small.scale * 4;
+  std::size_t small_rows = 0, big_rows = 0;
+  FacilityGenerator(small).visit([&](std::size_t week, const Snapshot& s) {
+    if (week == 0) small_rows = s.table.size();
+  });
+  FacilityGenerator(big).visit([&](std::size_t week, const Snapshot& s) {
+    if (week == 0) big_rows = s.table.size();
+  });
+  EXPECT_GT(big_rows, small_rows * 2);
+}
+
+TEST(FacilityGeneratorTest, DeepChainsPresent) {
+  // The stf depth-2030 and gen depth-432 stress trees exist from week 0.
+  FacilityGenerator gen(small_config());
+  std::size_t max_depth = 0;
+  bool saw_432 = false;
+  gen.visit([&](std::size_t week, const Snapshot& snap) {
+    if (week != 0) return;
+    for (std::size_t i = 0; i < snap.table.size(); ++i) {
+      max_depth = std::max<std::size_t>(max_depth, snap.table.depth(i));
+      if (snap.table.depth(i) == 432) saw_432 = true;
+    }
+  });
+  EXPECT_EQ(max_depth, 2030u);
+  EXPECT_TRUE(saw_432);
+}
+
+}  // namespace
+}  // namespace spider

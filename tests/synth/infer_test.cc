@@ -1,0 +1,114 @@
+// Tests for facility inference: reconstructing users/projects/memberships
+// from snapshots must agree with the generator's ground-truth plan.
+#include "synth/infer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "synth/generator.h"
+
+namespace spider {
+namespace {
+
+TEST(InferFacilityTest, RoundTripsGeneratorStructure) {
+  FacilityConfig config;
+  config.scale = 0.00005;
+  config.weeks = 16;
+  FacilityGenerator generator(config);
+  const FacilityPlan& truth = generator.plan();
+
+  InferenceStats stats;
+  const FacilityPlan inferred = infer_facility(generator, &stats);
+
+  // Every project produced files, so all 380 are rediscovered; domain
+  // tags resolve from the name prefixes.
+  EXPECT_EQ(stats.projects, truth.projects.size());
+  EXPECT_EQ(stats.unmatched_projects, 0u);
+  EXPECT_EQ(stats.users, truth.users.size());
+
+  // Project domains match ground truth.
+  for (const ProjectInfo& project : inferred.projects) {
+    const int truth_index = truth.project_index(project.name);
+    ASSERT_GE(truth_index, 0) << project.name;
+    EXPECT_EQ(project.domain,
+              truth.projects[static_cast<std::size_t>(truth_index)].domain)
+        << project.name;
+    EXPECT_EQ(project.gid,
+              truth.projects[static_cast<std::size_t>(truth_index)].gid);
+  }
+
+  // Membership incidence: inferred (uid, project-name) pairs must be a
+  // subset of the planned ones (activity sampling may leave a rare
+  // planned membership unexercised) and cover nearly all of them.
+  std::set<std::pair<std::uint32_t, std::string>> planned;
+  for (const ProjectInfo& project : truth.projects) {
+    for (const std::uint32_t member : project.members) {
+      planned.emplace(truth.users[member].uid, project.name);
+    }
+  }
+  std::size_t covered = 0;
+  for (const ProjectInfo& project : inferred.projects) {
+    for (const std::uint32_t member : project.members) {
+      const auto pair =
+          std::make_pair(inferred.users[member].uid, project.name);
+      ASSERT_TRUE(planned.count(pair))
+          << "inferred membership not planned: uid=" << pair.first << " "
+          << pair.second;
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, planned.size() * 9 / 10);
+}
+
+TEST(InferFacilityTest, UnknownPrefixFallsBackToGeneral) {
+  SnapshotSeries series;
+  Snapshot snap;
+  snap.taken_at = 1'420'416'000;
+  RawRecord rec;
+  rec.path = "/lustre/atlas2/zzz999/u1/file.dat";
+  rec.uid = 55555;
+  rec.gid = 7777;
+  rec.atime = rec.ctime = rec.mtime = 100;
+  snap.table.add(rec);
+  series.add(std::move(snap));
+
+  InferenceStats stats;
+  const FacilityPlan plan = infer_facility(series, &stats);
+  EXPECT_EQ(stats.projects, 1u);
+  EXPECT_EQ(stats.unmatched_projects, 1u);
+  ASSERT_EQ(plan.projects.size(), 1u);
+  EXPECT_EQ(plan.projects[0].domain, domain_index("gen"));
+  EXPECT_EQ(plan.projects[0].name, "zzz999");
+  ASSERT_EQ(plan.users.size(), 1u);
+  EXPECT_EQ(plan.users[0].uid, 55555u);
+  EXPECT_EQ(plan.users[0].org, OrgType::kOther);
+}
+
+TEST(InferFacilityTest, PrimaryDomainIsMajorityDomain) {
+  SnapshotSeries series;
+  Snapshot snap;
+  snap.taken_at = 1'420'416'000;
+  auto add = [&snap](const std::string& path, std::uint32_t gid) {
+    RawRecord rec;
+    rec.path = path;
+    rec.uid = 42;
+    rec.gid = gid;
+    rec.atime = rec.ctime = rec.mtime = 100;
+    snap.table.add(rec);
+  };
+  add("/lustre/atlas2/cli900/u/a", 1);
+  add("/lustre/atlas2/cli900/u/b", 1);
+  add("/lustre/atlas2/cli900/u/c", 1);
+  add("/lustre/atlas2/nph900/u/d", 2);
+  series.add(std::move(snap));
+
+  const FacilityPlan plan = infer_facility(series);
+  ASSERT_EQ(plan.users.size(), 1u);
+  EXPECT_EQ(plan.users[0].primary_domain, domain_index("cli"));
+  EXPECT_EQ(plan.memberships.size(), 2u);
+}
+
+}  // namespace
+}  // namespace spider

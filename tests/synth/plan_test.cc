@@ -1,0 +1,172 @@
+// Calibration tests for the facility planner: the static structure the
+// paper reports (user/project counts, org mix, degree quantiles, component
+// structure, forced network features) must hold for any seed.
+#include "synth/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/components.h"
+#include "graph/metrics.h"
+
+namespace spider {
+namespace {
+
+class PlanTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { plan_ = plan_facility(GetParam()); }
+  FacilityPlan plan_;
+};
+
+TEST_P(PlanTest, HeadlineCounts) {
+  EXPECT_EQ(plan_.users.size(), 1362u);
+  EXPECT_EQ(plan_.projects.size(), 380u);
+  EXPECT_GT(plan_.memberships.size(), 1500u);
+}
+
+TEST_P(PlanTest, EveryProjectHasMembersEveryUserHasProject) {
+  std::vector<int> degree(plan_.users.size(), 0);
+  for (const ProjectInfo& project : plan_.projects) {
+    EXPECT_FALSE(project.members.empty()) << project.name;
+    EXPECT_TRUE(std::is_sorted(project.members.begin(),
+                               project.members.end()));
+    // No duplicate members.
+    EXPECT_EQ(std::adjacent_find(project.members.begin(),
+                                 project.members.end()),
+              project.members.end());
+    for (const std::uint32_t u : project.members) {
+      ASSERT_LT(u, plan_.users.size());
+      ++degree[u];
+    }
+  }
+  for (std::size_t u = 0; u < degree.size(); ++u) {
+    EXPECT_GT(degree[u], 0) << "user " << u << " belongs to no project";
+  }
+}
+
+TEST_P(PlanTest, ProjectCountsPerDomainMatchTable1) {
+  std::vector<int> per_domain(domain_count(), 0);
+  for (const ProjectInfo& project : plan_.projects) {
+    ++per_domain[static_cast<std::size_t>(project.domain)];
+  }
+  const auto profiles = domain_profiles();
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    EXPECT_EQ(per_domain[d], profiles[d].projects) << profiles[d].id;
+  }
+}
+
+TEST_P(PlanTest, OrgMixMatchesFig5a) {
+  std::size_t counts[kOrgTypeCount] = {};
+  for (const UserAccount& user : plan_.users) {
+    ++counts[static_cast<std::size_t>(user.org)];
+  }
+  const double n = static_cast<double>(plan_.users.size());
+  EXPECT_GT(counts[0] / n, 0.45);  // government > 50% (tolerance)
+  EXPECT_NEAR(counts[1] / n, 0.24, 0.06);  // academia
+  EXPECT_NEAR(counts[2] / n, 0.19, 0.06);  // industry
+}
+
+TEST_P(PlanTest, DegreeQuantilesMatchFig6a) {
+  std::vector<int> degree(plan_.users.size(), 0);
+  for (const MembershipEdge& edge : plan_.memberships) ++degree[edge.user];
+  const double n = static_cast<double>(plan_.users.size());
+  std::size_t multi = 0, gt2 = 0, ge8 = 0;
+  for (const int d : degree) {
+    if (d > 1) ++multi;
+    if (d > 2) ++gt2;
+    if (d >= 8) ++ge8;
+  }
+  EXPECT_GT(multi / n, 0.55);          // paper: >60%
+  EXPECT_LT(multi / n, 0.75);
+  EXPECT_NEAR(gt2 / n, 0.20, 0.06);    // paper: ~20%
+  EXPECT_NEAR(ge8 / n, 0.02, 0.015);   // paper: ~2%
+}
+
+TEST_P(PlanTest, ComponentStructureMatchesTable3) {
+  const BipartiteGraph network(
+      static_cast<std::uint32_t>(plan_.users.size()),
+      static_cast<std::uint32_t>(plan_.projects.size()), plan_.memberships);
+  const ComponentInfo info = connected_components(network.graph());
+  const auto histogram = component_size_histogram(info);
+
+  // Small-community histogram: exact by construction.
+  EXPECT_EQ(histogram.at(2), 94u);
+  EXPECT_EQ(histogram.at(3), 31u);
+  EXPECT_EQ(histogram.at(4), 15u);
+  EXPECT_EQ(histogram.at(5), 7u);
+  EXPECT_EQ(histogram.at(7), 6u);
+
+  // One giant component close to the paper's 1,259 vertices with 1,051
+  // users; everything planned as giant must be connected.
+  const std::uint32_t giant = info.size[info.largest];
+  EXPECT_NEAR(giant, 1259.0, 30.0);
+  std::size_t giant_users = 0, giant_projects = 0;
+  for (std::size_t v = 0; v < info.label.size(); ++v) {
+    if (info.label[v] != info.largest) continue;
+    if (v < plan_.users.size()) {
+      ++giant_users;
+    } else {
+      ++giant_projects;
+    }
+  }
+  EXPECT_NEAR(giant_users, 1051.0, 30.0);
+  EXPECT_NEAR(giant_projects, 208.0, 12.0);
+}
+
+TEST_P(PlanTest, GiantIntentRealized) {
+  const BipartiteGraph network(
+      static_cast<std::uint32_t>(plan_.users.size()),
+      static_cast<std::uint32_t>(plan_.projects.size()), plan_.memberships);
+  const ComponentInfo info = connected_components(network.graph());
+  for (std::size_t p = 0; p < plan_.projects.size(); ++p) {
+    if (plan_.projects[p].giant_intent) {
+      EXPECT_TRUE(info.in_largest(network.project_vertex(
+          static_cast<std::uint32_t>(p))))
+          << plan_.projects[p].name;
+    }
+  }
+}
+
+TEST_P(PlanTest, ExtremePairForced) {
+  // Exactly the paper's §4.3.3 pair: 5 cli + 1 csc shared projects, and no
+  // other pair exceeds it.
+  std::vector<std::vector<std::uint32_t>> members(plan_.projects.size());
+  std::vector<std::uint32_t> project_domain(plan_.projects.size());
+  for (std::size_t p = 0; p < plan_.projects.size(); ++p) {
+    members[p] = plan_.projects[p].members;
+    project_domain[p] =
+        static_cast<std::uint32_t>(plan_.projects[p].domain);
+  }
+  const CollaborationStats stats = collaboration_stats(
+      static_cast<std::uint32_t>(plan_.users.size()), members,
+      project_domain, domain_count());
+  EXPECT_EQ(stats.max_shared_projects, 6u);
+}
+
+TEST_P(PlanTest, LookupsAndIds) {
+  EXPECT_EQ(plan_.user_index(plan_.users[5].uid), 5);
+  EXPECT_EQ(plan_.user_index(1), -1);
+  EXPECT_EQ(plan_.project_index(plan_.projects[7].name), 7);
+  EXPECT_EQ(plan_.project_index("nope999"), -1);
+  std::set<std::string> names;
+  for (const ProjectInfo& project : plan_.projects) {
+    EXPECT_TRUE(names.insert(project.name).second) << project.name;
+  }
+}
+
+TEST_P(PlanTest, DeterministicForSeed) {
+  const FacilityPlan again = plan_facility(GetParam());
+  ASSERT_EQ(again.memberships.size(), plan_.memberships.size());
+  for (std::size_t i = 0; i < again.memberships.size(); ++i) {
+    ASSERT_EQ(again.memberships[i].user, plan_.memberships[i].user);
+    ASSERT_EQ(again.memberships[i].project, plan_.memberships[i].project);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanTest,
+                         ::testing::Values(20150105, 7, 123456789));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,121 @@
+#include "synth/treegen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "snapshot/record.h"
+
+namespace spider {
+namespace {
+
+const DomainProfile& profile(const char* id) {
+  return domain_profiles()[static_cast<std::size_t>(domain_index(id))];
+}
+
+TEST(ProjectTreeTest, RootAndUserDirs) {
+  ProjectTree tree("/lustre/atlas2/cli104", profile("cli"), Rng(1));
+  EXPECT_EQ(tree.dir_count(), 1u);
+  EXPECT_EQ(tree.dir_path(0), "/lustre/atlas2/cli104");
+  EXPECT_EQ(tree.dir_depth(0), 3);
+
+  const std::size_t u1 = tree.ensure_user_dir("u0001", 10001);
+  const std::size_t u2 = tree.ensure_user_dir("u0002", 10002);
+  EXPECT_NE(u1, u2);
+  EXPECT_EQ(tree.dir_path(u1), "/lustre/atlas2/cli104/u0001");
+  EXPECT_EQ(tree.dir_depth(u1), 4);
+  EXPECT_EQ(tree.dir_uid(u1), 10001u);
+  // Idempotent.
+  EXPECT_EQ(tree.ensure_user_dir("u0001", 10001), u1);
+  EXPECT_EQ(tree.dir_count(), 3u);
+}
+
+TEST(ProjectTreeTest, GrowAddsExactlyCountDirs) {
+  ProjectTree tree("/lustre/atlas2/cli104", profile("cli"), Rng(2));
+  tree.ensure_user_dir("u0001", 10001);
+  tree.set_clock(1'420'000'000);
+  tree.grow(500);
+  EXPECT_EQ(tree.dir_count(), 502u);
+  for (std::size_t d = 0; d < tree.dir_count(); ++d) {
+    // Every path is rooted in the project and depth matches components.
+    EXPECT_EQ(tree.dir_path(d).rfind("/lustre/atlas2/cli104", 0), 0u);
+    EXPECT_EQ(tree.dir_depth(d), path_depth(tree.dir_path(d)));
+  }
+  EXPECT_EQ(tree.dir_ctime(501), 1'420'000'000);
+}
+
+TEST(ProjectTreeTest, DepthsTrackDomainProfile) {
+  // mat has depth_median 16; aph has 10. Grown trees should differ.
+  ProjectTree deep("/lustre/atlas2/mat101", profile("mat"), Rng(3));
+  deep.ensure_user_dir("u1", 1);
+  deep.grow(2000);
+  ProjectTree shallow("/lustre/atlas2/aph101", profile("aph"), Rng(3));
+  shallow.ensure_user_dir("u1", 1);
+  shallow.grow(2000);
+
+  auto median_depth = [](const ProjectTree& tree) {
+    std::vector<int> depths;
+    for (std::size_t d = 1; d < tree.dir_count(); ++d) {
+      depths.push_back(tree.dir_depth(d));
+    }
+    std::nth_element(depths.begin(), depths.begin() + depths.size() / 2,
+                     depths.end());
+    return depths[depths.size() / 2];
+  };
+  EXPECT_GT(median_depth(deep), median_depth(shallow));
+  // Respect the domain's cap (chains are bounded by depth_max - 1, i.e.
+  // the deepest file sits at depth_max).
+  for (std::size_t d = 0; d < deep.dir_count(); ++d) {
+    EXPECT_LT(deep.dir_depth(d), profile("mat").depth_max);
+  }
+}
+
+TEST(ProjectTreeTest, DeepChainReachesTarget) {
+  ProjectTree tree("/lustre/atlas2/stf101", profile("stf"), Rng(4));
+  tree.ensure_user_dir("u1", 1);
+  tree.add_deep_chain(2030, 1);
+  std::size_t max_depth = 0;
+  for (std::size_t d = 0; d < tree.dir_count(); ++d) {
+    max_depth = std::max<std::size_t>(max_depth, tree.dir_depth(d));
+  }
+  EXPECT_EQ(max_depth, 2030u);
+}
+
+TEST(ProjectTreeTest, FilePlacementConcentrates) {
+  ProjectTree tree("/lustre/atlas2/bip101", profile("bip"), Rng(5));
+  tree.ensure_user_dir("u1", 1);
+  tree.grow(1000);
+  Rng rng(6);
+  std::map<std::size_t, int> placements;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) ++placements[tree.sample_file_dir(rng)];
+  // Top-10 directories should absorb a large share of file placements
+  // (the paper's many-files-per-directory observation).
+  std::vector<int> counts;
+  for (const auto& [dir, count] : placements) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(counts.size()); ++i) {
+    top10 += counts[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(top10, kSamples / 4);
+  // The root itself never receives files.
+  EXPECT_EQ(placements.count(0), 0u);
+}
+
+TEST(ProjectTreeTest, UniquePaths) {
+  ProjectTree tree("/lustre/atlas2/csc101", profile("csc"), Rng(7));
+  tree.ensure_user_dir("u1", 1);
+  tree.ensure_user_dir("u2", 2);
+  tree.grow(3000);
+  std::set<std::string> seen;
+  for (std::size_t d = 0; d < tree.dir_count(); ++d) {
+    EXPECT_TRUE(seen.insert(tree.dir_path(d)).second)
+        << "duplicate directory path: " << tree.dir_path(d);
+  }
+}
+
+}  // namespace
+}  // namespace spider

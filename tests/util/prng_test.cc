@@ -1,0 +1,207 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace spider {
+namespace {
+
+TEST(SplitMix64Test, ReferenceVector) {
+  // Reference outputs for seed 1234567 from the published splitmix64.c.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(99);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.uniform_u64(10)];
+  for (int c : seen) EXPECT_GT(c, 800);  // ~1000 expected each
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(123);
+  double sum = 0, sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatchesBothRegimes) {
+  Rng rng(5);
+  for (const double mean : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches)
+{
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, LognormalMedianMatches) {
+  Rng rng(31);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(1.0, 0.75);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(1.0), 0.15);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  // The child stream must not simply replay the parent's.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, WeightedPickHonorsZeroWeights) {
+  Rng rng(11);
+  const std::vector<double> w = {0.0, 1.0, 0.0, 3.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted_pick(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / counts[1], 3.0, 0.5);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(13);
+  const std::vector<double> w = {1, 2, 3, 4};
+  AliasSampler sampler{std::span<const double>(w)};
+  std::vector<double> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[sampler.sample(rng)] += 1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / kN, w[i] / 10.0, 0.01) << "bucket " << i;
+  }
+}
+
+TEST(AliasSamplerTest, DegenerateInputsFallBackToUniform) {
+  Rng rng(19);
+  const std::vector<double> w = {0.0, 0.0, 0.0};
+  AliasSampler sampler{std::span<const double>(w)};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[sampler.sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(23);
+  const std::vector<double> w = {5.0};
+  AliasSampler sampler{std::span<const double>(w)};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, RankOneIsMostPopular) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::size_t r = zipf.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  // Zipf(1.0): P(1)/P(2) = 2.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.35);
+}
+
+TEST(PowerLawWeightsTest, ShapeAndSize) {
+  const auto w = power_law_weights(1, 10, 2.0);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+// Property sweep: bounded sampling stays in range and is roughly uniform
+// for a spread of bounds, including awkward non-power-of-two ones.
+class UniformBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBoundSweep, InRangeAndNonDegenerate) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 2654435761ULL + 1);
+  std::uint64_t min_seen = n, max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(n);
+    ASSERT_LT(v, n);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  // With 20k draws the extremes land within ~0.1% of the bounds even for
+  // n >> draws; exact 0 / n-1 hits are only guaranteed for small n.
+  EXPECT_LE(min_seen, n / 100);
+  EXPECT_GE(max_seen, n - 1 - n / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 10, 100, 1000, 65537));
+
+}  // namespace
+}  // namespace spider

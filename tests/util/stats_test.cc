@@ -1,0 +1,197 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, EmptyIsAllZero) {
+  const StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(StreamingStatsTest, CvZeroWhenMeanZero) {
+  StreamingStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential) {
+  Rng rng(101);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a, b, empty;
+  a.add(1.0);
+  a.add(3.0);
+  b.merge(a);  // empty.merge(nonempty)
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  b.merge(empty);  // nonempty.merge(empty)
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileTest, KnownQuantiles) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 3.25);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 42.0);
+  const std::vector<double> two = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 50), 2.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(percentile(two, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 400), 3.0);
+}
+
+TEST(FiveNumberTest, Summary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const FiveNumber fn = five_number_summary(v);
+  EXPECT_DOUBLE_EQ(fn.min, 1);
+  EXPECT_DOUBLE_EQ(fn.q25, 26);
+  EXPECT_DOUBLE_EQ(fn.median, 51);
+  EXPECT_DOUBLE_EQ(fn.q75, 76);
+  EXPECT_DOUBLE_EQ(fn.max, 101);
+  EXPECT_EQ(fn.count, 101u);
+}
+
+TEST(EmpiricalCdfTest, FractionAndQuantileAreConsistent) {
+  EmpiricalCdf cdf({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  Rng rng(3);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.lognormal(0, 1);
+  const EmpiricalCdf cdf(std::move(xs));
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-3);   // clamps to first bin
+  h.add(0.5);
+  h.add(2.5);
+  h.add(9.99);
+  h.add(10);   // clamps to last bin
+  h.add(100);  // clamps to last bin
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0, 10, 5), b(0, 10, 5);
+  a.add(1);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(4), 1u);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).n, 0u);
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(linear_fit(x, y).slope, 0.0);  // vertical line: no fit
+}
+
+TEST(LogLogFitTest, RecoversPowerLawExponent) {
+  // count(k) = 1e6 * k^-2.5 over k in [1, 100].
+  std::vector<std::uint64_t> counts(101, 0);
+  for (std::size_t k = 1; k <= 100; ++k) {
+    counts[k] = static_cast<std::uint64_t>(
+        1e6 * std::pow(static_cast<double>(k), -2.5));
+  }
+  const LinearFit fit = log_log_fit(counts);
+  EXPECT_NEAR(fit.slope, -2.5, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+// Property: for any sample, quantile(fraction_at_most(x)) >= x's rank
+// neighborhood — CDF and quantile are inverse-consistent.
+class CdfRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfRoundTrip, QuantileInvertsFraction) {
+  Rng rng(GetParam());
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.uniform(0, 1000);
+  EmpiricalCdf cdf(xs);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double x = cdf.quantile(q);
+    EXPECT_GE(cdf.fraction_at_most(x) + 1e-9, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace spider
