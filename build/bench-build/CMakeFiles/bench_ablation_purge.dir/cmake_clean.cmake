@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_purge"
+  "../bench/bench_ablation_purge.pdb"
+  "CMakeFiles/bench_ablation_purge.dir/bench_ablation_purge.cpp.o"
+  "CMakeFiles/bench_ablation_purge.dir/bench_ablation_purge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

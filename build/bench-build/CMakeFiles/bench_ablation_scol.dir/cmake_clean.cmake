@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scol"
+  "../bench/bench_ablation_scol.pdb"
+  "CMakeFiles/bench_ablation_scol.dir/bench_ablation_scol.cpp.o"
+  "CMakeFiles/bench_ablation_scol.dir/bench_ablation_scol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

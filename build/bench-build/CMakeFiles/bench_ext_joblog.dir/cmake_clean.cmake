@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_joblog"
+  "../bench/bench_ext_joblog.pdb"
+  "CMakeFiles/bench_ext_joblog.dir/bench_ext_joblog.cpp.o"
+  "CMakeFiles/bench_ext_joblog.dir/bench_ext_joblog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_joblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_users"
+  "../bench/bench_fig05_users.pdb"
+  "CMakeFiles/bench_fig05_users.dir/bench_fig05_users.cpp.o"
+  "CMakeFiles/bench_fig05_users.dir/bench_fig05_users.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_participation"
+  "../bench/bench_fig06_participation.pdb"
+  "CMakeFiles/bench_fig06_participation.dir/bench_fig06_participation.cpp.o"
+  "CMakeFiles/bench_fig06_participation.dir/bench_fig06_participation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

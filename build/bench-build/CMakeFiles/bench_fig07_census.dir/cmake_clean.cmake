@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_census"
+  "../bench/bench_fig07_census.pdb"
+  "CMakeFiles/bench_fig07_census.dir/bench_fig07_census.cpp.o"
+  "CMakeFiles/bench_fig07_census.dir/bench_fig07_census.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

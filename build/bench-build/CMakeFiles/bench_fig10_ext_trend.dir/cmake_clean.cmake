@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_ext_trend"
+  "../bench/bench_fig10_ext_trend.pdb"
+  "CMakeFiles/bench_fig10_ext_trend.dir/bench_fig10_ext_trend.cpp.o"
+  "CMakeFiles/bench_fig10_ext_trend.dir/bench_fig10_ext_trend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ext_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

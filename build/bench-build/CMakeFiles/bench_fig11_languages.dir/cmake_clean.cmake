@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_languages"
+  "../bench/bench_fig11_languages.pdb"
+  "CMakeFiles/bench_fig11_languages.dir/bench_fig11_languages.cpp.o"
+  "CMakeFiles/bench_fig11_languages.dir/bench_fig11_languages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_lang_domain"
+  "../bench/bench_fig12_lang_domain.pdb"
+  "CMakeFiles/bench_fig12_lang_domain.dir/bench_fig12_lang_domain.cpp.o"
+  "CMakeFiles/bench_fig12_lang_domain.dir/bench_fig12_lang_domain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lang_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ost"
+  "../bench/bench_fig14_ost.pdb"
+  "CMakeFiles/bench_fig14_ost.dir/bench_fig14_ost.cpp.o"
+  "CMakeFiles/bench_fig14_ost.dir/bench_fig14_ost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_growth"
+  "../bench/bench_fig15_growth.pdb"
+  "CMakeFiles/bench_fig15_growth.dir/bench_fig15_growth.cpp.o"
+  "CMakeFiles/bench_fig15_growth.dir/bench_fig15_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

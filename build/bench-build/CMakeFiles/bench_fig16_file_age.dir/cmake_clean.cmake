@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_file_age"
+  "../bench/bench_fig16_file_age.pdb"
+  "CMakeFiles/bench_fig16_file_age.dir/bench_fig16_file_age.cpp.o"
+  "CMakeFiles/bench_fig16_file_age.dir/bench_fig16_file_age.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_file_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_burstiness"
+  "../bench/bench_fig17_burstiness.pdb"
+  "CMakeFiles/bench_fig17_burstiness.dir/bench_fig17_burstiness.cpp.o"
+  "CMakeFiles/bench_fig17_burstiness.dir/bench_fig17_burstiness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_components"
+  "../bench/bench_fig19_components.pdb"
+  "CMakeFiles/bench_fig19_components.dir/bench_fig19_components.cpp.o"
+  "CMakeFiles/bench_fig19_components.dir/bench_fig19_components.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

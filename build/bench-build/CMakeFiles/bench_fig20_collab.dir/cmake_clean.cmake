@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_collab"
+  "../bench/bench_fig20_collab.pdb"
+  "CMakeFiles/bench_fig20_collab.dir/bench_fig20_collab.cpp.o"
+  "CMakeFiles/bench_fig20_collab.dir/bench_fig20_collab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_extensions"
+  "../bench/bench_table2_extensions.pdb"
+  "CMakeFiles/bench_table2_extensions.dir/bench_table2_extensions.cpp.o"
+  "CMakeFiles/bench_table2_extensions.dir/bench_table2_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

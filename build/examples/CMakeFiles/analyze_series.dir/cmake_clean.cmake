@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_series.dir/analyze_series.cpp.o"
+  "CMakeFiles/analyze_series.dir/analyze_series.cpp.o.d"
+  "analyze_series"
+  "analyze_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

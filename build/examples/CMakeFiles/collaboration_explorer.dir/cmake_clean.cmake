@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_explorer.dir/collaboration_explorer.cpp.o"
+  "CMakeFiles/collaboration_explorer.dir/collaboration_explorer.cpp.o.d"
+  "collaboration_explorer"
+  "collaboration_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purge_advisor.dir/purge_advisor.cpp.o"
+  "CMakeFiles/purge_advisor.dir/purge_advisor.cpp.o.d"
+  "purge_advisor"
+  "purge_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purge_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

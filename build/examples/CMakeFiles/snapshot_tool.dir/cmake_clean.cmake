@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_tool.dir/snapshot_tool.cpp.o"
+  "CMakeFiles/snapshot_tool.dir/snapshot_tool.cpp.o.d"
+  "snapshot_tool"
+  "snapshot_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--scale=2e-5" "--weeks=8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_purge_advisor "/root/repo/build/examples/purge_advisor" "--scale=1e-5" "--weeks=16")
+set_tests_properties(example_purge_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_collaboration_explorer "/root/repo/build/examples/collaboration_explorer" "--scale=1e-5" "--weeks=6" "--from=cli101" "--to=csc101")
+set_tests_properties(example_collaboration_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_snapshot_tool_pipeline "/usr/bin/cmake" "-DTOOL=/root/repo/build/examples/snapshot_tool" "-DANALYZE=/root/repo/build/examples/analyze_series" "-DWORKDIR=/root/repo/build/examples/tool_smoke" "-P" "/root/repo/examples/snapshot_tool_smoke.cmake")
+set_tests_properties(example_snapshot_tool_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/diff.cc" "src/engine/CMakeFiles/spider_engine.dir/diff.cc.o" "gcc" "src/engine/CMakeFiles/spider_engine.dir/diff.cc.o.d"
+  "/root/repo/src/engine/hash_index.cc" "src/engine/CMakeFiles/spider_engine.dir/hash_index.cc.o" "gcc" "src/engine/CMakeFiles/spider_engine.dir/hash_index.cc.o.d"
+  "/root/repo/src/engine/purge.cc" "src/engine/CMakeFiles/spider_engine.dir/purge.cc.o" "gcc" "src/engine/CMakeFiles/spider_engine.dir/purge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snapshot/CMakeFiles/spider_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

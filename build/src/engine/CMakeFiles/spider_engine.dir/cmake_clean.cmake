@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_engine.dir/diff.cc.o"
+  "CMakeFiles/spider_engine.dir/diff.cc.o.d"
+  "CMakeFiles/spider_engine.dir/hash_index.cc.o"
+  "CMakeFiles/spider_engine.dir/hash_index.cc.o.d"
+  "CMakeFiles/spider_engine.dir/purge.cc.o"
+  "CMakeFiles/spider_engine.dir/purge.cc.o.d"
+  "libspider_engine.a"
+  "libspider_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_graph.dir/bipartite.cc.o"
+  "CMakeFiles/spider_graph.dir/bipartite.cc.o.d"
+  "CMakeFiles/spider_graph.dir/components.cc.o"
+  "CMakeFiles/spider_graph.dir/components.cc.o.d"
+  "CMakeFiles/spider_graph.dir/graph.cc.o"
+  "CMakeFiles/spider_graph.dir/graph.cc.o.d"
+  "CMakeFiles/spider_graph.dir/metrics.cc.o"
+  "CMakeFiles/spider_graph.dir/metrics.cc.o.d"
+  "libspider_graph.a"
+  "libspider_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

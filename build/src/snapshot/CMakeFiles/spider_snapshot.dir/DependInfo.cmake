@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/psv.cc" "src/snapshot/CMakeFiles/spider_snapshot.dir/psv.cc.o" "gcc" "src/snapshot/CMakeFiles/spider_snapshot.dir/psv.cc.o.d"
+  "/root/repo/src/snapshot/record.cc" "src/snapshot/CMakeFiles/spider_snapshot.dir/record.cc.o" "gcc" "src/snapshot/CMakeFiles/spider_snapshot.dir/record.cc.o.d"
+  "/root/repo/src/snapshot/scol.cc" "src/snapshot/CMakeFiles/spider_snapshot.dir/scol.cc.o" "gcc" "src/snapshot/CMakeFiles/spider_snapshot.dir/scol.cc.o.d"
+  "/root/repo/src/snapshot/series.cc" "src/snapshot/CMakeFiles/spider_snapshot.dir/series.cc.o" "gcc" "src/snapshot/CMakeFiles/spider_snapshot.dir/series.cc.o.d"
+  "/root/repo/src/snapshot/table.cc" "src/snapshot/CMakeFiles/spider_snapshot.dir/table.cc.o" "gcc" "src/snapshot/CMakeFiles/spider_snapshot.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

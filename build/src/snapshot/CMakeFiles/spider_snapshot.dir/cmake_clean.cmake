@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_snapshot.dir/psv.cc.o"
+  "CMakeFiles/spider_snapshot.dir/psv.cc.o.d"
+  "CMakeFiles/spider_snapshot.dir/record.cc.o"
+  "CMakeFiles/spider_snapshot.dir/record.cc.o.d"
+  "CMakeFiles/spider_snapshot.dir/scol.cc.o"
+  "CMakeFiles/spider_snapshot.dir/scol.cc.o.d"
+  "CMakeFiles/spider_snapshot.dir/series.cc.o"
+  "CMakeFiles/spider_snapshot.dir/series.cc.o.d"
+  "CMakeFiles/spider_snapshot.dir/table.cc.o"
+  "CMakeFiles/spider_snapshot.dir/table.cc.o.d"
+  "libspider_snapshot.a"
+  "libspider_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

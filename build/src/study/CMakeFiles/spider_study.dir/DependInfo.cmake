@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/access_patterns.cc" "src/study/CMakeFiles/spider_study.dir/access_patterns.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/access_patterns.cc.o.d"
+  "/root/repo/src/study/burstiness.cc" "src/study/CMakeFiles/spider_study.dir/burstiness.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/burstiness.cc.o.d"
+  "/root/repo/src/study/census.cc" "src/study/CMakeFiles/spider_study.dir/census.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/census.cc.o.d"
+  "/root/repo/src/study/collaboration.cc" "src/study/CMakeFiles/spider_study.dir/collaboration.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/collaboration.cc.o.d"
+  "/root/repo/src/study/extensions.cc" "src/study/CMakeFiles/spider_study.dir/extensions.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/extensions.cc.o.d"
+  "/root/repo/src/study/file_age.cc" "src/study/CMakeFiles/spider_study.dir/file_age.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/file_age.cc.o.d"
+  "/root/repo/src/study/full_study.cc" "src/study/CMakeFiles/spider_study.dir/full_study.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/full_study.cc.o.d"
+  "/root/repo/src/study/growth.cc" "src/study/CMakeFiles/spider_study.dir/growth.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/growth.cc.o.d"
+  "/root/repo/src/study/joblog.cc" "src/study/CMakeFiles/spider_study.dir/joblog.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/joblog.cc.o.d"
+  "/root/repo/src/study/languages.cc" "src/study/CMakeFiles/spider_study.dir/languages.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/languages.cc.o.d"
+  "/root/repo/src/study/network.cc" "src/study/CMakeFiles/spider_study.dir/network.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/network.cc.o.d"
+  "/root/repo/src/study/participation.cc" "src/study/CMakeFiles/spider_study.dir/participation.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/participation.cc.o.d"
+  "/root/repo/src/study/runner.cc" "src/study/CMakeFiles/spider_study.dir/runner.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/runner.cc.o.d"
+  "/root/repo/src/study/striping.cc" "src/study/CMakeFiles/spider_study.dir/striping.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/striping.cc.o.d"
+  "/root/repo/src/study/user_profile.cc" "src/study/CMakeFiles/spider_study.dir/user_profile.cc.o" "gcc" "src/study/CMakeFiles/spider_study.dir/user_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/spider_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spider_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/spider_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spider_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_study.dir/access_patterns.cc.o"
+  "CMakeFiles/spider_study.dir/access_patterns.cc.o.d"
+  "CMakeFiles/spider_study.dir/burstiness.cc.o"
+  "CMakeFiles/spider_study.dir/burstiness.cc.o.d"
+  "CMakeFiles/spider_study.dir/census.cc.o"
+  "CMakeFiles/spider_study.dir/census.cc.o.d"
+  "CMakeFiles/spider_study.dir/collaboration.cc.o"
+  "CMakeFiles/spider_study.dir/collaboration.cc.o.d"
+  "CMakeFiles/spider_study.dir/extensions.cc.o"
+  "CMakeFiles/spider_study.dir/extensions.cc.o.d"
+  "CMakeFiles/spider_study.dir/file_age.cc.o"
+  "CMakeFiles/spider_study.dir/file_age.cc.o.d"
+  "CMakeFiles/spider_study.dir/full_study.cc.o"
+  "CMakeFiles/spider_study.dir/full_study.cc.o.d"
+  "CMakeFiles/spider_study.dir/growth.cc.o"
+  "CMakeFiles/spider_study.dir/growth.cc.o.d"
+  "CMakeFiles/spider_study.dir/joblog.cc.o"
+  "CMakeFiles/spider_study.dir/joblog.cc.o.d"
+  "CMakeFiles/spider_study.dir/languages.cc.o"
+  "CMakeFiles/spider_study.dir/languages.cc.o.d"
+  "CMakeFiles/spider_study.dir/network.cc.o"
+  "CMakeFiles/spider_study.dir/network.cc.o.d"
+  "CMakeFiles/spider_study.dir/participation.cc.o"
+  "CMakeFiles/spider_study.dir/participation.cc.o.d"
+  "CMakeFiles/spider_study.dir/runner.cc.o"
+  "CMakeFiles/spider_study.dir/runner.cc.o.d"
+  "CMakeFiles/spider_study.dir/striping.cc.o"
+  "CMakeFiles/spider_study.dir/striping.cc.o.d"
+  "CMakeFiles/spider_study.dir/user_profile.cc.o"
+  "CMakeFiles/spider_study.dir/user_profile.cc.o.d"
+  "libspider_study.a"
+  "libspider_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/domains.cc" "src/synth/CMakeFiles/spider_synth.dir/domains.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/domains.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/spider_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/infer.cc" "src/synth/CMakeFiles/spider_synth.dir/infer.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/infer.cc.o.d"
+  "/root/repo/src/synth/langmap.cc" "src/synth/CMakeFiles/spider_synth.dir/langmap.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/langmap.cc.o.d"
+  "/root/repo/src/synth/plan.cc" "src/synth/CMakeFiles/spider_synth.dir/plan.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/plan.cc.o.d"
+  "/root/repo/src/synth/treegen.cc" "src/synth/CMakeFiles/spider_synth.dir/treegen.cc.o" "gcc" "src/synth/CMakeFiles/spider_synth.dir/treegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snapshot/CMakeFiles/spider_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spider_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

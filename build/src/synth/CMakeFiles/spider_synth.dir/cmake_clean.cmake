@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_synth.dir/domains.cc.o"
+  "CMakeFiles/spider_synth.dir/domains.cc.o.d"
+  "CMakeFiles/spider_synth.dir/generator.cc.o"
+  "CMakeFiles/spider_synth.dir/generator.cc.o.d"
+  "CMakeFiles/spider_synth.dir/infer.cc.o"
+  "CMakeFiles/spider_synth.dir/infer.cc.o.d"
+  "CMakeFiles/spider_synth.dir/langmap.cc.o"
+  "CMakeFiles/spider_synth.dir/langmap.cc.o.d"
+  "CMakeFiles/spider_synth.dir/plan.cc.o"
+  "CMakeFiles/spider_synth.dir/plan.cc.o.d"
+  "CMakeFiles/spider_synth.dir/treegen.cc.o"
+  "CMakeFiles/spider_synth.dir/treegen.cc.o.d"
+  "libspider_synth.a"
+  "libspider_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_util.dir/arena.cc.o"
+  "CMakeFiles/spider_util.dir/arena.cc.o.d"
+  "CMakeFiles/spider_util.dir/cli.cc.o"
+  "CMakeFiles/spider_util.dir/cli.cc.o.d"
+  "CMakeFiles/spider_util.dir/parallel.cc.o"
+  "CMakeFiles/spider_util.dir/parallel.cc.o.d"
+  "CMakeFiles/spider_util.dir/prng.cc.o"
+  "CMakeFiles/spider_util.dir/prng.cc.o.d"
+  "CMakeFiles/spider_util.dir/stats.cc.o"
+  "CMakeFiles/spider_util.dir/stats.cc.o.d"
+  "CMakeFiles/spider_util.dir/table.cc.o"
+  "CMakeFiles/spider_util.dir/table.cc.o.d"
+  "CMakeFiles/spider_util.dir/timeutil.cc.o"
+  "CMakeFiles/spider_util.dir/timeutil.cc.o.d"
+  "libspider_util.a"
+  "libspider_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

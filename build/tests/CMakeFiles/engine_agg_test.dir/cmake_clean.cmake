@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_agg_test.dir/engine/agg_test.cc.o"
+  "CMakeFiles/engine_agg_test.dir/engine/agg_test.cc.o.d"
+  "engine_agg_test"
+  "engine_agg_test.pdb"
+  "engine_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_diff_test.dir/engine/diff_test.cc.o"
+  "CMakeFiles/engine_diff_test.dir/engine/diff_test.cc.o.d"
+  "engine_diff_test"
+  "engine_diff_test.pdb"
+  "engine_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_purge_test.dir/engine/purge_test.cc.o"
+  "CMakeFiles/engine_purge_test.dir/engine/purge_test.cc.o.d"
+  "engine_purge_test"
+  "engine_purge_test.pdb"
+  "engine_purge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_purge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_record_test.dir/snapshot/record_test.cc.o"
+  "CMakeFiles/snapshot_record_test.dir/snapshot/record_test.cc.o.d"
+  "snapshot_record_test"
+  "snapshot_record_test.pdb"
+  "snapshot_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

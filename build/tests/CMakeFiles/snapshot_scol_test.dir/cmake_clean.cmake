@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_scol_test.dir/snapshot/scol_test.cc.o"
+  "CMakeFiles/snapshot_scol_test.dir/snapshot/scol_test.cc.o.d"
+  "snapshot_scol_test"
+  "snapshot_scol_test.pdb"
+  "snapshot_scol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_scol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_table_test.dir/snapshot/table_test.cc.o"
+  "CMakeFiles/snapshot_table_test.dir/snapshot/table_test.cc.o.d"
+  "snapshot_table_test"
+  "snapshot_table_test.pdb"
+  "snapshot_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_analyzers_test.dir/study/analyzers_test.cc.o"
+  "CMakeFiles/study_analyzers_test.dir/study/analyzers_test.cc.o.d"
+  "study_analyzers_test"
+  "study_analyzers_test.pdb"
+  "study_analyzers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_analyzers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

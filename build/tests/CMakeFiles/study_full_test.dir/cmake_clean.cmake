@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_full_test.dir/study/full_study_test.cc.o"
+  "CMakeFiles/study_full_test.dir/study/full_study_test.cc.o.d"
+  "study_full_test"
+  "study_full_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

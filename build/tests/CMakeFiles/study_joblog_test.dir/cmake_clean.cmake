@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_joblog_test.dir/study/joblog_test.cc.o"
+  "CMakeFiles/study_joblog_test.dir/study/joblog_test.cc.o.d"
+  "study_joblog_test"
+  "study_joblog_test.pdb"
+  "study_joblog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_joblog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

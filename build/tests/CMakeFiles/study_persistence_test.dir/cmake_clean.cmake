@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_persistence_test.dir/study/persistence_test.cc.o"
+  "CMakeFiles/study_persistence_test.dir/study/persistence_test.cc.o.d"
+  "study_persistence_test"
+  "study_persistence_test.pdb"
+  "study_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

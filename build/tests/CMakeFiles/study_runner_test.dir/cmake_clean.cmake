@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_runner_test.dir/study/runner_test.cc.o"
+  "CMakeFiles/study_runner_test.dir/study/runner_test.cc.o.d"
+  "study_runner_test"
+  "study_runner_test.pdb"
+  "study_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_domains_test.dir/synth/domains_test.cc.o"
+  "CMakeFiles/synth_domains_test.dir/synth/domains_test.cc.o.d"
+  "synth_domains_test"
+  "synth_domains_test.pdb"
+  "synth_domains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_generator_test.dir/synth/generator_test.cc.o"
+  "CMakeFiles/synth_generator_test.dir/synth/generator_test.cc.o.d"
+  "synth_generator_test"
+  "synth_generator_test.pdb"
+  "synth_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

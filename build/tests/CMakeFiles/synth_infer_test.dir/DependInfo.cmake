@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synth/infer_test.cc" "tests/CMakeFiles/synth_infer_test.dir/synth/infer_test.cc.o" "gcc" "tests/CMakeFiles/synth_infer_test.dir/synth/infer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/spider_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spider_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spider_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spider_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/spider_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

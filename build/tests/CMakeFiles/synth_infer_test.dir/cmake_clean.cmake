@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_infer_test.dir/synth/infer_test.cc.o"
+  "CMakeFiles/synth_infer_test.dir/synth/infer_test.cc.o.d"
+  "synth_infer_test"
+  "synth_infer_test.pdb"
+  "synth_infer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_plan_test.dir/synth/plan_test.cc.o"
+  "CMakeFiles/synth_plan_test.dir/synth/plan_test.cc.o.d"
+  "synth_plan_test"
+  "synth_plan_test.pdb"
+  "synth_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_treegen_test.dir/synth/treegen_test.cc.o"
+  "CMakeFiles/synth_treegen_test.dir/synth/treegen_test.cc.o.d"
+  "synth_treegen_test"
+  "synth_treegen_test.pdb"
+  "synth_treegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_treegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_prng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_record_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_table_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_psv_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_scol_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_series_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_purge_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_metrics_property_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_psv_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_domains_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_treegen_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_infer_test[1]_include.cmake")
+include("/root/repo/build/tests/study_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/study_analyzers_test[1]_include.cmake")
+include("/root/repo/build/tests/study_joblog_test[1]_include.cmake")
+include("/root/repo/build/tests/study_persistence_test[1]_include.cmake")
+add_test(study_full_test "/root/repo/build/tests/study_full_test")
+set_tests_properties(study_full_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,3 @@
+add_test([=[PersistenceTest.DiskRoundTripMatchesDirectAnalysis]=]  /root/repo/build/tests/study_persistence_test [==[--gtest_filter=PersistenceTest.DiskRoundTripMatchesDirectAnalysis]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PersistenceTest.DiskRoundTripMatchesDirectAnalysis]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  study_persistence_test_TESTS PersistenceTest.DiskRoundTripMatchesDirectAnalysis)
