@@ -23,14 +23,40 @@ using CountMap = std::unordered_map<Key, std::uint64_t>;
 
 template <typename Key>
 void merge_counts(CountMap<Key>& into, const CountMap<Key>& from) {
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  into.reserve(into.size() + from.size());
   for (const auto& [key, count] : from) into[key] += count;
 }
 
+/// Destructive merge for reduce trees: addition commutes, so when `from`
+/// holds more groups than `into` we swap before folding — each key pair is
+/// rehashed at most min(|into|, |from|) times instead of |from| times.
+template <typename Key>
+void merge_counts(CountMap<Key>& into, CountMap<Key>&& from) {
+  if (from.size() > into.size()) into.swap(from);
+  if (from.empty()) return;
+  into.reserve(into.size() + from.size());
+  for (auto it = from.begin(); it != from.end();) {
+    auto node = from.extract(it++);
+    auto res = into.insert(std::move(node));
+    if (!res.inserted) res.position->second += res.node.mapped();
+  }
+}
+
 /// Parallel grouped count over [0, n). `emit_keys(row, emit)` calls
-/// emit(key, weight) zero or more times per row.
+/// emit(key, weight) zero or more times per row. One accumulator per pool
+/// thread (not per chunk): hash-map partials are expensive to merge, so the
+/// grain is sized to produce exactly pool-width chunks.
 template <typename Key, typename EmitKeys>
 CountMap<Key> parallel_count(std::size_t n, EmitKeys&& emit_keys,
-                             std::size_t grain = 8192) {
+                             std::size_t grain = 0) {
+  if (grain == 0 && n > 0) {
+    const std::size_t width = std::max(1u, ThreadPool::global().size());
+    grain = std::max<std::size_t>(kGrainMin, (n + width - 1) / width);
+  }
   return parallel_reduce<CountMap<Key>>(
       n, CountMap<Key>{},
       [&emit_keys](CountMap<Key>& acc, std::size_t row) {
@@ -39,7 +65,7 @@ CountMap<Key> parallel_count(std::size_t n, EmitKeys&& emit_keys,
         });
       },
       [](CountMap<Key>& into, CountMap<Key>& from) {
-        merge_counts(into, from);
+        merge_counts(into, std::move(from));
       },
       nullptr, grain);
 }

@@ -1,11 +1,14 @@
 #include "snapshot/psv.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace spider {
 
@@ -141,6 +144,77 @@ bool read_psv(std::istream& is, SnapshotTable* table, std::string* error) {
   return true;
 }
 
+bool read_psv_buffer(std::string_view text, SnapshotTable* table,
+                     std::string* error, ThreadPool* pool) {
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+
+  // Shard boundaries: roughly even byte cuts, each advanced to the next
+  // newline so no line straddles two shards. A few shards per worker give
+  // the dynamic scheduler room to balance skewed path lengths; small
+  // buffers stay in one shard and parse inline.
+  constexpr std::size_t kMinShardBytes = 1 << 16;
+  const std::size_t want =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   4 * p.size(), text.size() / kMinShardBytes));
+  std::vector<std::size_t> starts;
+  starts.push_back(0);
+  for (std::size_t s = 1; s < want; ++s) {
+    std::size_t cut = s * (text.size() / want);
+    const std::size_t nl = text.find('\n', cut);
+    if (nl == std::string_view::npos) break;
+    cut = nl + 1;
+    if (cut > starts.back() && cut < text.size()) starts.push_back(cut);
+  }
+  const std::size_t shards = starts.size();
+
+  struct ShardResult {
+    SnapshotTable staged;
+    std::size_t lines = 0;       // lines consumed (including empty ones)
+    std::size_t error_line = 0;  // 1-based within the shard; 0 = ok
+    std::string why;
+  };
+  std::vector<ShardResult> results(shards);
+
+  parallel_for(
+      shards,
+      [&](std::size_t s) {
+        ShardResult& r = results[s];
+        const std::size_t end =
+            s + 1 < shards ? starts[s + 1] : text.size();
+        std::string_view body = text.substr(starts[s], end - starts[s]);
+        RawRecord rec;
+        while (!body.empty()) {
+          const std::size_t nl = body.find('\n');
+          const std::string_view line =
+              nl == std::string_view::npos ? body : body.substr(0, nl);
+          body.remove_prefix(nl == std::string_view::npos ? body.size()
+                                                          : nl + 1);
+          ++r.lines;
+          if (line.empty()) continue;
+          if (r.error_line == 0 && !psv_parse_record(line, &rec, &r.why)) {
+            r.error_line = r.lines;
+            break;
+          }
+          r.staged.add(rec);
+        }
+      },
+      &p, /*grain=*/1);
+
+  std::size_t line_base = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (results[s].error_line != 0) {
+      if (error) {
+        *error = "line " + std::to_string(line_base + results[s].error_line) +
+                 ": " + results[s].why;
+      }
+      return false;
+    }
+    line_base += results[s].lines;
+  }
+  for (ShardResult& r : results) table->append_table(std::move(r.staged));
+  return true;
+}
+
 bool write_psv_file(const SnapshotTable& table, const std::string& file,
                     std::string* error) {
   std::ofstream os(file, std::ios::binary);
@@ -159,12 +233,20 @@ bool write_psv_file(const SnapshotTable& table, const std::string& file,
 
 bool read_psv_file(const std::string& file, SnapshotTable* table,
                    std::string* error) {
-  std::ifstream is(file, std::ios::binary);
+  std::ifstream is(file, std::ios::binary | std::ios::ate);
   if (!is) {
     if (error) *error = "cannot open for read: " + file;
     return false;
   }
-  return read_psv(is, table, error);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  is.read(text.data(), size);
+  if (!is) {
+    if (error) *error = "read failed: " + file;
+    return false;
+  }
+  return read_psv_buffer(text, table, error);
 }
 
 }  // namespace spider

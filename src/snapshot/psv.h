@@ -17,6 +17,8 @@
 
 namespace spider {
 
+class ThreadPool;
+
 /// Formats one record as a PSV line (no trailing newline).
 std::string psv_format_record(const RawRecord& rec);
 
@@ -30,10 +32,24 @@ std::uint64_t write_psv(const SnapshotTable& table, std::ostream& os);
 
 /// Appends all records from a PSV stream into `table`. Stops at the first
 /// malformed line and reports it (line number + reason) via `error`.
+/// Serial; kept for stream-shaped inputs. Prefer read_psv_buffer when the
+/// whole text is in memory.
 bool read_psv(std::istream& is, SnapshotTable* table,
               std::string* error = nullptr);
 
-/// File-based convenience wrappers.
+/// Appends all records from an in-memory PSV buffer into `table`. The
+/// buffer is split on newline boundaries into shards that parse
+/// concurrently on `pool` (null = the process-global pool) into staging
+/// tables, which are spliced in shard order — row order, calibration
+/// counts, and path hashes are identical to the serial reader's. On a
+/// malformed line, reports the earliest offending line (global 1-based
+/// number + reason) via `error` and appends nothing (unlike the streaming
+/// reader, which has already added the rows before the bad line).
+bool read_psv_buffer(std::string_view text, SnapshotTable* table,
+                     std::string* error = nullptr, ThreadPool* pool = nullptr);
+
+/// File-based convenience wrappers. Reading slurps the file and uses the
+/// parallel buffer path.
 bool write_psv_file(const SnapshotTable& table, const std::string& file,
                     std::string* error = nullptr);
 bool read_psv_file(const std::string& file, SnapshotTable* table,

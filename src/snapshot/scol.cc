@@ -6,12 +6,14 @@
 
 #include "snapshot/varint.h"
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace spider {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'C', 'O', 'L', '0', '0', '0', '1'};
+constexpr char kMagicV1[8] = {'S', 'C', 'O', 'L', '0', '0', '0', '1'};
+constexpr char kMagicV2[8] = {'S', 'C', 'O', 'L', '0', '0', '0', '2'};
 
 enum ColumnId : std::uint8_t {
   kColPaths = 1,
@@ -65,12 +67,16 @@ std::size_t shared_prefix(std::string_view a, std::string_view b) {
 }
 
 // ---- column encoders ------------------------------------------------------
+// Every encoder covers rows [begin, end) and starts from fresh state
+// (empty front-coding prefix, zero delta base, new run), which is what
+// makes a v2 row group decodable without its predecessors.
 
 std::vector<std::uint8_t> encode_paths(const SnapshotTable& t,
+                                       std::size_t begin, std::size_t end,
                                        bool front_code) {
   std::vector<std::uint8_t> out;
   std::string_view prev;
-  for (std::size_t i = 0; i < t.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const std::string_view p = t.path(i);
     if (front_code) {
       const std::size_t shared = shared_prefix(prev, p);
@@ -144,9 +150,10 @@ std::vector<std::uint8_t> encode_inodes(std::span<const std::uint64_t> col,
   return out;
 }
 
-std::vector<std::uint8_t> encode_osts(const SnapshotTable& t) {
+std::vector<std::uint8_t> encode_osts(const SnapshotTable& t,
+                                      std::size_t begin, std::size_t end) {
   std::vector<std::uint8_t> out;
-  for (std::size_t i = 0; i < t.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const auto osts = t.osts(i);
     put_varint(out, osts.size());
     for (const std::uint32_t o : osts) put_varint(out, o);
@@ -163,6 +170,44 @@ void append_column(std::vector<std::uint8_t>& image, ColumnId id, Encoding enc,
   image.insert(image.end(), payload.begin(), payload.end());
 }
 
+/// Writes the column-count byte plus all nine column blocks for rows
+/// [begin, end). The whole v1 body, and one v2 row group.
+void encode_column_set(std::vector<std::uint8_t>& out, const SnapshotTable& t,
+                       std::size_t begin, std::size_t end,
+                       const ScolOptions& options) {
+  const Encoding ts_enc =
+      options.delta_timestamps ? kEncDeltaPrev : kEncZigzagAbs;
+  const Encoding rel_enc =
+      options.delta_timestamps ? kEncDeltaMtime : kEncZigzagAbs;
+  const Encoding id_enc = options.rle_ids ? kEncRle : kEncPlainVarint;
+  const std::size_t n = end - begin;
+
+  out.push_back(9);  // column count
+  append_column(out, kColPaths,
+                options.front_code_paths ? kEncFrontCoded : kEncPlainStrings,
+                encode_paths(t, begin, end, options.front_code_paths));
+  append_column(out, kColMtime, ts_enc,
+                encode_i64_column(t.mtimes().subspan(begin, n), ts_enc, {}));
+  append_column(out, kColAtime, rel_enc,
+                encode_i64_column(t.atimes().subspan(begin, n), rel_enc,
+                                  t.mtimes().subspan(begin, n)));
+  append_column(out, kColCtime, rel_enc,
+                encode_i64_column(t.ctimes().subspan(begin, n), rel_enc,
+                                  t.mtimes().subspan(begin, n)));
+  append_column(out, kColUid, id_enc,
+                encode_u32_column(t.uids().subspan(begin, n), options.rle_ids));
+  append_column(out, kColGid, id_enc,
+                encode_u32_column(t.gids().subspan(begin, n), options.rle_ids));
+  append_column(out, kColMode, id_enc,
+                encode_u32_column(t.modes().subspan(begin, n),
+                                  options.rle_ids));
+  append_column(out, kColInode,
+                options.delta_inodes ? kEncDeltaPrev : kEncPlainVarint,
+                encode_inodes(t.inodes().subspan(begin, n),
+                              options.delta_inodes));
+  append_column(out, kColOst, kEncOstLists, encode_osts(t, begin, end));
+}
+
 // ---- column decoders ------------------------------------------------------
 
 struct ColumnBlock {
@@ -177,6 +222,11 @@ bool fail(std::string* error, std::string_view reason) {
 
 bool decode_paths(const ColumnBlock& block, std::size_t rows,
                   std::vector<std::string>* out, std::string* error) {
+  // Every row costs at least one payload byte; rejecting implausible row
+  // counts up front keeps a corrupted header from driving a huge reserve.
+  if (rows > block.payload.size()) {
+    return fail(error, "paths: row count exceeds payload");
+  }
   out->clear();
   out->reserve(rows);
   std::size_t pos = 0;
@@ -208,6 +258,9 @@ bool decode_paths(const ColumnBlock& block, std::size_t rows,
 bool decode_i64(const ColumnBlock& block, std::size_t rows,
                 std::span<const std::int64_t> base,
                 std::vector<std::int64_t>* out, std::string* error) {
+  if (rows > block.payload.size()) {
+    return fail(error, "timestamp row count exceeds payload");
+  }
   out->clear();
   out->reserve(rows);
   std::size_t pos = 0;
@@ -319,54 +372,13 @@ bool decode_osts(const ColumnBlock& block, std::size_t rows,
   return true;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
-                                      const ScolOptions& options) {
-  std::vector<std::uint8_t> image;
-  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
-  put_u64_le(image, table.size());
-  image.push_back(9);  // column count
-
-  const Encoding ts_enc =
-      options.delta_timestamps ? kEncDeltaPrev : kEncZigzagAbs;
-  const Encoding rel_enc =
-      options.delta_timestamps ? kEncDeltaMtime : kEncZigzagAbs;
-  const Encoding id_enc = options.rle_ids ? kEncRle : kEncPlainVarint;
-
-  append_column(image, kColPaths,
-                options.front_code_paths ? kEncFrontCoded : kEncPlainStrings,
-                encode_paths(table, options.front_code_paths));
-  append_column(image, kColMtime, ts_enc,
-                encode_i64_column(table.mtimes(), ts_enc, {}));
-  append_column(image, kColAtime, rel_enc,
-                encode_i64_column(table.atimes(), rel_enc, table.mtimes()));
-  append_column(image, kColCtime, rel_enc,
-                encode_i64_column(table.ctimes(), rel_enc, table.mtimes()));
-  append_column(image, kColUid, id_enc,
-                encode_u32_column(table.uids(), options.rle_ids));
-  append_column(image, kColGid, id_enc,
-                encode_u32_column(table.gids(), options.rle_ids));
-  append_column(image, kColMode, id_enc,
-                encode_u32_column(table.modes(), options.rle_ids));
-  append_column(image, kColInode,
-                options.delta_inodes ? kEncDeltaPrev : kEncPlainVarint,
-                encode_inodes(table.inodes(), options.delta_inodes));
-  append_column(image, kColOst, kEncOstLists, encode_osts(table));
-  return image;
-}
-
-bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
-                 std::string* error) {
-  std::size_t pos = 0;
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return fail(error, "bad magic");
-  }
-  pos = sizeof(kMagic);
-  std::uint64_t rows = 0;
-  if (!get_u64_le(bytes, pos, rows)) return fail(error, "truncated header");
-  if (pos >= bytes.size()) return fail(error, "truncated header");
+/// Reads one column set (count byte + blocks) for `rows` rows starting at
+/// `pos`, validating checksums, and appends the decoded rows to `table`.
+/// The inverse of encode_column_set; the whole v1 body, one v2 row group.
+bool decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
+                       std::size_t rows, SnapshotTable* table,
+                       std::string* error) {
+  if (pos >= bytes.size()) return fail(error, "truncated column set");
   const std::uint8_t ncols = bytes[pos++];
 
   std::map<std::uint8_t, ColumnBlock> blocks;
@@ -378,7 +390,7 @@ bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
     if (!get_u64_le(bytes, pos, size) || !get_u64_le(bytes, pos, checksum)) {
       return fail(error, "truncated column header");
     }
-    if (pos + size > bytes.size()) return fail(error, "truncated payload");
+    if (size > bytes.size() - pos) return fail(error, "truncated payload");
     const auto payload = bytes.subspan(pos, size);
     if (payload_checksum(payload) != checksum) {
       return fail(error, "column checksum mismatch");
@@ -419,6 +431,158 @@ bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
   return true;
 }
 
+// ---- v1 (single column set) ----------------------------------------------
+
+std::vector<std::uint8_t> encode_scol_v1(const SnapshotTable& table,
+                                         const ScolOptions& options) {
+  std::vector<std::uint8_t> image;
+  image.insert(image.end(), kMagicV1, kMagicV1 + sizeof(kMagicV1));
+  put_u64_le(image, table.size());
+  encode_column_set(image, table, 0, table.size(), options);
+  return image;
+}
+
+bool decode_scol_v1(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                    std::string* error) {
+  std::size_t pos = sizeof(kMagicV1);
+  std::uint64_t rows = 0;
+  if (!get_u64_le(bytes, pos, rows)) return fail(error, "truncated header");
+  return decode_column_set(bytes, pos, rows, table, error);
+}
+
+// ---- v2 (row groups) ------------------------------------------------------
+//
+//   magic "SCOL0002"
+//   u64 total rows
+//   u64 nominal group size (rows; last group may be short)
+//   u64 group count
+//   directory: per group { u64 rows, u64 byte size }
+//   groups, concatenated in row order; each one column set
+//
+// Group byte offsets are the running sum of directory sizes, so the
+// directory fully bounds every group before any payload is touched.
+
+std::vector<std::uint8_t> encode_scol_v2(const SnapshotTable& table,
+                                         const ScolOptions& options,
+                                         ThreadPool* pool) {
+  const std::size_t rows = table.size();
+  const std::size_t group_size = std::max<std::size_t>(1, options.group_size);
+  const std::size_t ngroups = (rows + group_size - 1) / group_size;
+
+  std::vector<std::vector<std::uint8_t>> groups(ngroups);
+  parallel_for(
+      ngroups,
+      [&](std::size_t g) {
+        const std::size_t begin = g * group_size;
+        const std::size_t end = std::min(begin + group_size, rows);
+        encode_column_set(groups[g], table, begin, end, options);
+      },
+      pool, /*grain=*/1);
+
+  std::size_t payload_bytes = 0;
+  for (const auto& g : groups) payload_bytes += g.size();
+
+  std::vector<std::uint8_t> image;
+  image.reserve(sizeof(kMagicV2) + 3 * 8 + ngroups * 16 + payload_bytes);
+  image.insert(image.end(), kMagicV2, kMagicV2 + sizeof(kMagicV2));
+  put_u64_le(image, rows);
+  put_u64_le(image, group_size);
+  put_u64_le(image, ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const std::size_t begin = g * group_size;
+    put_u64_le(image, std::min(group_size, rows - begin));
+    put_u64_le(image, groups[g].size());
+  }
+  for (const auto& g : groups) image.insert(image.end(), g.begin(), g.end());
+  return image;
+}
+
+bool decode_scol_v2(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                    std::string* error, ThreadPool* pool) {
+  std::size_t pos = sizeof(kMagicV2);
+  std::uint64_t rows = 0, group_size = 0, ngroups = 0;
+  if (!get_u64_le(bytes, pos, rows) || !get_u64_le(bytes, pos, group_size) ||
+      !get_u64_le(bytes, pos, ngroups)) {
+    return fail(error, "truncated header");
+  }
+  if (ngroups > (bytes.size() - pos) / 16) {
+    return fail(error, "implausible group count");
+  }
+
+  std::vector<std::uint64_t> group_rows(ngroups);
+  std::vector<std::size_t> group_begin(ngroups), group_len(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    std::uint64_t size = 0;
+    if (!get_u64_le(bytes, pos, group_rows[g]) ||
+        !get_u64_le(bytes, pos, size)) {
+      return fail(error, "truncated group directory");
+    }
+    group_len[g] = static_cast<std::size_t>(size);
+  }
+  std::uint64_t dir_rows = 0;
+  std::size_t offset = pos;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    dir_rows += group_rows[g];
+    if (group_len[g] > bytes.size() - offset) {
+      return fail(error, "group extends past end of image");
+    }
+    group_begin[g] = offset;
+    offset += group_len[g];
+  }
+  if (dir_rows != rows) return fail(error, "group directory row mismatch");
+
+  // Decode groups concurrently into per-group staging tables; any failure
+  // is reported for the lowest-numbered failing group so messages are
+  // deterministic across schedules.
+  std::vector<SnapshotTable> staging(ngroups);
+  std::vector<std::string> group_error(ngroups);
+  std::vector<std::uint8_t> ok(ngroups, 0);
+  parallel_for(
+      ngroups,
+      [&](std::size_t g) {
+        ok[g] = decode_column_set(bytes.subspan(group_begin[g], group_len[g]),
+                                  0, group_rows[g], &staging[g],
+                                  &group_error[g])
+                    ? 1
+                    : 0;
+      },
+      pool, /*grain=*/1);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    if (!ok[g]) {
+      return fail(error,
+                  "group " + std::to_string(g) + ": " + group_error[g]);
+    }
+  }
+
+  table->reserve(table->size() + rows);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    table->append_table(std::move(staging[g]));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
+                                      const ScolOptions& options,
+                                      ThreadPool* pool) {
+  if (options.format_version == 1) return encode_scol_v1(table, options);
+  return encode_scol_v2(table, options, pool);
+}
+
+bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                 std::string* error, ThreadPool* pool) {
+  if (bytes.size() >= sizeof(kMagicV2) &&
+      std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    return decode_scol_v2(bytes, table, error, pool);
+  }
+  if (bytes.size() >= sizeof(kMagicV1) &&
+      std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    return decode_scol_v1(bytes, table, error);
+  }
+  return fail(error, "bad magic");
+}
+
 ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
                                   const ScolOptions& options) {
   ScolColumnSizes sizes;
@@ -426,7 +590,8 @@ ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
       options.delta_timestamps ? kEncDeltaPrev : kEncZigzagAbs;
   const Encoding rel_enc =
       options.delta_timestamps ? kEncDeltaMtime : kEncZigzagAbs;
-  sizes.paths = encode_paths(table, options.front_code_paths).size();
+  const std::size_t n = table.size();
+  sizes.paths = encode_paths(table, 0, n, options.front_code_paths).size();
   sizes.mtime = encode_i64_column(table.mtimes(), ts_enc, {}).size();
   sizes.atime =
       encode_i64_column(table.atimes(), rel_enc, table.mtimes()).size();
@@ -436,7 +601,7 @@ ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
   sizes.gid = encode_u32_column(table.gids(), options.rle_ids).size();
   sizes.mode = encode_u32_column(table.modes(), options.rle_ids).size();
   sizes.inode = encode_inodes(table.inodes(), options.delta_inodes).size();
-  sizes.ost = encode_osts(table).size();
+  sizes.ost = encode_osts(table, 0, n).size();
   sizes.total = sizes.paths + sizes.atime + sizes.ctime + sizes.mtime +
                 sizes.uid + sizes.gid + sizes.mode + sizes.inode + sizes.ost;
   return sizes;

@@ -2,8 +2,20 @@
 // standing in for the paper's PSV -> Apache Parquet conversion step (which
 // cut the daily footprint from ~119 GB to ~28 GB and sped up every scan).
 //
-// Layout: a fixed header (magic, row count), then one self-describing block
-// per column: {column id, encoding id, payload size, checksum, payload}.
+// v2 layout (default): a fixed header (magic SCOL0002, row count, nominal
+// group size, group count) followed by a group directory and fixed-size row
+// groups in Parquet style. Each group is self-contained — front-coding,
+// delta, and RLE state restart at the group boundary — and holds one
+// self-describing block per column: {column id, encoding id, payload size,
+// checksum, payload}. Self-contained groups are what makes the codec
+// parallel: groups encode and decode independently, and decode splices the
+// per-group staging tables into the destination in group order, so the
+// result is bit-identical to a serial pass.
+//
+// v1 layout (magic SCOL0001): the same column blocks, but one block per
+// column for the whole table. The version byte in the magic dispatches;
+// v1 images produced by older builds always remain decodable.
+//
 // Per-column encodings exploit snapshot structure:
 //   * paths       — front coding (shared-prefix length + suffix), because a
 //                   sorted-by-directory dump repeats long prefixes;
@@ -15,12 +27,13 @@
 //   * inode       — zig-zag delta varint;
 //   * OST lists   — varint stripe count + varint indices.
 // Every encoding can be individually disabled (falling back to a plain
-// encoding) via ScolOptions; the ablation benchmark measures each knob's
-// contribution, mirroring the paper's format-conversion claim.
+// encoding) via ScolOptions — the knobs apply per group; the ablation
+// benchmark measures each knob's contribution, mirroring the paper's
+// format-conversion claim.
 //
 // All APIs are status-returning (no exceptions); decode validates magic,
-// sizes, and per-column checksums, and never trusts lengths from the wire
-// without bounds checks.
+// sizes, the group directory, and per-column checksums, and never trusts
+// lengths from the wire without bounds checks.
 #pragma once
 
 #include <cstdint>
@@ -32,11 +45,23 @@
 
 namespace spider {
 
+class ThreadPool;
+
 struct ScolOptions {
   bool front_code_paths = true;   // off: varint length + raw bytes
   bool delta_timestamps = true;   // off: absolute zig-zag varints
   bool rle_ids = true;            // off: plain varint per row
   bool delta_inodes = true;       // off: plain varint per row
+
+  /// Rows per row group (v2). Groups are the unit of parallelism; the
+  /// default keeps per-group encoder state amortized while giving a daily
+  /// snapshot (tens of millions of rows) plenty of groups to fan out.
+  std::size_t group_size = 256 * 1024;
+
+  /// 2 writes the row-group layout; 1 writes the legacy single-block
+  /// layout (compat fixtures, old-reader interchange). Decode ignores this
+  /// and dispatches on the image's own magic.
+  std::uint8_t format_version = 2;
 };
 
 /// Per-column encoded sizes, for the format ablation study.
@@ -53,16 +78,23 @@ struct ScolColumnSizes {
   std::uint64_t total = 0;
 };
 
-/// Encodes a table into an in-memory .scol image.
+/// Encodes a table into an in-memory .scol image. v2 images encode their
+/// row groups in parallel on `pool` (null = the process-global pool).
 std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
-                                      const ScolOptions& options = {});
+                                      const ScolOptions& options = {},
+                                      ThreadPool* pool = nullptr);
 
-/// Decodes an in-memory .scol image, appending rows into `table`.
+/// Decodes an in-memory .scol image (either version, dispatched on the
+/// magic), appending rows into `table`. v2 row groups decode in parallel on
+/// `pool`; the splice preserves row order, so contents are identical to a
+/// single-threaded decode.
 bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
-                 std::string* error = nullptr);
+                 std::string* error = nullptr, ThreadPool* pool = nullptr);
 
 /// Encoded column sizes of a table under the given options (encodes into a
-/// scratch buffer; used by benchmarks and the format tool).
+/// scratch buffer; used by benchmarks and the format tool). Sizes are
+/// whole-table (v1-style) so knob contributions are comparable across
+/// group sizes.
 ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
                                   const ScolOptions& options = {});
 

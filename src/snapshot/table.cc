@@ -44,6 +44,38 @@ std::uint32_t SnapshotTable::add(std::string_view path, std::int64_t atime,
   return row;
 }
 
+void SnapshotTable::append_table(SnapshotTable&& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    // Whole-table move: the common case when decode staged exactly one
+    // group into a fresh destination.
+    *this = std::move(other);
+    other = SnapshotTable();
+    return;
+  }
+  arena_.absorb(std::move(other.arena_));
+  paths_.insert(paths_.end(), other.paths_.begin(), other.paths_.end());
+  path_hash_.insert(path_hash_.end(), other.path_hash_.begin(),
+                    other.path_hash_.end());
+  depth_.insert(depth_.end(), other.depth_.begin(), other.depth_.end());
+  atime_.insert(atime_.end(), other.atime_.begin(), other.atime_.end());
+  ctime_.insert(ctime_.end(), other.ctime_.begin(), other.ctime_.end());
+  mtime_.insert(mtime_.end(), other.mtime_.begin(), other.mtime_.end());
+  uid_.insert(uid_.end(), other.uid_.begin(), other.uid_.end());
+  gid_.insert(gid_.end(), other.gid_.begin(), other.gid_.end());
+  mode_.insert(mode_.end(), other.mode_.begin(), other.mode_.end());
+  inode_.insert(inode_.end(), other.inode_.begin(), other.inode_.end());
+  const std::uint32_t base = ost_offsets_.back();
+  ost_offsets_.reserve(ost_offsets_.size() + other.size());
+  for (std::size_t i = 1; i < other.ost_offsets_.size(); ++i) {
+    ost_offsets_.push_back(base + other.ost_offsets_[i]);
+  }
+  ost_values_.insert(ost_values_.end(), other.ost_values_.begin(),
+                     other.ost_values_.end());
+  file_count_ += other.file_count_;
+  other = SnapshotTable();
+}
+
 RawRecord SnapshotTable::row(std::size_t i) const {
   RawRecord rec;
   rec.path = std::string(paths_[i]);

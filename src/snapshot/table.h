@@ -43,6 +43,13 @@ class SnapshotTable {
                     std::uint32_t gid, std::uint32_t mode, std::uint64_t inode,
                     std::span<const std::uint32_t> osts);
 
+  /// Splices every row of `other` onto the end of this table, preserving
+  /// order, and leaves `other` empty. Arena blocks move wholesale (no string
+  /// copies, precomputed hashes/depths carry over) and the CSR OST columns
+  /// merge with one rebased offset pass — no per-row add() overhead. This is
+  /// the staging-table merge path of the parallel .scol and PSV readers.
+  void append_table(SnapshotTable&& other);
+
   std::size_t size() const { return atime_.size(); }
   bool empty() const { return atime_.empty(); }
 

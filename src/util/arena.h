@@ -45,6 +45,25 @@ class StringArena {
     return {dst, a.size() + b.size()};
   }
 
+  /// Steals every block of `other`, leaving it empty. Views into either
+  /// arena stay valid: blocks are moved, never copied or reallocated. The
+  /// bulk-splice path of SnapshotTable uses this to merge per-shard arenas
+  /// without touching a single string byte.
+  void absorb(StringArena&& other) {
+    if (other.blocks_.empty()) return;
+    const bool same_geometry = other.block_size_ == block_size_;
+    for (auto& block : other.blocks_) blocks_.push_back(std::move(block));
+    // Keep appending into other's tail block only when its capacity math
+    // matches ours; otherwise start fresh on the next allocate.
+    used_in_block_ = same_geometry ? other.used_in_block_ : block_size_;
+    bytes_used_ += other.bytes_used_;
+    bytes_reserved_ += other.bytes_reserved_;
+    other.blocks_.clear();
+    other.used_in_block_ = 0;
+    other.bytes_used_ = 0;
+    other.bytes_reserved_ = 0;
+  }
+
   std::size_t bytes_used() const { return bytes_used_; }
   std::size_t bytes_reserved() const { return bytes_reserved_; }
 

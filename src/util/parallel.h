@@ -10,6 +10,7 @@
 // region, and blocking it on further pool tasks could deadlock the pool.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -62,20 +63,37 @@ void parallel_chunks(ThreadPool& pool, std::size_t n, std::size_t grain,
 
 }  // namespace detail
 
+/// Grain floor for the automatic schedule: chunks never drop below this
+/// many iterations, so tiny inputs run inline instead of fanning out.
+inline constexpr std::size_t kGrainMin = 1024;
+
+/// Passing this (or 0) as a grain selects the automatic schedule.
+inline constexpr std::size_t kGrainAuto = 0;
+
+/// Automatic grain: aim for ~8 chunks per worker (enough slack for dynamic
+/// balancing of skewed per-row costs) but never below kGrainMin, so tiny
+/// inputs don't fan out and huge inputs don't create thousands of chunks.
+inline std::size_t resolve_grain(std::size_t n, std::size_t grain,
+                                 ThreadPool* pool = nullptr) {
+  if (grain != kGrainAuto) return grain;
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  return std::max<std::size_t>(kGrainMin, n / (8 * std::max(1u, p.size())));
+}
+
 /// Parallel loop over [0, n) in chunks; Body is fn(begin, end).
 template <typename Body>
 void parallel_for_chunked(std::size_t n, std::size_t grain, Body&& body,
                           ThreadPool* pool = nullptr) {
   ThreadPool& p = pool ? *pool : ThreadPool::global();
   std::function<void(std::size_t, std::size_t)> fn = std::forward<Body>(body);
-  detail::parallel_chunks(p, n, grain, fn);
+  detail::parallel_chunks(p, n, resolve_grain(n, grain, &p), fn);
 }
 
-/// Parallel loop over [0, n); Body is fn(i). Grain defaults to a size that
-/// keeps scheduling overhead negligible for cheap bodies.
+/// Parallel loop over [0, n); Body is fn(i). The default grain picks the
+/// automatic schedule (see resolve_grain).
 template <typename Body>
 void parallel_for(std::size_t n, Body&& body, ThreadPool* pool = nullptr,
-                  std::size_t grain = 1024) {
+                  std::size_t grain = kGrainAuto) {
   parallel_for_chunked(
       n, grain,
       [&body](std::size_t begin, std::size_t end) {
@@ -90,8 +108,9 @@ void parallel_for(std::size_t n, Body&& body, ThreadPool* pool = nullptr,
 template <typename Acc, typename Fold, typename Combine>
 Acc parallel_reduce(std::size_t n, Acc identity, Fold&& fold,
                     Combine&& combine, ThreadPool* pool = nullptr,
-                    std::size_t grain = 1024) {
+                    std::size_t grain = kGrainAuto) {
   if (n == 0) return identity;
+  grain = resolve_grain(n, grain, pool);
   const std::size_t chunks = (n + grain - 1) / grain;
   std::vector<Acc> partials(chunks, identity);
   parallel_for_chunked(

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "util/parallel.h"
+
 namespace spider {
 namespace {
 
@@ -145,6 +147,58 @@ TEST(PsvStreamTest, SkipsEmptyLines) {
   SnapshotTable table;
   ASSERT_TRUE(read_psv(buffer, &table));
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PsvBufferTest, ParallelBufferMatchesSerialStream) {
+  SnapshotTable t;
+  for (int i = 0; i < 500; ++i) {
+    RawRecord rec = sample_record();
+    rec.path = "/lustre/atlas2/p" + std::to_string(i / 40) + "/u/f" +
+               std::to_string(i);
+    rec.inode = static_cast<std::uint64_t>(i);
+    t.add(rec);
+  }
+  std::stringstream ss;
+  write_psv(t, ss);
+  const std::string text = ss.str();
+
+  SnapshotTable serial;
+  std::string error;
+  std::stringstream replay(text);
+  ASSERT_TRUE(read_psv(replay, &serial, &error)) << error;
+
+  ThreadPool wide(4);
+  SnapshotTable parallel;
+  ASSERT_TRUE(read_psv_buffer(text, &parallel, &error, &wide)) << error;
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  ASSERT_EQ(parallel.file_count(), serial.file_count());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(parallel.path(i), serial.path(i)) << "row " << i;
+    ASSERT_EQ(parallel.path_hash(i), serial.path_hash(i)) << "row " << i;
+    ASSERT_EQ(parallel.inode(i), serial.inode(i)) << "row " << i;
+    ASSERT_EQ(parallel.stripe_count(i), serial.stripe_count(i)) << "row " << i;
+  }
+}
+
+TEST(PsvBufferTest, ReportsGlobalLineNumberOnError) {
+  const std::string good = psv_format_record(sample_record());
+  const std::string text = good + "\n" + good + "\n\nnot a record\n" + good;
+  SnapshotTable t;
+  std::string error;
+  EXPECT_FALSE(read_psv_buffer(text, &t, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  EXPECT_EQ(t.size(), 0u) << "failed parse must not append rows";
+}
+
+TEST(PsvBufferTest, HandlesMissingTrailingNewlineAndEmptyBuffer) {
+  SnapshotTable t;
+  std::string error;
+  ASSERT_TRUE(read_psv_buffer("", &t, &error)) << error;
+  EXPECT_EQ(t.size(), 0u);
+  const std::string one = psv_format_record(sample_record());
+  ASSERT_TRUE(read_psv_buffer(one, &t, &error)) << error;  // no trailing \n
+  EXPECT_EQ(t.size(), 1u);
 }
 
 TEST(PsvFileTest, WriteReadFile) {

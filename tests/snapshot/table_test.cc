@@ -95,6 +95,58 @@ TEST(SnapshotTableTest, ManyRowsKeepStableViews) {
   EXPECT_GT(t.memory_bytes(), 0u);
 }
 
+TEST(SnapshotTableTest, AppendTableSplicesInOrder) {
+  SnapshotTable dest;
+  dest.add(make_record("/lustre/atlas2/p1/u1", 100, true));
+  dest.add(make_record("/lustre/atlas2/p1/u1/a.dat", 200));
+
+  SnapshotTable tail;
+  tail.add(make_record("/lustre/atlas2/p2/u2/b.dat", 300));
+  RawRecord wide = make_record("/lustre/atlas2/p2/u2/c.dat", 400);
+  wide.osts = {1, 2, 3, 4, 5, 6, 7};
+  tail.add(wide);
+
+  dest.append_table(std::move(tail));
+  ASSERT_EQ(dest.size(), 4u);
+  EXPECT_EQ(dest.path(0), "/lustre/atlas2/p1/u1");
+  EXPECT_EQ(dest.path(2), "/lustre/atlas2/p2/u2/b.dat");
+  EXPECT_EQ(dest.path(3), "/lustre/atlas2/p2/u2/c.dat");
+  EXPECT_EQ(dest.path_hash(3), hash_bytes("/lustre/atlas2/p2/u2/c.dat"));
+  EXPECT_EQ(dest.depth(3), 5);
+  EXPECT_EQ(dest.mtime(2), 300);
+  // CSR OST lists rebased onto the destination's offsets.
+  EXPECT_EQ(dest.stripe_count(1), 4u);
+  EXPECT_EQ(dest.stripe_count(2), 4u);
+  EXPECT_EQ(dest.stripe_count(3), 7u);
+  EXPECT_EQ(dest.osts(3)[6], 7u);
+  EXPECT_EQ(dest.file_count(), 3u);
+  EXPECT_EQ(dest.dir_count(), 1u);
+}
+
+TEST(SnapshotTableTest, AppendTableIntoEmptyAndFromEmpty) {
+  SnapshotTable dest;
+  SnapshotTable src;
+  src.add(make_record("/lustre/atlas2/p/u/x.dat", 50));
+  dest.append_table(std::move(src));  // whole-table move path
+  ASSERT_EQ(dest.size(), 1u);
+  EXPECT_EQ(dest.path(0), "/lustre/atlas2/p/u/x.dat");
+  EXPECT_EQ(dest.file_count(), 1u);
+
+  SnapshotTable empty;
+  dest.append_table(std::move(empty));  // no-op path
+  EXPECT_EQ(dest.size(), 1u);
+
+  // The spliced-from table is reusable afterwards.
+  SnapshotTable more;
+  more.add(make_record("/lustre/atlas2/p/u/y.dat", 60));
+  dest.append_table(std::move(more));
+  EXPECT_EQ(more.size(), 0u);
+  more.add(make_record("/lustre/atlas2/p/u/z.dat", 70));
+  EXPECT_EQ(more.size(), 1u);
+  EXPECT_EQ(dest.size(), 2u);
+  EXPECT_EQ(dest.path(1), "/lustre/atlas2/p/u/y.dat");
+}
+
 TEST(SnapshotTableTest, ColumnSpansMatchRowAccessors) {
   SnapshotTable t;
   for (int i = 0; i < 10; ++i) {
