@@ -8,6 +8,13 @@
 //
 // Flags: --dir=<snapshot directory>  --min-burst-files=<n, default 10>
 //        --report=<all|table1|users|census|access|age|network|collab>
+//        --salvage=<skip|quarantine>  (decode damaged weeks' surviving
+//        row groups instead of turning the whole week into a gap)
+//
+// A damaged series (missing or corrupt weeks) does not abort the study:
+// the affected weeks become gaps, diff-based figures skip the gap-adjacent
+// pairs, and the report ends with a data-quality section listing every gap
+// and its reason.
 #include <iostream>
 
 #include "study/full_study.h"
@@ -30,7 +37,23 @@ int main(int argc, char** argv) {
     std::cerr << "cannot open series: " << error << "\n";
     return 1;
   }
-  std::cout << "found " << series.count() << " snapshots in " << dir << "\n";
+  const std::string salvage = args.get("salvage", "");
+  if (salvage == "skip" || salvage == "quarantine") {
+    ScolOptions options;
+    options.on_corrupt_group = salvage == "skip"
+                                   ? CorruptGroupPolicy::kSkip
+                                   : CorruptGroupPolicy::kQuarantine;
+    series.set_scol_options(options);
+  } else if (!salvage.empty()) {
+    std::cerr << "bad --salvage value (want skip|quarantine)\n";
+    return 1;
+  }
+  std::cout << "found " << series.count() << " snapshots in " << dir;
+  if (!series.gaps().empty()) {
+    std::cout << " (" << series.gaps().size()
+              << " gap(s) already visible in the timeline)";
+  }
+  std::cout << "\n";
 
   InferenceStats stats;
   const FacilityPlan plan = infer_facility(series, &stats);
@@ -58,5 +81,6 @@ int main(int argc, char** argv) {
   if (all || report == "collab") {
     std::cout << study.collaboration.render() << "\n";
   }
+  std::cout << study.render_data_quality();
   return 0;
 }

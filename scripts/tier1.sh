@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test suite on the plain build, then the robustness
+# suites (fault injection, formats, IO) again under ASan+UBSan. Run from
+# the repo root:
+#
+#   scripts/tier1.sh
+#
+# The sanitizer pass is scoped to the ingest/robustness tests rather than
+# the whole suite to keep the gate fast; SPIDER_SANITIZE=ON works on any
+# target if a full sanitized run is wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier 1: plain build + full suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+echo "==> tier 1: ASan+UBSan build + robustness suites"
+cmake -B build-asan -S . -DSPIDER_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"${JOBS}" --target \
+    snapshot_fault_injection_test snapshot_scol_test snapshot_scol_v2_test \
+    snapshot_psv_test snapshot_psv_fuzz_test snapshot_series_test \
+    util_io_test util_status_test
+for t in snapshot_fault_injection_test snapshot_scol_test \
+         snapshot_scol_v2_test snapshot_psv_test snapshot_psv_fuzz_test \
+         snapshot_series_test util_io_test util_status_test; do
+  echo "--> ${t} (sanitized)"
+  ./build-asan/tests/"${t}"
+done
+
+echo "tier 1 OK"

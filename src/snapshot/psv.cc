@@ -3,16 +3,22 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
-#include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/io.h"
 #include "util/parallel.h"
 
 namespace spider {
 
 namespace {
+
+/// Skipped lines kept verbatim in a report; the tally stays exact beyond
+/// this, the sample just stops growing.
+constexpr std::size_t kMaxBadLineSample = 32;
 
 /// Synthesizes the per-stripe hexadecimal object id LustreDU records; the
 /// value itself is opaque to every analysis, but keeping the field shape
@@ -39,7 +45,42 @@ bool fail(std::string* error, std::string_view reason) {
   return false;
 }
 
+void record_bad_line(PsvReadReport* report, std::size_t line,
+                     const std::string& reason) {
+  if (!report) return;
+  ++report->by_reason[reason];
+  if (report->bad_lines.size() < kMaxBadLineSample) {
+    report->bad_lines.push_back(PsvBadLine{line, reason});
+  }
+}
+
+Status over_budget_status(std::size_t budget, std::size_t bad,
+                          std::size_t first_line,
+                          const std::string& first_reason) {
+  const std::string first =
+      "line " + std::to_string(first_line) + ": " + first_reason;
+  if (budget == 0) return Status::corruption(first);
+  return Status::resource_exhausted(
+      std::to_string(bad) + " malformed lines exceed max_bad_lines=" +
+      std::to_string(budget) + "; first: " + first);
+}
+
 }  // namespace
+
+std::string PsvReadReport::summary() const {
+  std::string out = "ingested " + std::to_string(rows_ingested) + " rows";
+  if (clean()) return out;
+  out += "; skipped " + std::to_string(lines_skipped) + "/" +
+         std::to_string(lines_total) + " lines (";
+  bool first = true;
+  for (const auto& [reason, count] : by_reason) {
+    if (!first) out += ", ";
+    first = false;
+    out += reason + ": " + std::to_string(count);
+  }
+  out += ")";
+  return out;
+}
 
 std::string psv_format_record(const RawRecord& rec) {
   std::string line;
@@ -125,28 +166,46 @@ std::uint64_t write_psv(const SnapshotTable& table, std::ostream& os) {
   return bytes;
 }
 
-bool read_psv(std::istream& is, SnapshotTable* table, std::string* error) {
+Status read_psv(std::istream& is, SnapshotTable* table,
+                const PsvOptions& options, PsvReadReport* report) {
+  if (report) *report = PsvReadReport{};
   std::string line;
   std::size_t line_no = 0;
+  std::size_t bad = 0;
+  std::size_t first_bad_line = 0;
+  std::string first_bad_reason;
   RawRecord rec;
   while (std::getline(is, line)) {
     ++line_no;
+    if (report) report->lines_total = line_no;
     if (line.empty()) continue;
     std::string why;
     if (!psv_parse_record(line, &rec, &why)) {
-      if (error) {
-        *error = "line " + std::to_string(line_no) + ": " + why;
+      ++bad;
+      if (bad == 1) {
+        first_bad_line = line_no;
+        first_bad_reason = why;
       }
-      return false;
+      if (bad > options.max_bad_lines) {
+        return over_budget_status(options.max_bad_lines, bad, first_bad_line,
+                                  first_bad_reason);
+      }
+      record_bad_line(report, line_no, why);
+      if (report) ++report->lines_skipped;
+      continue;
     }
     table->add(rec);
+    if (report) ++report->rows_ingested;
   }
-  return true;
+  return Status();
 }
 
-bool read_psv_buffer(std::string_view text, SnapshotTable* table,
-                     std::string* error, ThreadPool* pool) {
+Status read_psv_buffer(std::string_view text, SnapshotTable* table,
+                       const PsvOptions& options, PsvReadReport* report,
+                       ThreadPool* pool) {
+  if (report) *report = PsvReadReport{};
   ThreadPool& p = pool ? *pool : ThreadPool::global();
+  const std::size_t budget = options.max_bad_lines;
 
   // Shard boundaries: roughly even byte cuts, each advanced to the next
   // newline so no line straddles two shards. A few shards per worker give
@@ -169,9 +228,12 @@ bool read_psv_buffer(std::string_view text, SnapshotTable* table,
 
   struct ShardResult {
     SnapshotTable staged;
-    std::size_t lines = 0;       // lines consumed (including empty ones)
-    std::size_t error_line = 0;  // 1-based within the shard; 0 = ok
-    std::string why;
+    std::size_t lines = 0;  // lines consumed (including empty ones)
+    /// Bad lines in shard-local 1-based numbering, in order. A shard stops
+    /// parsing once its own bad count exceeds the global budget (the whole
+    /// read must fail then, so finishing the shard is wasted work).
+    std::vector<PsvBadLine> bad;
+    bool gave_up = false;
   };
   std::vector<ShardResult> results(shards);
 
@@ -183,6 +245,7 @@ bool read_psv_buffer(std::string_view text, SnapshotTable* table,
             s + 1 < shards ? starts[s + 1] : text.size();
         std::string_view body = text.substr(starts[s], end - starts[s]);
         RawRecord rec;
+        std::string why;
         while (!body.empty()) {
           const std::size_t nl = body.find('\n');
           const std::string_view line =
@@ -191,62 +254,103 @@ bool read_psv_buffer(std::string_view text, SnapshotTable* table,
                                                           : nl + 1);
           ++r.lines;
           if (line.empty()) continue;
-          if (r.error_line == 0 && !psv_parse_record(line, &rec, &r.why)) {
-            r.error_line = r.lines;
-            break;
+          if (!psv_parse_record(line, &rec, &why)) {
+            r.bad.push_back(PsvBadLine{r.lines, why});
+            if (r.bad.size() > budget) {
+              r.gave_up = true;
+              break;
+            }
+            continue;
           }
           r.staged.add(rec);
         }
       },
       &p, /*grain=*/1);
 
+  // Join: convert shard-local bad-line numbers to global ones, then decide
+  // all-or-nothing. Nothing is spliced unless the whole buffer fits the
+  // budget, so a failed read leaves `table` untouched.
   std::size_t line_base = 0;
+  std::size_t total_bad = 0;
+  std::size_t first_bad_line = 0;
+  std::string first_bad_reason;
   for (std::size_t s = 0; s < shards; ++s) {
-    if (results[s].error_line != 0) {
-      if (error) {
-        *error = "line " + std::to_string(line_base + results[s].error_line) +
-                 ": " + results[s].why;
+    for (const PsvBadLine& b : results[s].bad) {
+      ++total_bad;
+      if (total_bad == 1) {
+        first_bad_line = line_base + b.line;
+        first_bad_reason = b.reason;
       }
-      return false;
     }
     line_base += results[s].lines;
   }
-  for (ShardResult& r : results) table->append_table(std::move(r.staged));
-  return true;
+  if (report) report->lines_total = line_base;
+
+  if (total_bad > budget || std::any_of(results.begin(), results.end(),
+                                        [](const ShardResult& r) {
+                                          return r.gave_up;
+                                        })) {
+    if (report) *report = PsvReadReport{};
+    return over_budget_status(budget, total_bad, first_bad_line,
+                              first_bad_reason);
+  }
+
+  line_base = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const PsvBadLine& b : results[s].bad) {
+      record_bad_line(report, line_base + b.line, b.reason);
+      if (report) ++report->lines_skipped;
+    }
+    line_base += results[s].lines;
+  }
+  if (report) report->lines_total = line_base;
+  for (ShardResult& r : results) {
+    if (report) report->rows_ingested += r.staged.size();
+    table->append_table(std::move(r.staged));
+  }
+  return Status();
+}
+
+Status write_psv_file(const SnapshotTable& table, const std::string& file,
+                      const PsvOptions& /*options*/) {
+  std::ostringstream os;
+  write_psv(table, os);
+  return write_file_atomic(file, std::string_view(os.view()));
+}
+
+Status read_psv_file(const std::string& file, SnapshotTable* table,
+                     const PsvOptions& options, PsvReadReport* report) {
+  std::string text;
+  Status s = read_file(file, &text);
+  if (!s.ok()) return s;
+  return read_psv_buffer(text, table, options, report).with_context(file);
+}
+
+bool read_psv(std::istream& is, SnapshotTable* table, std::string* error) {
+  const Status s = read_psv(is, table, PsvOptions{});
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
+}
+
+bool read_psv_buffer(std::string_view text, SnapshotTable* table,
+                     std::string* error, ThreadPool* pool) {
+  const Status s = read_psv_buffer(text, table, PsvOptions{}, nullptr, pool);
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 bool write_psv_file(const SnapshotTable& table, const std::string& file,
                     std::string* error) {
-  std::ofstream os(file, std::ios::binary);
-  if (!os) {
-    if (error) *error = "cannot open for write: " + file;
-    return false;
-  }
-  write_psv(table, os);
-  os.flush();
-  if (!os) {
-    if (error) *error = "write failed: " + file;
-    return false;
-  }
-  return true;
+  const Status s = write_psv_file(table, file, PsvOptions{});
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 bool read_psv_file(const std::string& file, SnapshotTable* table,
                    std::string* error) {
-  std::ifstream is(file, std::ios::binary | std::ios::ate);
-  if (!is) {
-    if (error) *error = "cannot open for read: " + file;
-    return false;
-  }
-  const std::streamsize size = is.tellg();
-  is.seekg(0);
-  std::string text(static_cast<std::size_t>(size), '\0');
-  is.read(text.data(), size);
-  if (!is) {
-    if (error) *error = "read failed: " + file;
-    return false;
-  }
-  return read_psv_buffer(text, table, error);
+  const Status s = read_psv_file(file, table, PsvOptions{});
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 }  // namespace spider

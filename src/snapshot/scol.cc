@@ -1,11 +1,11 @@
 #include "snapshot/scol.h"
 
 #include <cstring>
-#include <fstream>
 #include <map>
 
 #include "snapshot/varint.h"
 #include "util/hash.h"
+#include "util/io.h"
 #include "util/parallel.h"
 
 namespace spider {
@@ -64,6 +64,14 @@ std::size_t shared_prefix(std::string_view a, std::string_view b) {
   std::size_t i = 0;
   while (i < n && a[i] == b[i]) ++i;
   return i;
+}
+
+/// Signed addition through unsigned arithmetic: corrupt delta payloads can
+/// produce arbitrary operands, and plain `a + b` on int64 would be UB on
+/// overflow (the sanitizer suite runs decode against random damage).
+std::int64_t wrapping_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
 }
 
 // ---- column encoders ------------------------------------------------------
@@ -209,23 +217,21 @@ void encode_column_set(std::vector<std::uint8_t>& out, const SnapshotTable& t,
 }
 
 // ---- column decoders ------------------------------------------------------
+// Decoders return a typed Status: kTruncated when the payload ends before
+// its own framing says it should, kCorruption for values that cannot be
+// valid (bad shared length, bad encoding id, overlong runs).
 
 struct ColumnBlock {
   Encoding enc = kEncPlainStrings;
   std::span<const std::uint8_t> payload;
 };
 
-bool fail(std::string* error, std::string_view reason) {
-  if (error) *error = std::string(reason);
-  return false;
-}
-
-bool decode_paths(const ColumnBlock& block, std::size_t rows,
-                  std::vector<std::string>* out, std::string* error) {
+Status decode_paths(const ColumnBlock& block, std::size_t rows,
+                    std::vector<std::string>* out) {
   // Every row costs at least one payload byte; rejecting implausible row
   // counts up front keeps a corrupted header from driving a huge reserve.
   if (rows > block.payload.size()) {
-    return fail(error, "paths: row count exceeds payload");
+    return Status::corruption("paths: row count exceeds payload");
   }
   out->clear();
   out->reserve(rows);
@@ -235,15 +241,17 @@ bool decode_paths(const ColumnBlock& block, std::size_t rows,
     std::uint64_t shared = 0, len = 0;
     if (block.enc == kEncFrontCoded) {
       if (!get_varint(block.payload, pos, shared)) {
-        return fail(error, "paths: truncated shared length");
+        return Status::truncated("paths: truncated shared length");
       }
-      if (shared > prev.size()) return fail(error, "paths: bad shared length");
+      if (shared > prev.size()) {
+        return Status::corruption("paths: bad shared length");
+      }
     }
     if (!get_varint(block.payload, pos, len)) {
-      return fail(error, "paths: truncated suffix length");
+      return Status::truncated("paths: truncated suffix length");
     }
-    if (pos + len > block.payload.size()) {
-      return fail(error, "paths: truncated suffix bytes");
+    if (len > block.payload.size() - pos) {
+      return Status::truncated("paths: truncated suffix bytes");
     }
     std::string path = prev.substr(0, shared);
     path.append(reinterpret_cast<const char*>(block.payload.data() + pos),
@@ -252,14 +260,14 @@ bool decode_paths(const ColumnBlock& block, std::size_t rows,
     prev = path;
     out->push_back(std::move(path));
   }
-  return true;
+  return Status();
 }
 
-bool decode_i64(const ColumnBlock& block, std::size_t rows,
-                std::span<const std::int64_t> base,
-                std::vector<std::int64_t>* out, std::string* error) {
+Status decode_i64(const ColumnBlock& block, std::size_t rows,
+                  std::span<const std::int64_t> base,
+                  std::vector<std::int64_t>* out) {
   if (rows > block.payload.size()) {
-    return fail(error, "timestamp row count exceeds payload");
+    return Status::corruption("timestamp row count exceeds payload");
   }
   out->clear();
   out->reserve(rows);
@@ -268,29 +276,31 @@ bool decode_i64(const ColumnBlock& block, std::size_t rows,
   for (std::size_t i = 0; i < rows; ++i) {
     std::int64_t v = 0;
     if (!get_zigzag(block.payload, pos, v)) {
-      return fail(error, "timestamp column truncated");
+      return Status::truncated("timestamp column truncated");
     }
     switch (block.enc) {
       case kEncZigzagAbs:
         break;
       case kEncDeltaPrev:
-        v += prev;
+        v = wrapping_add(v, prev);
         prev = v;
         break;
       case kEncDeltaMtime:
-        if (base.size() != rows) return fail(error, "missing mtime base");
-        v += base[i];
+        if (base.size() != rows) {
+          return Status::corruption("missing mtime base");
+        }
+        v = wrapping_add(v, base[i]);
         break;
       default:
-        return fail(error, "bad timestamp encoding");
+        return Status::corruption("bad timestamp encoding");
     }
     out->push_back(v);
   }
-  return true;
+  return Status();
 }
 
-bool decode_u32(const ColumnBlock& block, std::size_t rows,
-                std::vector<std::uint32_t>* out, std::string* error) {
+Status decode_u32(const ColumnBlock& block, std::size_t rows,
+                  std::vector<std::uint32_t>* out) {
   out->clear();
   out->reserve(rows);
   std::size_t pos = 0;
@@ -298,29 +308,29 @@ bool decode_u32(const ColumnBlock& block, std::size_t rows,
     for (std::size_t i = 0; i < rows; ++i) {
       std::uint64_t v = 0;
       if (!get_varint(block.payload, pos, v)) {
-        return fail(error, "u32 column truncated");
+        return Status::truncated("u32 column truncated");
       }
       out->push_back(static_cast<std::uint32_t>(v));
     }
-    return true;
+    return Status();
   }
-  if (block.enc != kEncRle) return fail(error, "bad u32 encoding");
+  if (block.enc != kEncRle) return Status::corruption("bad u32 encoding");
   while (out->size() < rows) {
     std::uint64_t run = 0, value = 0;
     if (!get_varint(block.payload, pos, run) ||
         !get_varint(block.payload, pos, value)) {
-      return fail(error, "rle column truncated");
+      return Status::truncated("rle column truncated");
     }
     if (run == 0 || out->size() + run > rows) {
-      return fail(error, "rle run overflows row count");
+      return Status::corruption("rle run overflows row count");
     }
     out->insert(out->end(), run, static_cast<std::uint32_t>(value));
   }
-  return true;
+  return Status();
 }
 
-bool decode_inodes(const ColumnBlock& block, std::size_t rows,
-                   std::vector<std::uint64_t>* out, std::string* error) {
+Status decode_inodes(const ColumnBlock& block, std::size_t rows,
+                     std::vector<std::uint64_t>* out) {
   out->clear();
   out->reserve(rows);
   std::size_t pos = 0;
@@ -329,26 +339,26 @@ bool decode_inodes(const ColumnBlock& block, std::size_t rows,
     if (block.enc == kEncDeltaPrev) {
       std::int64_t d = 0;
       if (!get_zigzag(block.payload, pos, d)) {
-        return fail(error, "inode column truncated");
+        return Status::truncated("inode column truncated");
       }
       prev += static_cast<std::uint64_t>(d);
       out->push_back(prev);
     } else if (block.enc == kEncPlainVarint) {
       std::uint64_t v = 0;
       if (!get_varint(block.payload, pos, v)) {
-        return fail(error, "inode column truncated");
+        return Status::truncated("inode column truncated");
       }
       out->push_back(v);
     } else {
-      return fail(error, "bad inode encoding");
+      return Status::corruption("bad inode encoding");
     }
   }
-  return true;
+  return Status();
 }
 
-bool decode_osts(const ColumnBlock& block, std::size_t rows,
-                 std::vector<std::uint32_t>* offsets,
-                 std::vector<std::uint32_t>* values, std::string* error) {
+Status decode_osts(const ColumnBlock& block, std::size_t rows,
+                   std::vector<std::uint32_t>* offsets,
+                   std::vector<std::uint32_t>* values) {
   offsets->clear();
   values->clear();
   offsets->reserve(rows + 1);
@@ -357,43 +367,47 @@ bool decode_osts(const ColumnBlock& block, std::size_t rows,
   for (std::size_t i = 0; i < rows; ++i) {
     std::uint64_t count = 0;
     if (!get_varint(block.payload, pos, count)) {
-      return fail(error, "ost column truncated");
+      return Status::truncated("ost column truncated");
     }
-    if (count > 4096) return fail(error, "implausible stripe count");
+    if (count > 4096) return Status::corruption("implausible stripe count");
     for (std::uint64_t k = 0; k < count; ++k) {
       std::uint64_t v = 0;
       if (!get_varint(block.payload, pos, v)) {
-        return fail(error, "ost column truncated");
+        return Status::truncated("ost column truncated");
       }
       values->push_back(static_cast<std::uint32_t>(v));
     }
     offsets->push_back(static_cast<std::uint32_t>(values->size()));
   }
-  return true;
+  return Status();
 }
 
 /// Reads one column set (count byte + blocks) for `rows` rows starting at
 /// `pos`, validating checksums, and appends the decoded rows to `table`.
 /// The inverse of encode_column_set; the whole v1 body, one v2 row group.
-bool decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
-                       std::size_t rows, SnapshotTable* table,
-                       std::string* error) {
-  if (pos >= bytes.size()) return fail(error, "truncated column set");
+/// On a non-ok Status `table` is untouched (rows append only at the end).
+Status decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
+                         std::size_t rows, SnapshotTable* table) {
+  if (pos >= bytes.size()) return Status::truncated("truncated column set");
   const std::uint8_t ncols = bytes[pos++];
 
   std::map<std::uint8_t, ColumnBlock> blocks;
   for (std::uint8_t c = 0; c < ncols; ++c) {
-    if (pos + 2 > bytes.size()) return fail(error, "truncated column header");
+    if (pos + 2 > bytes.size()) {
+      return Status::truncated("truncated column header");
+    }
     const std::uint8_t id = bytes[pos++];
     const Encoding enc = static_cast<Encoding>(bytes[pos++]);
     std::uint64_t size = 0, checksum = 0;
     if (!get_u64_le(bytes, pos, size) || !get_u64_le(bytes, pos, checksum)) {
-      return fail(error, "truncated column header");
+      return Status::truncated("truncated column header");
     }
-    if (size > bytes.size() - pos) return fail(error, "truncated payload");
+    if (size > bytes.size() - pos) {
+      return Status::truncated("truncated payload");
+    }
     const auto payload = bytes.subspan(pos, size);
     if (payload_checksum(payload) != checksum) {
-      return fail(error, "column checksum mismatch");
+      return Status::corruption("column checksum mismatch");
     }
     blocks[id] = ColumnBlock{enc, payload};
     pos += size;
@@ -401,23 +415,25 @@ bool decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
   for (const std::uint8_t id :
        {kColPaths, kColAtime, kColCtime, kColMtime, kColUid, kColGid,
         kColMode, kColInode, kColOst}) {
-    if (!blocks.count(id)) return fail(error, "missing column");
+    if (!blocks.count(id)) return Status::corruption("missing column");
   }
 
   std::vector<std::string> paths;
   std::vector<std::int64_t> atime, ctime, mtime;
   std::vector<std::uint32_t> uid, gid, mode, ost_offsets, ost_values;
   std::vector<std::uint64_t> inode;
-  if (!decode_paths(blocks[kColPaths], rows, &paths, error)) return false;
-  if (!decode_i64(blocks[kColMtime], rows, {}, &mtime, error)) return false;
-  if (!decode_i64(blocks[kColAtime], rows, mtime, &atime, error)) return false;
-  if (!decode_i64(blocks[kColCtime], rows, mtime, &ctime, error)) return false;
-  if (!decode_u32(blocks[kColUid], rows, &uid, error)) return false;
-  if (!decode_u32(blocks[kColGid], rows, &gid, error)) return false;
-  if (!decode_u32(blocks[kColMode], rows, &mode, error)) return false;
-  if (!decode_inodes(blocks[kColInode], rows, &inode, error)) return false;
-  if (!decode_osts(blocks[kColOst], rows, &ost_offsets, &ost_values, error)) {
-    return false;
+  Status s;
+  if (!(s = decode_paths(blocks[kColPaths], rows, &paths)).ok()) return s;
+  if (!(s = decode_i64(blocks[kColMtime], rows, {}, &mtime)).ok()) return s;
+  if (!(s = decode_i64(blocks[kColAtime], rows, mtime, &atime)).ok()) return s;
+  if (!(s = decode_i64(blocks[kColCtime], rows, mtime, &ctime)).ok()) return s;
+  if (!(s = decode_u32(blocks[kColUid], rows, &uid)).ok()) return s;
+  if (!(s = decode_u32(blocks[kColGid], rows, &gid)).ok()) return s;
+  if (!(s = decode_u32(blocks[kColMode], rows, &mode)).ok()) return s;
+  if (!(s = decode_inodes(blocks[kColInode], rows, &inode)).ok()) return s;
+  if (!(s = decode_osts(blocks[kColOst], rows, &ost_offsets, &ost_values))
+           .ok()) {
+    return s;
   }
 
   table->reserve(table->size() + rows);
@@ -428,7 +444,7 @@ bool decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
     table->add(paths[i], atime[i], ctime[i], mtime[i], uid[i], gid[i], mode[i],
                inode[i], osts);
   }
-  return true;
+  return Status();
 }
 
 // ---- v1 (single column set) ----------------------------------------------
@@ -442,12 +458,14 @@ std::vector<std::uint8_t> encode_scol_v1(const SnapshotTable& table,
   return image;
 }
 
-bool decode_scol_v1(std::span<const std::uint8_t> bytes, SnapshotTable* table,
-                    std::string* error) {
+Status decode_scol_v1(std::span<const std::uint8_t> bytes,
+                      SnapshotTable* table) {
   std::size_t pos = sizeof(kMagicV1);
   std::uint64_t rows = 0;
-  if (!get_u64_le(bytes, pos, rows)) return fail(error, "truncated header");
-  return decode_column_set(bytes, pos, rows, table, error);
+  if (!get_u64_le(bytes, pos, rows)) {
+    return Status::truncated("truncated header");
+  }
+  return decode_column_set(bytes, pos, rows, table);
 }
 
 // ---- v2 (row groups) ------------------------------------------------------
@@ -497,71 +515,159 @@ std::vector<std::uint8_t> encode_scol_v2(const SnapshotTable& table,
   return image;
 }
 
-bool decode_scol_v2(std::span<const std::uint8_t> bytes, SnapshotTable* table,
-                    std::string* error, ThreadPool* pool) {
-  std::size_t pos = sizeof(kMagicV2);
-  std::uint64_t rows = 0, group_size = 0, ngroups = 0;
-  if (!get_u64_le(bytes, pos, rows) || !get_u64_le(bytes, pos, group_size) ||
-      !get_u64_le(bytes, pos, ngroups)) {
-    return fail(error, "truncated header");
-  }
-  if (ngroups > (bytes.size() - pos) / 16) {
-    return fail(error, "implausible group count");
+Status decode_scol_v2(std::span<const std::uint8_t> bytes,
+                      SnapshotTable* table, const ScolOptions& options,
+                      SalvageReport* report, ThreadPool* pool) {
+  ScolV2Layout layout;
+  Status s = parse_scol_v2_layout(bytes, &layout);
+  // Header/directory damage is unrecoverable: without trustworthy group
+  // extents there is nothing to salvage against.
+  if (!s.ok()) return s;
+
+  const std::size_t ngroups = layout.group_rows.size();
+  const bool salvage =
+      options.on_corrupt_group != CorruptGroupPolicy::kFail;
+  if (report) {
+    *report = SalvageReport{};
+    report->groups_total = ngroups;
+    report->rows_total = layout.rows;
   }
 
-  std::vector<std::uint64_t> group_rows(ngroups);
-  std::vector<std::size_t> group_begin(ngroups), group_len(ngroups);
-  for (std::size_t g = 0; g < ngroups; ++g) {
-    std::uint64_t size = 0;
-    if (!get_u64_le(bytes, pos, group_rows[g]) ||
-        !get_u64_le(bytes, pos, size)) {
-      return fail(error, "truncated group directory");
-    }
-    group_len[g] = static_cast<std::size_t>(size);
-  }
-  std::uint64_t dir_rows = 0;
-  std::size_t offset = pos;
-  for (std::size_t g = 0; g < ngroups; ++g) {
-    dir_rows += group_rows[g];
-    if (group_len[g] > bytes.size() - offset) {
-      return fail(error, "group extends past end of image");
-    }
-    group_begin[g] = offset;
-    offset += group_len[g];
-  }
-  if (dir_rows != rows) return fail(error, "group directory row mismatch");
-
-  // Decode groups concurrently into per-group staging tables; any failure
-  // is reported for the lowest-numbered failing group so messages are
-  // deterministic across schedules.
+  // Decode the in-bounds groups concurrently into per-group staging
+  // tables; groups whose directory extent runs past the image are
+  // truncation casualties and never touched.
   std::vector<SnapshotTable> staging(ngroups);
-  std::vector<std::string> group_error(ngroups);
-  std::vector<std::uint8_t> ok(ngroups, 0);
+  std::vector<Status> group_status(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    if (layout.group_truncated[g]) {
+      group_status[g] = Status::truncated("group extends past end of image");
+    }
+  }
   parallel_for(
       ngroups,
       [&](std::size_t g) {
-        ok[g] = decode_column_set(bytes.subspan(group_begin[g], group_len[g]),
-                                  0, group_rows[g], &staging[g],
-                                  &group_error[g])
-                    ? 1
-                    : 0;
+        if (layout.group_truncated[g]) return;
+        group_status[g] = decode_column_set(
+            bytes.subspan(layout.group_begin[g], layout.group_len[g]), 0,
+            layout.group_rows[g], &staging[g]);
       },
       pool, /*grain=*/1);
+
+  std::uint64_t rows_lost = 0;
+  std::size_t groups_lost = 0;
   for (std::size_t g = 0; g < ngroups; ++g) {
-    if (!ok[g]) {
-      return fail(error,
-                  "group " + std::to_string(g) + ": " + group_error[g]);
+    if (group_status[g].ok()) continue;
+    // Failures report the lowest-numbered failing group first, so
+    // messages are deterministic across thread schedules.
+    if (!salvage) {
+      return group_status[g].with_context("group " + std::to_string(g));
+    }
+    ++groups_lost;
+    rows_lost += layout.group_rows[g];
+    if (report) {
+      ScolGroupDamage damage;
+      damage.group = g;
+      damage.rows = layout.group_rows[g];
+      damage.status = group_status[g];
+      if (options.on_corrupt_group == CorruptGroupPolicy::kQuarantine) {
+        const std::size_t begin = std::min(layout.group_begin[g], bytes.size());
+        const std::size_t len = std::min(layout.group_len[g],
+                                         bytes.size() - begin);
+        damage.quarantined.assign(bytes.begin() + begin,
+                                  bytes.begin() + begin + len);
+      }
+      report->damage.push_back(std::move(damage));
     }
   }
 
-  table->reserve(table->size() + rows);
+  table->reserve(table->size() + layout.rows - rows_lost);
   for (std::size_t g = 0; g < ngroups; ++g) {
-    table->append_table(std::move(staging[g]));
+    if (group_status[g].ok()) table->append_table(std::move(staging[g]));
   }
-  return true;
+  if (report) {
+    report->groups_lost = groups_lost;
+    report->rows_lost = rows_lost;
+    report->rows_recovered = layout.rows - rows_lost;
+  }
+  return Status();
 }
 
 }  // namespace
+
+Status parse_scol_v2_layout(std::span<const std::uint8_t> bytes,
+                            ScolV2Layout* layout) {
+  *layout = ScolV2Layout{};
+  if (bytes.size() < sizeof(kMagicV2) ||
+      std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::corruption("bad magic");
+  }
+  std::size_t pos = sizeof(kMagicV2);
+  std::uint64_t ngroups = 0;
+  if (!get_u64_le(bytes, pos, layout->rows) ||
+      !get_u64_le(bytes, pos, layout->group_size) ||
+      !get_u64_le(bytes, pos, ngroups)) {
+    return Status::truncated("truncated header");
+  }
+  if (ngroups > (bytes.size() - pos) / 16) {
+    return Status::truncated("group directory exceeds image");
+  }
+
+  layout->group_rows.resize(ngroups);
+  layout->group_begin.resize(ngroups);
+  layout->group_len.resize(ngroups);
+  layout->group_truncated.assign(ngroups, false);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    std::uint64_t size = 0;
+    if (!get_u64_le(bytes, pos, layout->group_rows[g]) ||
+        !get_u64_le(bytes, pos, size)) {
+      return Status::truncated("truncated group directory");
+    }
+    layout->group_len[g] = static_cast<std::size_t>(size);
+  }
+  layout->payload_start = pos;
+
+  std::uint64_t dir_rows = 0;
+  std::size_t offset = pos;
+  bool truncated_tail = false;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    dir_rows += layout->group_rows[g];
+    layout->group_begin[g] = offset;
+    // Once one group runs past the end, every later group does too (their
+    // promised bytes simply are not there).
+    if (truncated_tail || layout->group_len[g] > bytes.size() - offset) {
+      truncated_tail = true;
+      layout->group_truncated[g] = true;
+      // Clamp the running offset so later extents stay well-defined.
+      offset = bytes.size();
+    } else {
+      offset += layout->group_len[g];
+    }
+  }
+  if (dir_rows != layout->rows) {
+    return Status::corruption("group directory row mismatch");
+  }
+  return Status();
+}
+
+std::string SalvageReport::summary() const {
+  if (clean()) {
+    return "clean: " + std::to_string(rows_recovered) + " rows in " +
+           std::to_string(groups_total) + " groups";
+  }
+  std::string out = "lost " + std::to_string(groups_lost) + "/" +
+                    std::to_string(groups_total) + " groups (" +
+                    std::to_string(rows_lost) + " of " +
+                    std::to_string(rows_total) + " rows)";
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < damage.size() && i < kMaxListed; ++i) {
+    out += "; group " + std::to_string(damage[i].group) + ": " +
+           damage[i].status.to_string();
+  }
+  if (damage.size() > kMaxListed) {
+    out += "; +" + std::to_string(damage.size() - kMaxListed) + " more";
+  }
+  return out;
+}
 
 std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
                                       const ScolOptions& options,
@@ -570,17 +676,33 @@ std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
   return encode_scol_v2(table, options, pool);
 }
 
-bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
-                 std::string* error, ThreadPool* pool) {
+Status decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                   const ScolOptions& options, SalvageReport* report,
+                   ThreadPool* pool) {
+  if (report) *report = SalvageReport{};
   if (bytes.size() >= sizeof(kMagicV2) &&
       std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
-    return decode_scol_v2(bytes, table, error, pool);
+    return decode_scol_v2(bytes, table, options, report, pool);
   }
   if (bytes.size() >= sizeof(kMagicV1) &&
       std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
-    return decode_scol_v1(bytes, table, error);
+    // v1 is one whole-table column set: no per-group checksums to salvage
+    // against, so the policy degenerates to strict decode.
+    const Status s = decode_scol_v1(bytes, table);
+    if (s.ok() && report) {
+      report->groups_total = 1;
+      report->rows_total = report->rows_recovered = table->size();
+    }
+    return s;
   }
-  return fail(error, "bad magic");
+  return Status::corruption("bad magic");
+}
+
+bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                 std::string* error, ThreadPool* pool) {
+  const Status s = decode_scol(bytes, table, ScolOptions{}, nullptr, pool);
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
@@ -607,40 +729,32 @@ ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
   return sizes;
 }
 
+Status write_scol_file(const SnapshotTable& table, const std::string& file,
+                       const ScolOptions& options) {
+  const std::vector<std::uint8_t> image = encode_scol(table, options);
+  return write_file_atomic(file, std::span<const std::uint8_t>(image));
+}
+
+Status read_scol_file(const std::string& file, SnapshotTable* table,
+                      const ScolOptions& options, SalvageReport* report) {
+  std::vector<std::uint8_t> bytes;
+  Status s = read_file(file, &bytes);
+  if (!s.ok()) return s;
+  return decode_scol(bytes, table, options, report).with_context(file);
+}
+
 bool write_scol_file(const SnapshotTable& table, const std::string& file,
                      std::string* error, const ScolOptions& options) {
-  const std::vector<std::uint8_t> image = encode_scol(table, options);
-  std::ofstream os(file, std::ios::binary);
-  if (!os) {
-    if (error) *error = "cannot open for write: " + file;
-    return false;
-  }
-  os.write(reinterpret_cast<const char*>(image.data()),
-           static_cast<std::streamsize>(image.size()));
-  os.flush();
-  if (!os) {
-    if (error) *error = "write failed: " + file;
-    return false;
-  }
-  return true;
+  const Status s = write_scol_file(table, file, options);
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 bool read_scol_file(const std::string& file, SnapshotTable* table,
                     std::string* error) {
-  std::ifstream is(file, std::ios::binary | std::ios::ate);
-  if (!is) {
-    if (error) *error = "cannot open for read: " + file;
-    return false;
-  }
-  const std::streamsize size = is.tellg();
-  is.seekg(0);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  is.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!is) {
-    if (error) *error = "read failed: " + file;
-    return false;
-  }
-  return decode_scol(bytes, table, error);
+  const Status s = read_scol_file(file, table, ScolOptions{});
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 }  // namespace spider

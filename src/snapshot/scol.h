@@ -31,9 +31,16 @@
 // benchmark measures each knob's contribution, mirroring the paper's
 // format-conversion claim.
 //
-// All APIs are status-returning (no exceptions); decode validates magic,
-// sizes, the group directory, and per-column checksums, and never trusts
-// lengths from the wire without bounds checks.
+// Failure model (see DESIGN.md §9): decode returns a typed spider::Status,
+// validates magic, sizes, the group directory, and per-column checksums,
+// and never trusts lengths from the wire without bounds checks. Because v2
+// groups are independently checksummed, corruption is *localized*: with
+// ScolOptions::on_corrupt_group set to kSkip or kQuarantine, decode drops
+// (or sets aside) damaged/truncated row groups, appends only the surviving
+// rows, and reports exactly what was lost in a SalvageReport. The table is
+// never left with partial rows of a failed decode: on a non-ok Status the
+// destination is untouched, and in salvage mode only whole surviving
+// groups are spliced.
 #pragma once
 
 #include <cstdint>
@@ -42,10 +49,22 @@
 #include <vector>
 
 #include "snapshot/table.h"
+#include "util/status.h"
 
 namespace spider {
 
 class ThreadPool;
+
+/// What v2 decode does with a row group that fails validation (bad
+/// checksum, truncated payload, malformed encoding). v1 images have a
+/// single whole-table column set, so there is nothing to salvage and the
+/// policy behaves like kFail.
+enum class CorruptGroupPolicy : std::uint8_t {
+  kFail = 0,     // any damage fails the whole decode (strict default)
+  kSkip,         // drop damaged groups, keep surviving rows
+  kQuarantine,   // like kSkip, but keep the damaged groups' raw bytes in
+                 // the SalvageReport for offline forensics
+};
 
 struct ScolOptions {
   bool front_code_paths = true;   // off: varint length + raw bytes
@@ -62,7 +81,53 @@ struct ScolOptions {
   /// layout (compat fixtures, old-reader interchange). Decode ignores this
   /// and dispatches on the image's own magic.
   std::uint8_t format_version = 2;
+
+  /// Decode-side salvage policy (see CorruptGroupPolicy).
+  CorruptGroupPolicy on_corrupt_group = CorruptGroupPolicy::kFail;
 };
+
+/// One damaged v2 row group, as recorded by a salvaging decode.
+struct ScolGroupDamage {
+  std::size_t group = 0;    // group index in the directory
+  std::uint64_t rows = 0;   // rows the directory promised for this group
+  Status status;            // why the group was rejected
+  /// Raw group bytes (clamped to the image) under kQuarantine; empty
+  /// under kSkip.
+  std::vector<std::uint8_t> quarantined;
+};
+
+/// The outcome of a salvaging decode: what survived, what was lost, why.
+struct SalvageReport {
+  std::size_t groups_total = 0;
+  std::size_t groups_lost = 0;
+  std::uint64_t rows_total = 0;      // rows the image claimed to hold
+  std::uint64_t rows_recovered = 0;  // rows appended to the table
+  std::uint64_t rows_lost = 0;
+  std::vector<ScolGroupDamage> damage;
+
+  bool clean() const { return groups_lost == 0; }
+  /// "lost 2/8 groups (1200 of 4096 rows): group 3: corruption: ..." —
+  /// one line, damaged groups listed (capped), for logs and CLIs.
+  std::string summary() const;
+};
+
+/// Parsed v2 framing (header + group directory), exposed for the verify
+/// tool and the fault-injection tests, which need group byte extents to
+/// predict and check salvage outcomes. Fails (kTruncated/kCorruption)
+/// when the header or directory itself is unusable; a group extent that
+/// runs past the end of the image is *not* an error here — it shows up as
+/// truncated=true for that group.
+struct ScolV2Layout {
+  std::uint64_t rows = 0;
+  std::uint64_t group_size = 0;
+  std::vector<std::uint64_t> group_rows;   // per group, from the directory
+  std::vector<std::size_t> group_begin;    // absolute byte offset per group
+  std::vector<std::size_t> group_len;      // bytes per group
+  std::vector<bool> group_truncated;       // extent exceeds the image
+  std::size_t payload_start = 0;           // first byte after the directory
+};
+Status parse_scol_v2_layout(std::span<const std::uint8_t> bytes,
+                            ScolV2Layout* layout);
 
 /// Per-column encoded sizes, for the format ablation study.
 struct ScolColumnSizes {
@@ -88,6 +153,17 @@ std::vector<std::uint8_t> encode_scol(const SnapshotTable& table,
 /// magic), appending rows into `table`. v2 row groups decode in parallel on
 /// `pool`; the splice preserves row order, so contents are identical to a
 /// single-threaded decode.
+///
+/// Damage handling follows options.on_corrupt_group; with kSkip or
+/// kQuarantine the call succeeds whenever the header and directory are
+/// readable, appends the surviving groups, and fills `report` (if given)
+/// with the loss accounting. On a non-ok Status, `table` is unmodified.
+Status decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
+                   const ScolOptions& options, SalvageReport* report = nullptr,
+                   ThreadPool* pool = nullptr);
+
+/// Legacy shim (pre-Status convention), strict decode only. Retained for
+/// one PR; new callers use the Status overload.
 bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
                  std::string* error = nullptr, ThreadPool* pool = nullptr);
 
@@ -98,6 +174,17 @@ bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
 ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
                                   const ScolOptions& options = {});
 
+/// Encodes and writes via a temp file + atomic rename (util/io.h): a crash
+/// mid-write leaves the previous file intact, never a torn image.
+Status write_scol_file(const SnapshotTable& table, const std::string& file,
+                       const ScolOptions& options);
+/// Reads with EINTR/short-read-safe IO, then decodes; the returned Status
+/// carries the file name as context. Salvage per options.on_corrupt_group.
+Status read_scol_file(const std::string& file, SnapshotTable* table,
+                      const ScolOptions& options,
+                      SalvageReport* report = nullptr);
+
+/// Legacy shims (pre-Status convention). Retained for one PR.
 bool write_scol_file(const SnapshotTable& table, const std::string& file,
                      std::string* error = nullptr,
                      const ScolOptions& options = {});

@@ -40,50 +40,143 @@ bool parse_snapshot_name(const std::string& name, std::int64_t* taken_at) {
 
 }  // namespace
 
-bool DirectorySeries::open(const std::string& directory, std::string* error) {
+std::string SeriesGap::describe() const {
+  std::string out = "week " + std::to_string(week);
+  if (taken_at != 0) out += " (" + date_iso(taken_at) + ")";
+  out += ": ";
+  if (!file.empty()) out += file + ": ";
+  out += status.to_string();
+  return out;
+}
+
+Status DirectorySeries::open(const std::string& directory) {
   files_.clear();
   taken_at_.clear();
+  slots_.clear();
+  gaps_.clear();
+  open_gaps_.clear();
   std::error_code ec;
   if (!fs::is_directory(directory, ec)) {
-    if (error) *error = "not a directory: " + directory;
-    return false;
+    return Status::not_found("not a directory: " + directory);
   }
-  std::vector<std::pair<std::int64_t, std::string>> found;
-  for (const auto& entry : fs::directory_iterator(directory, ec)) {
-    if (!entry.is_regular_file()) continue;
+
+  struct Entry {
     std::int64_t taken_at = 0;
-    if (parse_snapshot_name(entry.path().filename().string(), &taken_at)) {
-      found.emplace_back(taken_at, entry.path().string());
+    std::string file;
+    Status status;  // non-ok when the entry itself is unreadable
+  };
+  std::vector<Entry> found;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    std::int64_t taken_at = 0;
+    if (!parse_snapshot_name(entry.path().filename().string(), &taken_at)) {
+      continue;
     }
+    // Entries matching the snapshot pattern must be accounted for: a
+    // stat failure or a non-file is a damaged week, not something to
+    // silently drop from the study timeline.
+    std::error_code stat_ec;
+    const bool regular = entry.is_regular_file(stat_ec);
+    Status status;
+    if (stat_ec) {
+      status = Status::io_error("cannot stat: " + stat_ec.message());
+    } else if (!regular) {
+      status = Status::failed_precondition("not a regular file");
+    }
+    found.push_back(Entry{taken_at, entry.path().string(), status});
   }
   if (ec) {
-    if (error) *error = "cannot list directory: " + directory;
-    return false;
+    return Status::io_error("cannot list directory: " + directory);
   }
   if (found.empty()) {
-    if (error) *error = "no snap_*.scol files in: " + directory;
-    return false;
+    return Status::not_found("no snap_*.scol files in: " + directory);
   }
-  std::sort(found.begin(), found.end());
-  for (auto& [taken_at, file] : found) {
-    taken_at_.push_back(taken_at);
-    files_.push_back(std::move(file));
+  std::sort(found.begin(), found.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.taken_at < b.taken_at;
+            });
+
+  // Collection-cadence gap detection: an interval much longer than the
+  // median means weeks were never collected (maintenance windows in the
+  // paper's own series). Those weeks get slots so diffs never silently
+  // span them.
+  std::int64_t median_interval = 0;
+  if (found.size() >= 3) {
+    std::vector<std::int64_t> intervals;
+    intervals.reserve(found.size() - 1);
+    for (std::size_t i = 1; i < found.size(); ++i) {
+      intervals.push_back(found[i].taken_at - found[i - 1].taken_at);
+    }
+    std::nth_element(intervals.begin(),
+                     intervals.begin() + intervals.size() / 2,
+                     intervals.end());
+    median_interval = intervals[intervals.size() / 2];
   }
-  return true;
+
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    if (i > 0 && median_interval > 0) {
+      const std::int64_t interval = found[i].taken_at - found[i - 1].taken_at;
+      if (interval > median_interval + median_interval / 2) {
+        // Round to the nearest whole number of missed collections, capped
+        // so a wild timestamp cannot inflate the timeline unboundedly.
+        const std::int64_t missed = std::min<std::int64_t>(
+            (interval + median_interval / 2) / median_interval - 1, 520);
+        for (std::int64_t k = 0; k < missed; ++k) {
+          gaps_.push_back(SeriesGap{
+              slot++, found[i - 1].taken_at + median_interval * (k + 1), "",
+              Status::not_found("no snapshot collected")});
+        }
+      }
+    }
+    if (found[i].status.ok()) {
+      files_.push_back(std::move(found[i].file));
+      taken_at_.push_back(found[i].taken_at);
+      slots_.push_back(slot++);
+    } else {
+      gaps_.push_back(SeriesGap{slot++, found[i].taken_at,
+                                std::move(found[i].file),
+                                std::move(found[i].status)});
+    }
+  }
+  std::sort(gaps_.begin(), gaps_.end(),
+            [](const SeriesGap& a, const SeriesGap& b) {
+              return a.week < b.week;
+            });
+  open_gaps_ = gaps_;
+  if (files_.empty()) {
+    return Status::failed_precondition("no readable snapshots in: " +
+                                       directory)
+        .caused_by(gaps_.front().status);
+  }
+  return Status();
+}
+
+bool DirectorySeries::open(const std::string& directory, std::string* error) {
+  const Status s = open(directory);
+  if (!s.ok() && error) *error = s.to_string();
+  return s.ok();
 }
 
 void DirectorySeries::visit(const SnapshotVisitor& visitor) {
+  // Each traversal rediscovers decode damage from scratch (a file may have
+  // been repaired or replaced between visits), on top of the structural
+  // gaps open() found.
+  gaps_ = open_gaps_;
   for (std::size_t i = 0; i < files_.size(); ++i) {
     Snapshot snap;
     snap.taken_at = taken_at_[i];
-    std::string error;
-    if (!read_scol_file(files_[i], &snap.table, &error)) {
-      // A snapshot that fails integrity checks is skipped, matching how the
-      // paper's pipeline tolerates missing/corrupt weeks (maintenance gaps).
+    const Status s =
+        read_scol_file(files_[i], &snap.table, scol_options_);
+    if (!s.ok()) {
+      gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
       continue;
     }
-    visitor(i, snap);
+    visitor(slots_[i], snap);
   }
+  std::sort(gaps_.begin(), gaps_.end(),
+            [](const SeriesGap& a, const SeriesGap& b) {
+              return a.week < b.week;
+            });
 }
 
 bool save_series(SnapshotSource& source, const std::string& directory,

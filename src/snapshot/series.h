@@ -5,14 +5,25 @@
 // Analyses consume a SnapshotSource; the visitor contract guarantees weeks
 // arrive in chronological order, which the diff-based analyses (Fig 13/17)
 // rely on to keep only the previous week resident.
+//
+// Degradation model (see DESIGN.md §9): an operational series is rarely
+// perfect — collection skips a maintenance week, a file is torn by a
+// crashed copy. Sources expose that damage instead of hiding it: week
+// indices are *slots* in the study timeline and may have holes, and every
+// hole is described by a SeriesGap (slot, expected date, file, Status).
+// The study runner uses the holes to avoid computing diffs across a gap;
+// reports list the gaps rather than silently narrowing the study.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "snapshot/scol.h"
 #include "snapshot/table.h"
+#include "util/status.h"
 
 namespace spider {
 
@@ -21,8 +32,22 @@ struct Snapshot {
   SnapshotTable table;
 };
 
+/// One unusable week slot in a series: a snapshot that was never collected
+/// (cadence hole) or one whose file is unreadable/corrupt.
+struct SeriesGap {
+  std::size_t week = 0;       // the slot the gap occupies
+  std::int64_t taken_at = 0;  // (estimated) collection time; 0 if unknown
+  std::string file;           // offending file; empty for a missing week
+  Status status;              // why the week is unusable
+
+  /// "week 7 (2015-02-16): snap_20150216.scol: corruption: ..." — one line.
+  std::string describe() const;
+};
+
 /// Callback invoked per snapshot, in chronological order.
-/// `week` is a dense 0-based index into the series.
+/// `week` is a 0-based slot index into the series timeline; series with
+/// gaps skip the damaged slots, so consecutive calls may not be
+/// consecutive weeks.
 using SnapshotVisitor =
     std::function<void(std::size_t week, const Snapshot& snap)>;
 
@@ -30,54 +55,96 @@ class SnapshotSource {
  public:
   virtual ~SnapshotSource() = default;
 
-  /// Number of snapshots this source will visit.
+  /// Number of snapshots this source will visit (gaps excluded).
   virtual std::size_t count() const = 0;
 
-  /// Visits every snapshot in order. May be called multiple times; each
-  /// call re-traverses (or regenerates) the whole series.
+  /// Visits every readable snapshot in order. May be called multiple
+  /// times; each call re-traverses (or regenerates) the whole series.
   virtual void visit(const SnapshotVisitor& visitor) = 0;
+
+  /// The known holes in the timeline, ascending by slot. Sources that
+  /// discover damage lazily (DirectorySeries) report gaps found during the
+  /// most recent visit() in addition to those found at open().
+  virtual std::span<const SeriesGap> gaps() const { return {}; }
 };
 
 /// Fully in-memory series.
 class SnapshotSeries : public SnapshotSource {
  public:
-  void add(Snapshot snap) { snaps_.push_back(std::move(snap)); }
+  void add(Snapshot snap) {
+    slots_.push_back(next_slot_++);
+    snaps_.push_back(std::move(snap));
+  }
+
+  /// Marks the next slot as a gap instead of a snapshot — the in-memory
+  /// way to model a missing or corrupt week (tests, simulations).
+  void add_gap(std::int64_t taken_at, Status status, std::string file = "") {
+    gaps_.push_back(
+        SeriesGap{next_slot_++, taken_at, std::move(file), std::move(status)});
+  }
 
   std::size_t count() const override { return snaps_.size(); }
   void visit(const SnapshotVisitor& visitor) override {
-    for (std::size_t i = 0; i < snaps_.size(); ++i) visitor(i, snaps_[i]);
+    for (std::size_t i = 0; i < snaps_.size(); ++i) {
+      visitor(slots_[i], snaps_[i]);
+    }
   }
+  std::span<const SeriesGap> gaps() const override { return gaps_; }
 
   const Snapshot& at(std::size_t i) const { return snaps_[i]; }
   Snapshot& at(std::size_t i) { return snaps_[i]; }
 
  private:
   std::vector<Snapshot> snaps_;
+  std::vector<std::size_t> slots_;  // parallel to snaps_
+  std::vector<SeriesGap> gaps_;
+  std::size_t next_slot_ = 0;
 };
 
 /// Streams snapshots from `snap_<YYYYMMDD>.scol` files in a directory, in
 /// ascending date order. Construction scans the directory; visit() decodes
 /// one file at a time.
+///
+/// Degradation: open() detects missing weeks from the collection cadence
+/// (an interval much longer than the median) and reserves gap slots for
+/// them; entries that match the snapshot name pattern but cannot be
+/// statted become gaps rather than being silently dropped. visit() turns
+/// every unreadable/corrupt file into a gap (with the decode Status) and
+/// keeps going — callers consult gaps() afterwards.
 class DirectorySeries : public SnapshotSource {
  public:
-  /// Lists matching files; returns false (with reason) when the directory
-  /// cannot be read or contains no snapshots.
-  bool open(const std::string& directory, std::string* error = nullptr);
+  /// Lists matching files; fails when the directory cannot be read or
+  /// contains no snapshots.
+  Status open(const std::string& directory);
+  /// Legacy shim (pre-Status convention). Retained for one PR.
+  bool open(const std::string& directory, std::string* error);
+
+  /// Decode options for visit(), e.g. a salvage policy so that a week
+  /// with localized damage is visited with its surviving rows instead of
+  /// becoming a gap. Default: strict decode.
+  void set_scol_options(const ScolOptions& options) { scol_options_ = options; }
 
   std::size_t count() const override { return files_.size(); }
   void visit(const SnapshotVisitor& visitor) override;
+  std::span<const SeriesGap> gaps() const override { return gaps_; }
 
   const std::vector<std::string>& files() const { return files_; }
 
  private:
   std::vector<std::string> files_;      // absolute paths, sorted by date
   std::vector<std::int64_t> taken_at_;  // parallel to files_
+  std::vector<std::size_t> slots_;      // parallel to files_; has holes
+  std::vector<SeriesGap> gaps_;
+  std::vector<SeriesGap> open_gaps_;  // gaps found by open(); visit()
+                                      // restarts from them each traversal
+  ScolOptions scol_options_;
 };
 
 /// Adapter delivering every `stride`-th snapshot of a base source with
 /// re-densified week indices — the sampling-frequency ablation (the paper
 /// sampled one snapshot per week out of a daily collection; this asks how
-/// the findings shift at coarser cadences).
+/// the findings shift at coarser cadences). Gaps are not forwarded: the
+/// resampled timeline is treated as complete.
 class StridedSource : public SnapshotSource {
  public:
   StridedSource(SnapshotSource& base, std::size_t stride)
@@ -99,7 +166,8 @@ class StridedSource : public SnapshotSource {
 };
 
 /// Writes every snapshot of a source into `directory` as .scol files named
-/// snap_<YYYYMMDD>.scol. Creates the directory if needed.
+/// snap_<YYYYMMDD>.scol. Creates the directory if needed. Each file is
+/// written via temp file + atomic rename (util/io.h).
 bool save_series(SnapshotSource& source, const std::string& directory,
                  std::string* error = nullptr);
 

@@ -8,6 +8,7 @@
 namespace spider {
 
 void AccessPatternsAnalyzer::observe(const WeekObservation& obs) {
+  if (obs.gap_before) ++result_.gap_pairs_skipped;
   if (obs.diff == nullptr) return;
   AccessPatternWeek week;
   week.date = obs.snap->taken_at;
@@ -53,6 +54,10 @@ std::string AccessPatternsAnalyzer::render() const {
      << ", readonly " << format_percent(result_.avg_readonly) << " (3%)"
      << ", updated " << format_percent(result_.avg_updated) << " (10%)"
      << ", untouched " << format_percent(result_.avg_untouched) << " (76%)\n";
+  if (result_.gap_pairs_skipped > 0) {
+    os << "note: " << result_.gap_pairs_skipped
+       << " week pair(s) skipped at series gaps (missing/corrupt weeks)\n";
+  }
   return os.str();
 }
 

@@ -21,6 +21,9 @@ struct AccessPatternsResult {
   std::vector<AccessPatternWeek> weeks;
   double avg_new = 0, avg_deleted = 0, avg_readonly = 0, avg_updated = 0,
          avg_untouched = 0;
+  /// Adjacent-week pairs excluded because a series gap (missing/corrupt
+  /// week) sat between them; the averages cover the remaining pairs.
+  std::size_t gap_pairs_skipped = 0;
 };
 
 class AccessPatternsAnalyzer : public StudyAnalyzer {

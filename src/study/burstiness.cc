@@ -37,11 +37,15 @@ void BurstinessAnalyzer::collect(const SnapshotTable& table,
 }
 
 void BurstinessAnalyzer::observe(const WeekObservation& obs) {
+  if (obs.gap_before) ++result_.gap_pairs_skipped;
   if (obs.diff == nullptr || obs.prev == nullptr) return;
   // Gap-spanning intervals (maintenance weeks) cover several activity
   // cycles and would smear multiple campaigns into one cv sample; the
   // paper's metric is strictly week-over-week.
-  if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) return;
+  if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) {
+    ++result_.gap_pairs_skipped;
+    return;
+  }
   const std::int64_t window_start = obs.prev->taken_at;
   collect(obs.snap->table, obs.diff->new_rows, /*use_atime=*/false,
           window_start, write_samples_);
@@ -94,6 +98,10 @@ std::string BurstinessAnalyzer::render() const {
      << format_cv(result_.overall_write_cv_median) << ", read cv "
      << format_cv(result_.overall_read_cv_median)
      << " (paper: reads ~100x burstier than writes)\n";
+  if (result_.gap_pairs_skipped > 0) {
+    os << "note: " << result_.gap_pairs_skipped
+       << " interval(s) skipped at series gaps or gap-spanning windows\n";
+  }
   return os.str();
 }
 

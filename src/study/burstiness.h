@@ -27,6 +27,10 @@ struct BurstinessResult {
   double overall_read_cv_median = 0;
   std::size_t qualifying_write_samples = 0;
   std::size_t qualifying_read_samples = 0;
+  /// Intervals excluded because a series gap sat between the snapshots
+  /// (gap-spanning windows would smear several activity cycles into one
+  /// cv sample).
+  std::size_t gap_pairs_skipped = 0;
 };
 
 class BurstinessAnalyzer : public StudyAnalyzer {

@@ -28,6 +28,32 @@ void FullStudy::run(SnapshotSource& source) {
       &file_age,     &burstiness,    &network,   &collaboration,
   };
   run_study(source, analyzers);
+  // Snapshot the source's damage accounting (DirectorySeries discovers
+  // decode failures during the traversal itself).
+  const auto gaps = source.gaps();
+  gaps_.assign(gaps.begin(), gaps.end());
+}
+
+std::string FullStudy::render_data_quality() const {
+  std::ostringstream os;
+  const std::size_t visited = growth.result().points.size();
+  const std::size_t slots = visited + gaps_.size();
+  if (gaps_.empty()) {
+    os << "Data quality: complete series, " << visited
+       << " weeks, no gaps\n";
+    return os.str();
+  }
+  os << "Data quality: " << visited << " of " << slots
+     << " week slots usable; " << gaps_.size() << " gap(s)\n";
+  for (const SeriesGap& gap : gaps_) {
+    os << "  " << gap.describe() << "\n";
+  }
+  os << "  diff pairs skipped at gaps: "
+     << access_patterns.result().gap_pairs_skipped
+     << " (access patterns), " << burstiness.result().gap_pairs_skipped
+     << " (burstiness); " << growth.result().gap_weeks
+     << " growth point(s) span a gap\n";
+  return os.str();
 }
 
 std::string FullStudy::render_table1() const {

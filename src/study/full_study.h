@@ -28,10 +28,21 @@ class FullStudy {
                      std::size_t burst_min_files = 100);
 
   /// One pass over the series; all analyzers observe every snapshot.
+  /// Gaps in the series (missing/corrupt weeks) do not abort the study:
+  /// diff-based figures skip the gap-adjacent pairs, count-based figures
+  /// annotate, and render_data_quality() reports the damage.
   void run(SnapshotSource& source);
 
   /// The paper's Table 1, measured from the synthetic series.
   std::string render_table1() const;
+
+  /// The damage report for the last run(): usable weeks, every gap with
+  /// its reason, and the analyzer-side skip counts. One line when the
+  /// series was complete.
+  std::string render_data_quality() const;
+
+  /// Gaps observed by the last run() (copied from the source).
+  std::span<const SeriesGap> gaps() const { return gaps_; }
 
   UserProfileAnalyzer user_profile;
   ParticipationAnalyzer participation;
@@ -48,6 +59,7 @@ class FullStudy {
 
  private:
   const Resolver& resolver_;
+  std::vector<SeriesGap> gaps_;
 };
 
 }  // namespace spider

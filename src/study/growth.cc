@@ -12,6 +12,8 @@ void GrowthAnalyzer::observe(const WeekObservation& obs) {
   point.date = obs.snap->taken_at;
   point.files = obs.snap->table.file_count();
   point.dirs = obs.snap->table.dir_count();
+  point.after_gap = obs.gap_before;
+  if (obs.gap_before) ++result_.gap_weeks;
   result_.points.push_back(point);
 }
 
@@ -54,6 +56,11 @@ std::string GrowthAnalyzer::render() const {
   os << "growth factor " << format_double(result_.growth_factor, 2)
      << "x (paper: ~5x, 200M -> 1B); final dir share "
      << format_percent(result_.final_dir_share) << " (paper: <10%)\n";
+  if (result_.gap_weeks > 0) {
+    os << "note: " << result_.gap_weeks
+       << " week(s) follow a series gap; their step spans more than one "
+          "collection interval\n";
+  }
   return os.str();
 }
 

@@ -14,12 +14,17 @@ struct GrowthPoint {
   std::int64_t date = 0;
   std::uint64_t files = 0;
   std::uint64_t dirs = 0;
+  /// Week follows one or more series gaps: the point is sound (counts are
+  /// per-snapshot, not per-diff) but the step from the previous point
+  /// spans more than one collection interval.
+  bool after_gap = false;
 };
 
 struct GrowthResult {
   std::vector<GrowthPoint> points;
   double growth_factor = 0;       // last files / first files
   double final_dir_share = 0;     // dirs / entries at the last snapshot
+  std::size_t gap_weeks = 0;      // points flagged after_gap
 };
 
 class GrowthAnalyzer : public StudyAnalyzer {

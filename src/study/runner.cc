@@ -30,15 +30,17 @@ void run_study(SnapshotSource& source,
 
   auto prev = std::make_unique<Snapshot>();
   bool have_prev = false;
+  std::size_t last_week = 0;
 
   source.visit([&](std::size_t week, const Snapshot& snap) {
     WeekObservation obs;
     obs.week = week;
     obs.snap = &snap;
     obs.prev = have_prev ? prev.get() : nullptr;
+    obs.gap_before = have_prev && week != last_week + 1;
 
     DiffResult diff;
-    if (need_diff && have_prev) {
+    if (need_diff && have_prev && !obs.gap_before) {
       diff = diff_snapshots(prev->table, snap.table);
       obs.diff = &diff;
     }
@@ -46,6 +48,7 @@ void run_study(SnapshotSource& source,
 
     *prev = copy_snapshot(snap);
     have_prev = true;
+    last_week = week;
   });
 
   for (StudyAnalyzer* analyzer : analyzers) analyzer->finish();

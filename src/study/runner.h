@@ -14,10 +14,17 @@
 namespace spider {
 
 struct WeekObservation {
-  std::size_t week = 0;        // dense emitted-snapshot index
+  std::size_t week = 0;  // slot index in the series timeline (may skip)
   const Snapshot* snap = nullptr;
   const Snapshot* prev = nullptr;  // null on the first snapshot
   const DiffResult* diff = nullptr;  // null unless requested & prev exists
+  /// True when one or more slots between `prev` and `snap` are gaps
+  /// (missing or corrupt weeks). The runner does not compute a diff
+  /// across a gap — it would span several collection intervals and
+  /// contaminate the weekly rates — so `diff` is null then even for
+  /// analyzers that want it; count-based analyzers use the flag to
+  /// annotate the affected week.
+  bool gap_before = false;
 };
 
 class StudyAnalyzer {

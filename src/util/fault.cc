@@ -1,0 +1,116 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+namespace spider {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return "bit flip";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kTornTail:
+      return "torn tail";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::describe() const {
+  std::string out(fault_kind_name(kind));
+  out += " @" + std::to_string(offset);
+  if (kind == FaultKind::kBitFlip) {
+    out += " mask 0x" + std::to_string(static_cast<unsigned>(mask));
+  }
+  if (kind == FaultKind::kTornTail) {
+    out += " +" + std::to_string(length) + "B garbage";
+  }
+  return out;
+}
+
+FaultEvent FaultInjector::bit_flip(std::vector<std::uint8_t>* image,
+                                   std::size_t begin, std::size_t end) {
+  assert(!image->empty());
+  if (end == 0 || end > image->size()) end = image->size();
+  if (begin >= end) begin = end - 1;
+  FaultEvent ev;
+  ev.kind = FaultKind::kBitFlip;
+  ev.offset = begin + rng_.uniform_u64(end - begin);
+  ev.mask = static_cast<std::uint8_t>(1u << rng_.uniform_u64(8));
+  (*image)[ev.offset] ^= ev.mask;
+  return ev;
+}
+
+FaultEvent FaultInjector::truncate(std::vector<std::uint8_t>* image,
+                                   std::size_t min_keep) {
+  min_keep = std::min(min_keep, image->size());
+  FaultEvent ev;
+  ev.kind = FaultKind::kTruncate;
+  ev.offset =
+      min_keep + rng_.uniform_u64(std::max<std::size_t>(
+                     1, image->size() - min_keep));
+  ev.offset = std::min(ev.offset, image->size());
+  image->resize(ev.offset);
+  return ev;
+}
+
+FaultEvent FaultInjector::torn_tail(std::vector<std::uint8_t>* image,
+                                    std::size_t min_keep,
+                                    std::size_t max_tail) {
+  FaultEvent ev = truncate(image, min_keep);
+  ev.kind = FaultKind::kTornTail;
+  ev.length = 1 + rng_.uniform_u64(std::max<std::size_t>(1, max_tail));
+  image->reserve(image->size() + ev.length);
+  for (std::size_t i = 0; i < ev.length; ++i) {
+    image->push_back(static_cast<std::uint8_t>(rng_.uniform_u64(256)));
+  }
+  return ev;
+}
+
+FaultEvent FaultInjector::inject(FaultKind kind,
+                                 std::vector<std::uint8_t>* image,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t min_keep) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return bit_flip(image, begin, end);
+    case FaultKind::kTruncate:
+      return truncate(image, min_keep);
+    case FaultKind::kTornTail:
+      return torn_tail(image, min_keep);
+  }
+  return FaultEvent{};
+}
+
+FaultyFile::FaultyFile(std::span<const std::uint8_t> bytes, std::uint64_t seed,
+                       double eintr_probability, std::size_t max_chunk)
+    : bytes_(bytes),
+      rng_(seed),
+      eintr_probability_(eintr_probability),
+      max_chunk_(max_chunk) {}
+
+long FaultyFile::read(void* buf, std::size_t count) {
+  if (count == 0) return 0;
+  if (rng_.chance(eintr_probability_)) {
+    ++interruptions_;
+    errno = EINTR;
+    return -1;
+  }
+  if (pos_ >= bytes_.size()) return 0;
+  std::size_t serve = std::min(count, bytes_.size() - pos_);
+  const std::size_t cap = max_chunk_ ? max_chunk_ : serve;
+  if (serve > 1 && cap > 0) {
+    // Serve a random 1..min(serve, cap) bytes so callers see every short-
+    // read shape, including single bytes.
+    serve = 1 + rng_.uniform_u64(std::min(serve, cap));
+  }
+  if (serve < count) ++short_serves_;
+  std::memcpy(buf, bytes_.data() + pos_, serve);
+  pos_ += serve;
+  return static_cast<long>(serve);
+}
+
+}  // namespace spider

@@ -1,0 +1,107 @@
+// Deterministic fault injection for the robustness test harness.
+//
+// Two layers of damage, mirroring what operational LustreDU dumps actually
+// exhibit (partial collections, torn copies, bad sectors):
+//
+//   * FaultInjector mutates in-memory images — single bit flips, truncation,
+//     and "torn tails" (truncate then append unrelated garbage, the shape a
+//     crashed non-atomic writer leaves behind). Every mutation is drawn from
+//     a seeded Rng and returns a FaultEvent describing exactly what was
+//     done, so tests can compute the expected salvage outcome.
+//
+//   * FaultyFile wraps an in-memory image behind the RawReadFn contract of
+//     util/io.h and serves it adversarially: short reads of random length
+//     and injected EINTR interruptions (and, optionally, a hard truncation
+//     at a chosen offset). It exercises the retry/short-read loops without
+//     interposing on real syscalls.
+//
+// Everything here is deterministic given the seed; there is no global state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace spider {
+
+enum class FaultKind : std::uint8_t {
+  kBitFlip,   // one bit inverted at `offset`
+  kTruncate,  // image cut to `offset` bytes
+  kTornTail,  // image cut to `offset`, then `length` garbage bytes appended
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// What a mutation did, precisely enough to predict salvage results.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kBitFlip;
+  std::size_t offset = 0;  // flip position, or cut position for truncation
+  std::size_t length = 0;  // garbage bytes appended (torn tail only)
+  std::uint8_t mask = 0;   // XOR mask applied (bit flip only)
+
+  std::string describe() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Flips one random bit in [begin, end) (end = 0 means image end).
+  FaultEvent bit_flip(std::vector<std::uint8_t>* image, std::size_t begin = 0,
+                      std::size_t end = 0);
+
+  /// Cuts the image at a random position in [min_keep, size).
+  FaultEvent truncate(std::vector<std::uint8_t>* image,
+                      std::size_t min_keep = 0);
+
+  /// Cuts at a random position in [min_keep, size), then appends 1..max_tail
+  /// random garbage bytes.
+  FaultEvent torn_tail(std::vector<std::uint8_t>* image,
+                       std::size_t min_keep = 0, std::size_t max_tail = 256);
+
+  /// Applies the `kind` fault with this injector's rng; the uniform entry
+  /// point for seeded sweeps. `begin`/`end` bound bit flips, `min_keep`
+  /// bounds cuts.
+  FaultEvent inject(FaultKind kind, std::vector<std::uint8_t>* image,
+                    std::size_t begin = 0, std::size_t end = 0,
+                    std::size_t min_keep = 0);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// An in-memory file served through deliberately awkward reads.
+class FaultyFile {
+ public:
+  /// `eintr_probability`: chance any given call fails with errno=EINTR
+  /// instead of serving bytes. `max_chunk`: reads never serve more than
+  /// this many bytes (forcing short reads); 0 means unbounded.
+  FaultyFile(std::span<const std::uint8_t> bytes, std::uint64_t seed,
+             double eintr_probability = 0.25, std::size_t max_chunk = 7);
+
+  /// RawReadFn-compatible: serves the next bytes (possibly fewer than
+  /// asked), 0 at EOF, or -1 with errno = EINTR.
+  long read(void* buf, std::size_t count);
+
+  /// Rewind to offset 0 (stats are kept).
+  void rewind() { pos_ = 0; }
+
+  std::size_t interruptions() const { return interruptions_; }
+  std::size_t short_serves() const { return short_serves_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  Rng rng_;
+  double eintr_probability_;
+  std::size_t max_chunk_;
+  std::size_t pos_ = 0;
+  std::size_t interruptions_ = 0;
+  std::size_t short_serves_ = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,179 @@
+#include "util/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace spider {
+
+namespace {
+
+std::string errno_text() {
+  return std::strerror(errno);
+}
+
+/// open(2) with EINTR retry; returns -1 with errno preserved.
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// close(2), ignoring EINTR per POSIX (the fd state is unspecified after
+/// an interrupted close; retrying risks closing a recycled descriptor).
+void close_quietly(int fd) {
+  ::close(fd);
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t count,
+                 IoStats* stats) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ::ssize_t n = ::write(fd, data + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (stats) ++stats->eintr_retries;
+        continue;
+      }
+      return Status::io_error("write: " + errno_text());
+    }
+    if (static_cast<std::size_t>(n) < count - done && stats) {
+      ++stats->short_writes;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+/// RAII for the temp file of an atomic write: unlinks unless disarmed.
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (armed_) ::unlink(path_.c_str());
+  }
+  void disarm() { armed_ = false; }
+
+ private:
+  std::string path_;
+  bool armed_ = true;
+};
+
+}  // namespace
+
+Status read_exactly(const RawReadFn& read_fn, void* buf, std::size_t count,
+                    IoStats* stats) {
+  std::uint8_t* out = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < count) {
+    const long n = read_fn(out + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (stats) ++stats->eintr_retries;
+        continue;
+      }
+      return Status::io_error("read: " + errno_text());
+    }
+    if (n == 0) {
+      return Status::truncated("end of file after " + std::to_string(done) +
+                               " of " + std::to_string(count) + " bytes");
+    }
+    if (static_cast<std::size_t>(n) < count - done && stats) {
+      ++stats->short_reads;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Status read_until_eof(const RawReadFn& read_fn, std::vector<std::uint8_t>* out,
+                      std::size_t size_hint, IoStats* stats) {
+  if (size_hint) out->reserve(out->size() + size_hint);
+  // Chunked append: 64 KiB balances syscall count against over-allocation
+  // when the size hint is absent or wrong.
+  constexpr std::size_t kChunk = 64 * 1024;
+  std::uint8_t buf[kChunk];
+  for (;;) {
+    const long n = read_fn(buf, kChunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (stats) ++stats->eintr_retries;
+        continue;
+      }
+      return Status::io_error("read: " + errno_text());
+    }
+    if (n == 0) return Status();
+    if (static_cast<std::size_t>(n) < kChunk && stats) ++stats->short_reads;
+    out->insert(out->end(), buf, buf + n);
+  }
+}
+
+Status read_file(const std::string& path, std::vector<std::uint8_t>* out,
+                 IoStats* stats) {
+  const int fd = open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    const Status s = errno == ENOENT ? Status::not_found(errno_text())
+                                     : Status::io_error(errno_text());
+    return s.with_context(path);
+  }
+  struct ::stat st {};
+  const std::size_t hint =
+      ::fstat(fd, &st) == 0 && st.st_size > 0
+          ? static_cast<std::size_t>(st.st_size)
+          : 0;
+  const RawReadFn fd_read = [fd](void* buf, std::size_t count) -> long {
+    return static_cast<long>(::read(fd, buf, count));
+  };
+  const Status s = read_until_eof(fd_read, out, hint, stats);
+  close_quietly(fd);
+  return s.with_context(path);
+}
+
+Status read_file(const std::string& path, std::string* out, IoStats* stats) {
+  std::vector<std::uint8_t> bytes;
+  const Status s = read_file(path, &bytes, stats);
+  if (!s.ok()) return s;
+  out->assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return Status();
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes, IoStats* stats) {
+  // Same directory as the target so the rename cannot cross filesystems.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::io_error(errno_text()).with_context("create " + tmp);
+  }
+  TempFileGuard guard(tmp);
+
+  Status s = write_all(fd, bytes.data(), bytes.size(), stats);
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::io_error("fsync: " + errno_text());
+  }
+  close_quietly(fd);
+  if (!s.ok()) return s.with_context(path);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::io_error("rename: " + errno_text()).with_context(path);
+  }
+  guard.disarm();
+  return Status();
+}
+
+Status write_file_atomic(const std::string& path, std::string_view text,
+                         IoStats* stats) {
+  return write_file_atomic(
+      path,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
+      stats);
+}
+
+}  // namespace spider

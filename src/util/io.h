@@ -1,0 +1,63 @@
+// Robust file I/O, centralized so every reader and writer in the project
+// shares the same failure discipline:
+//
+//   * reads loop over short reads and retry EINTR (signals during a nightly
+//     collection run must not look like corrupt snapshots);
+//   * whole-file writes go to a same-directory temp file, fsync, then
+//     atomically rename into place — a crash mid-write leaves either the
+//     old file or the new one, never a torn .scol/PSV image;
+//   * every failure is a typed Status naming the file and the errno text.
+//
+// The low-level loops take an abstract RawReadFn so the fault-injection
+// harness (util/fault.h FaultyFile) can drive them with deliberately
+// awkward read schedules without interposing on real syscalls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spider {
+
+/// One read attempt: fill up to `count` bytes of `buf`, returning the byte
+/// count, 0 at end-of-file, or -1 with errno set (POSIX read semantics).
+using RawReadFn = std::function<long(void* buf, std::size_t count)>;
+
+/// Retry/short-read counters, for tests and diagnostics.
+struct IoStats {
+  std::uint64_t eintr_retries = 0;
+  std::uint64_t short_reads = 0;   // reads that returned less than asked
+  std::uint64_t short_writes = 0;  // writes that accepted less than offered
+};
+
+/// Reads exactly `count` bytes via `read_fn`, looping over short reads and
+/// retrying EINTR. Fails kTruncated if EOF arrives first.
+Status read_exactly(const RawReadFn& read_fn, void* buf, std::size_t count,
+                    IoStats* stats = nullptr);
+
+/// Reads until EOF via `read_fn`, appending to `out`, with the same retry
+/// discipline. `size_hint` pre-reserves (pass the stat() size when known).
+Status read_until_eof(const RawReadFn& read_fn, std::vector<std::uint8_t>* out,
+                      std::size_t size_hint = 0, IoStats* stats = nullptr);
+
+/// Slurps a whole file. The overloads share one implementation; the string
+/// form exists for text formats (PSV) that parse via string_view.
+Status read_file(const std::string& path, std::vector<std::uint8_t>* out,
+                 IoStats* stats = nullptr);
+Status read_file(const std::string& path, std::string* out,
+                 IoStats* stats = nullptr);
+
+/// Writes `bytes` to `path` via a same-directory temp file + fsync +
+/// atomic rename. On any failure the temp file is removed and the previous
+/// `path` contents (if any) are untouched.
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes,
+                         IoStats* stats = nullptr);
+Status write_file_atomic(const std::string& path, std::string_view text,
+                         IoStats* stats = nullptr);
+
+}  // namespace spider

@@ -1,0 +1,95 @@
+#include "util/status.h"
+
+namespace spider {
+
+struct Status::Rep {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::shared_ptr<const Rep> cause;
+};
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kTruncated:
+      return "truncated";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  assert(code != StatusCode::kOk);
+  rep_ = std::make_shared<const Rep>(Rep{code, std::move(message), nullptr});
+}
+
+StatusCode Status::code() const {
+  return rep_ ? rep_->code : StatusCode::kOk;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ ? rep_->message : kEmpty;
+}
+
+bool Status::has_cause() const { return rep_ && rep_->cause != nullptr; }
+
+Status Status::cause() const {
+  Status s;
+  if (rep_) s.rep_ = rep_->cause;
+  return s;
+}
+
+Status Status::with_context(std::string_view context) const {
+  if (ok()) return *this;
+  Status wrapped;
+  wrapped.rep_ = std::make_shared<const Rep>(
+      Rep{rep_->code, std::string(context) + ": " + rep_->message,
+          rep_->cause});
+  return wrapped;
+}
+
+Status Status::caused_by(const Status& cause) const {
+  if (ok() || cause.ok()) return *this;
+  Status chained = cause;
+  if (rep_->cause) {
+    // Keep the existing link: append the old cause beneath the new one.
+    Status old_cause;
+    old_cause.rep_ = rep_->cause;
+    chained = cause.caused_by(old_cause);
+  }
+  Status wrapped;
+  wrapped.rep_ = std::make_shared<const Rep>(
+      Rep{rep_->code, rep_->message, chained.rep_});
+  return wrapped;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out;
+  Status s = *this;
+  while (!s.ok()) {
+    if (!out.empty()) out += "; caused by: ";
+    out += status_code_name(s.code());
+    out += ": ";
+    out += s.message();
+    s = s.cause();
+  }
+  return out;
+}
+
+}  // namespace spider

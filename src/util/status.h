@@ -1,0 +1,139 @@
+// spider::Status / Result<T> — the project-wide typed error model.
+//
+// The codecs and file plumbing started life on a `bool + std::string*`
+// convention; that loses the error *class* (a truncated file and a failed
+// checksum both collapse to `false`) and encourages layers to overwrite each
+// other's messages. Status keeps a code, a human-readable message, and an
+// optional chained cause, so an error reads outermost-context-first:
+//
+//   CORRUPTION: snap_20150105.scol: group 3: paths: truncated suffix bytes
+//
+// Conventions:
+//   * ok() is the moving-parts-free default; an ok Status allocates nothing.
+//   * with_context() wraps a failure in a caller-side prefix ("file X",
+//     "group 3") without discarding the inner text — the fix for the old
+//     habit of decode paths clobbering earlier error strings.
+//   * caused_by() chains a distinct underlying Status (e.g. an IO error
+//     beneath a decode failure); to_string() renders the whole chain.
+//   * No exceptions: Status is returned by value and marked [[nodiscard]].
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace spider {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // caller handed us something unusable
+  kNotFound,            // missing file / directory / entry
+  kCorruption,          // data present but fails validation (checksums, ...)
+  kTruncated,           // data ends before its own framing says it should
+  kIoError,             // the OS failed a read/write/rename
+  kResourceExhausted,   // a budget was exceeded (e.g. max_bad_lines)
+  kFailedPrecondition,  // call sequencing / state error
+  kInternal,            // invariant violation; a bug, not bad input
+};
+
+/// Stable lowercase name for a code ("corruption", "io error", ...).
+std::string_view status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK and allocation-free.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status truncated(std::string m) {
+    return Status(StatusCode::kTruncated, std::move(m));
+  }
+  static Status io_error(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const;
+  const std::string& message() const;
+
+  /// True when a distinct underlying Status is chained beneath this one.
+  bool has_cause() const;
+  /// The chained underlying Status (ok() when there is none).
+  Status cause() const;
+
+  /// Failure with "context: " prepended to the message, same code and
+  /// cause. On an ok Status this is a no-op (contexts never invent errors).
+  Status with_context(std::string_view context) const;
+
+  /// This failure, now carrying `cause` as its chained underlying error.
+  /// An existing cause is displaced down the chain of `cause` itself only
+  /// if `cause` has none (we never silently drop a link).
+  Status caused_by(const Status& cause) const;
+
+  /// "CODE: message; caused by: CODE: message; ..." — or "ok".
+  std::string to_string() const;
+
+ private:
+  // The cause chain reuses Rep directly (a cause *is* another failure), so
+  // Status stays one shared_ptr wide and O(1) to copy.
+  struct Rep;
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "ok Result must carry a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The value, or `fallback` on error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace spider

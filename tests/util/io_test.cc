@@ -1,0 +1,132 @@
+// util/io: EINTR retry + short-read loops (driven by the fault harness's
+// adversarial FaultyFile) and the temp-file + atomic-rename writer.
+#include "util/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.h"
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> make_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return out;
+}
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(ReadExactlyTest, SurvivesShortReadsAndEintr) {
+  const auto bytes = make_bytes(10'000, 1);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    FaultyFile file(bytes, seed, /*eintr_probability=*/0.3, /*max_chunk=*/7);
+    std::vector<std::uint8_t> got(bytes.size());
+    IoStats stats;
+    const Status s = read_exactly(
+        [&](void* buf, std::size_t n) { return file.read(buf, n); },
+        got.data(), got.size(), &stats);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.to_string();
+    EXPECT_EQ(got, bytes) << "seed " << seed;
+    // With a 7-byte serve cap on a 10 KB payload, the loop must have been
+    // exercised thousands of times.
+    EXPECT_EQ(stats.eintr_retries, file.interruptions());
+    EXPECT_GT(stats.short_reads, 100u);
+  }
+}
+
+TEST(ReadExactlyTest, EofBeforeCountIsTruncated) {
+  const auto bytes = make_bytes(100, 2);
+  FaultyFile file(bytes, 3, /*eintr_probability=*/0.1, /*max_chunk=*/16);
+  std::vector<std::uint8_t> got(bytes.size() + 1);
+  const Status s = read_exactly(
+      [&](void* buf, std::size_t n) { return file.read(buf, n); }, got.data(),
+      got.size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTruncated);
+}
+
+TEST(ReadUntilEofTest, ReassemblesExactly) {
+  const auto bytes = make_bytes(33'333, 4);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    FaultyFile file(bytes, seed, /*eintr_probability=*/0.25, /*max_chunk=*/11);
+    std::vector<std::uint8_t> got;
+    IoStats stats;
+    const Status s = read_until_eof(
+        [&](void* buf, std::size_t n) { return file.read(buf, n); }, &got,
+        bytes.size(), &stats);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << ": " << s.to_string();
+    EXPECT_EQ(got, bytes) << "seed " << seed;
+    EXPECT_EQ(stats.eintr_retries, file.interruptions());
+  }
+}
+
+TEST(FileRoundTripTest, WriteAtomicThenRead) {
+  const std::string path = temp_path("spider_io_test_roundtrip.bin");
+  const auto bytes = make_bytes(50'000, 5);
+  ASSERT_TRUE(write_file_atomic(path, std::span<const std::uint8_t>(bytes))
+                  .ok());
+  std::vector<std::uint8_t> got;
+  IoStats stats;
+  ASSERT_TRUE(read_file(path, &got, &stats).ok());
+  EXPECT_EQ(got, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(FileRoundTripTest, StringOverloads) {
+  const std::string path = temp_path("spider_io_test_text.psv");
+  const std::string text = "/a|1|2|3|4|5|666|7|\n/b|1|2|3|4|5|666|8|\n";
+  ASSERT_TRUE(write_file_atomic(path, std::string_view(text)).ok());
+  std::string got;
+  ASSERT_TRUE(read_file(path, &got).ok());
+  EXPECT_EQ(got, text);
+  std::remove(path.c_str());
+}
+
+TEST(FileRoundTripTest, AtomicWriteReplacesAndLeavesNoTemp) {
+  const std::string path = temp_path("spider_io_test_replace.bin");
+  ASSERT_TRUE(write_file_atomic(path, std::string_view("old")).ok());
+  ASSERT_TRUE(write_file_atomic(path, std::string_view("new contents")).ok());
+  std::string got;
+  ASSERT_TRUE(read_file(path, &got).ok());
+  EXPECT_EQ(got, "new contents");
+  // The temp file must be renamed away, not left behind.
+  std::size_t leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(fs::temp_directory_path())) {
+    if (entry.path().string().find("spider_io_test_replace.bin.tmp") !=
+        std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileErrorTest, MissingFileIsNotFoundWithPathContext) {
+  std::vector<std::uint8_t> got;
+  const Status s = read_file(temp_path("spider_io_test_missing.bin"), &got);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("spider_io_test_missing.bin"),
+            std::string::npos);
+}
+
+TEST(FileErrorTest, UnwritableTargetFailsWithoutTrace) {
+  const Status s = write_file_atomic(
+      temp_path("spider_io_no_such_dir") + "/x.bin", std::string_view("x"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,106 @@
+// spider::Status / Result<T>: code preservation, context wrapping that
+// never clobbers inner text, cause chaining, and the Result value carrier.
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+TEST(StatusTest, DefaultIsOkAndEmpty) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_FALSE(s.has_cause());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::truncated("x").code(), StatusCode::kTruncated);
+  EXPECT_EQ(Status::io_error("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::resource_exhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  const Status s = Status::invalid_argument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.to_string(), "invalid argument: bad knob");
+}
+
+TEST(StatusTest, WithContextPrependsWithoutClobbering) {
+  const Status inner = Status::corruption("column checksum mismatch");
+  const Status outer =
+      inner.with_context("group 3").with_context("snap_20150105.scol");
+  EXPECT_EQ(outer.code(), StatusCode::kCorruption);
+  // Both the context prefixes and the original text survive — the exact
+  // failure the old bool+string convention had (layers overwriting each
+  // other's messages).
+  EXPECT_EQ(outer.message(),
+            "snap_20150105.scol: group 3: column checksum mismatch");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoOp) {
+  const Status s = Status().with_context("should not appear");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, CausedByChainsAndRenders) {
+  const Status io = Status::io_error("read: Input/output error");
+  const Status decode = Status::corruption("group 2 unreadable").caused_by(io);
+  EXPECT_TRUE(decode.has_cause());
+  EXPECT_EQ(decode.cause().code(), StatusCode::kIoError);
+  EXPECT_EQ(decode.to_string(),
+            "corruption: group 2 unreadable; caused by: io error: read: "
+            "Input/output error");
+}
+
+TEST(StatusTest, CausedByKeepsExistingLink) {
+  const Status a = Status::io_error("a");
+  const Status b = Status::truncated("b").caused_by(a);
+  const Status c = Status::corruption("c");
+  // Chaining c beneath b keeps a at the bottom.
+  const Status chained = b.caused_by(c);
+  EXPECT_EQ(chained.to_string(),
+            "truncated: b; caused by: corruption: c; caused by: io error: a");
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  const Status s = Status::corruption("original");
+  const Status copy = s;  // NOLINT: the copy is the point
+  EXPECT_EQ(copy.message(), "original");
+  EXPECT_EQ(copy.code(), StatusCode::kCorruption);
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_EQ(status_code_name(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(status_code_name(StatusCode::kTruncated), "truncated");
+  EXPECT_EQ(status_code_name(StatusCode::kFailedPrecondition),
+            "failed precondition");
+}
+
+TEST(ResultTest, CarriesValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, CarriesStatus) {
+  Result<int> r = Status::not_found("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+}
+
+}  // namespace
+}  // namespace spider
