@@ -5,9 +5,11 @@
 #
 #   scripts/tier1.sh
 #
-# The sanitizer pass is scoped to the ingest/robustness tests rather than
-# the whole suite to keep the gate fast; SPIDER_SANITIZE=ON works on any
-# target if a full sanitized run is wanted.
+# The sanitizer passes are scoped rather than suite-wide to keep the gate
+# fast: ASan+UBSan covers the ingest/robustness tests, TSan covers the
+# parallel scan/runner/full-study tests. SPIDER_SANITIZE=ON (address) or
+# SPIDER_SANITIZE=thread works on any target if a full sanitized run is
+# wanted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +32,22 @@ for t in snapshot_fault_injection_test snapshot_scol_test \
   echo "--> ${t} (sanitized)"
   ./build-asan/tests/"${t}"
 done
+
+echo "==> tier 1: TSan build + parallel scan/runner suites"
+cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target \
+    util_parallel_test engine_scan_test study_runner_test \
+    study_scan_determinism_test
+for t in util_parallel_test engine_scan_test study_runner_test; do
+  echo "--> ${t} (tsan)"
+  ./build-tsan/tests/"${t}"
+done
+# The big-fixture thread sweep re-runs the whole study six times — minutes
+# under TSan for no extra interleaving coverage. The gap and fault cases
+# drive the same parallel runner (multi-thread pools, prefetch, projection)
+# on small series; races don't care about scale.
+echo "--> study_scan_determinism_test (tsan, gap+fault cases)"
+./build-tsan/tests/study_scan_determinism_test \
+    --gtest_filter='ScanDeterminismGapTest.*:ScanDeterminismFaultTest.*'
 
 echo "tier 1 OK"

@@ -1,0 +1,44 @@
+#include "engine/scan.h"
+
+#include <vector>
+
+namespace spider {
+
+void scan_table(const SnapshotTable& table,
+                std::span<ScanKernel* const> kernels,
+                const ScanOptions& options) {
+  const std::size_t n = table.size();
+  const std::size_t grain = options.grain == 0 ? kScanGrainRows : options.grain;
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  std::vector<std::vector<std::unique_ptr<ScanChunkState>>> states;
+  states.reserve(kernels.size());
+  for (ScanKernel* kernel : kernels) {
+    std::vector<std::unique_ptr<ScanChunkState>> list;
+    list.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      list.push_back(kernel->make_chunk_state());
+    }
+    states.push_back(std::move(list));
+  }
+
+  if (chunks > 0) {
+    parallel_for_chunked(
+        n, grain,
+        [&](std::size_t begin, std::size_t end) {
+          const std::size_t chunk = begin / grain;
+          for (std::size_t k = 0; k < kernels.size(); ++k) {
+            kernels[k]->observe_chunk(states[k][chunk].get(), table, begin,
+                                      end);
+          }
+        },
+        options.pool);
+  }
+
+  // Serial, chunk-ordered merges — the determinism point of the design.
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    kernels[k]->merge_chunks(table, states[k]);
+  }
+}
+
+}  // namespace spider

@@ -1,0 +1,89 @@
+// Morsel-driven shared scan: one parallel pass over a SnapshotTable feeds
+// any number of registered kernels at once — the single-scan/many-
+// aggregations shape the paper got from Spark, without materializing
+// twelve separate traversals.
+//
+// The table is split into fixed-size row chunks ("morsels"). Each chunk is
+// claimed dynamically by a pool thread, which runs *every* kernel over the
+// chunk while its rows are cache-hot, accumulating into a per-kernel,
+// per-chunk partial state. After the scan barrier, each kernel folds its
+// partial states serially IN CHUNK ORDER (= row order, never completion
+// order).
+//
+// Determinism contract (see DESIGN.md §10):
+//   * The chunk layout is a pure function of the row count and the grain —
+//     it never depends on the pool width or on scheduling. The same table
+//     produces the same chunks whether scanned by 1 thread or 64.
+//   * merge() runs on the calling thread, folding states in ascending
+//     chunk order. Order-sensitive logic (first-seen tracking, floating-
+//     point accumulation) therefore sees an identical fold sequence at
+//     every thread count, making results bit-identical to the 1-thread
+//     reference.
+//   * observe_chunk() calls run concurrently. A kernel may read shared
+//     state that no one mutates during the scan (e.g. a membership set
+//     frozen since the previous merge) but must write only through its
+//     chunk state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "snapshot/table.h"
+#include "util/parallel.h"
+
+namespace spider {
+
+/// Default morsel size. Deliberately a fixed constant rather than the
+/// pool-derived automatic grain (resolve_grain): an adaptive grain would
+/// change the chunk layout with the thread count and break the bit-identity
+/// guarantee above.
+inline constexpr std::size_t kScanGrainRows = 8192;
+
+/// Per-chunk partial state; kernels subclass this with their accumulators.
+struct ScanChunkState {
+  virtual ~ScanChunkState() = default;
+};
+
+/// The chunk states of one kernel, indexed by chunk (ascending row order).
+/// Entries may be null when make_chunk_state() returned null.
+using ScanStateList = std::span<const std::unique_ptr<ScanChunkState>>;
+
+class ScanKernel {
+ public:
+  virtual ~ScanKernel() = default;
+
+  /// Fresh partial state for one chunk. Called once per chunk before the
+  /// scan starts (serially, on the calling thread). May return null for
+  /// kernels with no per-row work.
+  virtual std::unique_ptr<ScanChunkState> make_chunk_state() const = 0;
+
+  /// Accumulate rows [begin, end) into `state`. Runs concurrently with
+  /// other chunks; must only mutate `state` (see determinism contract).
+  virtual void observe_chunk(ScanChunkState* state, const SnapshotTable& table,
+                             std::size_t begin, std::size_t end) = 0;
+
+  /// Fold the per-chunk states, delivered in chunk order. Runs serially on
+  /// the calling thread after every observe_chunk has finished; this is
+  /// where order-dependent logic belongs. Called even for an empty table
+  /// (with an empty list), so per-scan bookkeeping always runs.
+  virtual void merge_chunks(const SnapshotTable& table,
+                            ScanStateList states) = 0;
+};
+
+struct ScanOptions {
+  /// Rows per morsel. Must not depend on the pool width if results are to
+  /// be reproducible across thread counts.
+  std::size_t grain = kScanGrainRows;
+  /// Pool to fan out on; null selects the process-global pool.
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs one shared parallel scan of `table` driving all `kernels`, then
+/// merges each kernel's partial states in chunk order (kernels merge in
+/// registration order). Blocks until every merge has completed.
+void scan_table(const SnapshotTable& table,
+                std::span<ScanKernel* const> kernels,
+                const ScanOptions& options = {});
+
+}  // namespace spider

@@ -386,8 +386,14 @@ Status decode_osts(const ColumnBlock& block, std::size_t rows,
 /// `pos`, validating checksums, and appends the decoded rows to `table`.
 /// The inverse of encode_column_set; the whole v1 body, one v2 row group.
 /// On a non-ok Status `table` is untouched (rows append only at the end).
+///
+/// Projection: only columns in `columns` are decoded and materialized;
+/// the rest read back as zero/empty. Checksum validation and structural
+/// checks run for every block regardless, so a damaged image fails (or
+/// salvages) identically at any projection.
 Status decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
-                         std::size_t rows, SnapshotTable* table) {
+                         std::size_t rows, SnapshotTable* table,
+                         ColumnMask columns) {
   if (pos >= bytes.size()) return Status::truncated("truncated column set");
   const std::uint8_t ncols = bytes[pos++];
 
@@ -418,20 +424,51 @@ Status decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
     if (!blocks.count(id)) return Status::corruption("missing column");
   }
 
+  // atime/ctime are deltas against same-row mtime: requesting either means
+  // mtime has to be decoded (and is then materialized too — cheaper than a
+  // shadow column, and callers asking for access times nearly always want
+  // the modify time as well).
+  if (columns & (kColMaskAtime | kColMaskCtime)) columns |= kColMaskMtime;
+
   std::vector<std::string> paths;
   std::vector<std::int64_t> atime, ctime, mtime;
   std::vector<std::uint32_t> uid, gid, mode, ost_offsets, ost_values;
   std::vector<std::uint64_t> inode;
   Status s;
-  if (!(s = decode_paths(blocks[kColPaths], rows, &paths)).ok()) return s;
-  if (!(s = decode_i64(blocks[kColMtime], rows, {}, &mtime)).ok()) return s;
-  if (!(s = decode_i64(blocks[kColAtime], rows, mtime, &atime)).ok()) return s;
-  if (!(s = decode_i64(blocks[kColCtime], rows, mtime, &ctime)).ok()) return s;
-  if (!(s = decode_u32(blocks[kColUid], rows, &uid)).ok()) return s;
-  if (!(s = decode_u32(blocks[kColGid], rows, &gid)).ok()) return s;
-  if (!(s = decode_u32(blocks[kColMode], rows, &mode)).ok()) return s;
-  if (!(s = decode_inodes(blocks[kColInode], rows, &inode)).ok()) return s;
-  if (!(s = decode_osts(blocks[kColOst], rows, &ost_offsets, &ost_values))
+  if ((columns & kColMaskPaths) &&
+      !(s = decode_paths(blocks[kColPaths], rows, &paths)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskMtime) &&
+      !(s = decode_i64(blocks[kColMtime], rows, {}, &mtime)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskAtime) &&
+      !(s = decode_i64(blocks[kColAtime], rows, mtime, &atime)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskCtime) &&
+      !(s = decode_i64(blocks[kColCtime], rows, mtime, &ctime)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskUid) &&
+      !(s = decode_u32(blocks[kColUid], rows, &uid)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskGid) &&
+      !(s = decode_u32(blocks[kColGid], rows, &gid)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskMode) &&
+      !(s = decode_u32(blocks[kColMode], rows, &mode)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskInode) &&
+      !(s = decode_inodes(blocks[kColInode], rows, &inode)).ok()) {
+    return s;
+  }
+  if ((columns & kColMaskOsts) &&
+      !(s = decode_osts(blocks[kColOst], rows, &ost_offsets, &ost_values))
            .ok()) {
     return s;
   }
@@ -439,10 +476,15 @@ Status decode_column_set(std::span<const std::uint8_t> bytes, std::size_t pos,
   table->reserve(table->size() + rows);
   for (std::size_t i = 0; i < rows; ++i) {
     const std::span<const std::uint32_t> osts =
-        std::span<const std::uint32_t>(ost_values)
-            .subspan(ost_offsets[i], ost_offsets[i + 1] - ost_offsets[i]);
-    table->add(paths[i], atime[i], ctime[i], mtime[i], uid[i], gid[i], mode[i],
-               inode[i], osts);
+        ost_offsets.empty()
+            ? std::span<const std::uint32_t>()
+            : std::span<const std::uint32_t>(ost_values)
+                  .subspan(ost_offsets[i], ost_offsets[i + 1] - ost_offsets[i]);
+    table->add(paths.empty() ? std::string_view() : std::string_view(paths[i]),
+               atime.empty() ? 0 : atime[i], ctime.empty() ? 0 : ctime[i],
+               mtime.empty() ? 0 : mtime[i], uid.empty() ? 0 : uid[i],
+               gid.empty() ? 0 : gid[i], mode.empty() ? 0 : mode[i],
+               inode.empty() ? 0 : inode[i], osts);
   }
   return Status();
 }
@@ -459,13 +501,13 @@ std::vector<std::uint8_t> encode_scol_v1(const SnapshotTable& table,
 }
 
 Status decode_scol_v1(std::span<const std::uint8_t> bytes,
-                      SnapshotTable* table) {
+                      SnapshotTable* table, ColumnMask columns) {
   std::size_t pos = sizeof(kMagicV1);
   std::uint64_t rows = 0;
   if (!get_u64_le(bytes, pos, rows)) {
     return Status::truncated("truncated header");
   }
-  return decode_column_set(bytes, pos, rows, table);
+  return decode_column_set(bytes, pos, rows, table, columns);
 }
 
 // ---- v2 (row groups) ------------------------------------------------------
@@ -549,7 +591,7 @@ Status decode_scol_v2(std::span<const std::uint8_t> bytes,
         if (layout.group_truncated[g]) return;
         group_status[g] = decode_column_set(
             bytes.subspan(layout.group_begin[g], layout.group_len[g]), 0,
-            layout.group_rows[g], &staging[g]);
+            layout.group_rows[g], &staging[g], options.columns);
       },
       pool, /*grain=*/1);
 
@@ -688,7 +730,7 @@ Status decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
       std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
     // v1 is one whole-table column set: no per-group checksums to salvage
     // against, so the policy degenerates to strict decode.
-    const Status s = decode_scol_v1(bytes, table);
+    const Status s = decode_scol_v1(bytes, table, options.columns);
     if (s.ok() && report) {
       report->groups_total = 1;
       report->rows_total = report->rows_recovered = table->size();

@@ -84,6 +84,14 @@ struct ScolOptions {
 
   /// Decode-side salvage policy (see CorruptGroupPolicy).
   CorruptGroupPolicy on_corrupt_group = CorruptGroupPolicy::kFail;
+
+  /// Projection pushdown: only the masked columns are materialized into the
+  /// table (skipped columns read back as zero/empty). Every block is still
+  /// checksum-validated regardless of the mask, so corruption detection,
+  /// salvage behaviour, and gap accounting are identical at any projection.
+  /// atime/ctime are delta-coded against same-row mtime, so requesting
+  /// either implies materializing mtime too.
+  ColumnMask columns = kColMaskAll;
 };
 
 /// One damaged v2 row group, as recorded by a salvaging decode.

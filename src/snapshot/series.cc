@@ -157,7 +157,23 @@ bool DirectorySeries::open(const std::string& directory, std::string* error) {
   return s.ok();
 }
 
+void SnapshotSource::visit_move(const SnapshotMoveVisitor& visitor) {
+  // Fallback for sources that only implement visit(): hand over a deep
+  // copy. Overridden by every source that builds a per-week snapshot it
+  // can give away.
+  visit([&](std::size_t week, const Snapshot& snap) {
+    Snapshot copy;
+    copy.taken_at = snap.taken_at;
+    copy.table = snap.table.clone();
+    visitor(week, std::move(copy));
+  });
+}
+
 void DirectorySeries::visit(const SnapshotVisitor& visitor) {
+  visit_move([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
+}
+
+void DirectorySeries::visit_move(const SnapshotMoveVisitor& visitor) {
   // Each traversal rediscovers decode damage from scratch (a file may have
   // been repaired or replaced between visits), on top of the structural
   // gaps open() found.
@@ -171,7 +187,7 @@ void DirectorySeries::visit(const SnapshotVisitor& visitor) {
       gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
       continue;
     }
-    visitor(slots_[i], snap);
+    visitor(slots_[i], std::move(snap));
   }
   std::sort(gaps_.begin(), gaps_.end(),
             [](const SeriesGap& a, const SeriesGap& b) {

@@ -51,6 +51,12 @@ struct SeriesGap {
 using SnapshotVisitor =
     std::function<void(std::size_t week, const Snapshot& snap)>;
 
+/// Ownership-passing variant: the source hands the snapshot over and the
+/// visitor may keep it (the study runner retains the previous week this
+/// way, instead of deep-copying a multi-million-row table).
+using SnapshotMoveVisitor =
+    std::function<void(std::size_t week, Snapshot&& snap)>;
+
 class SnapshotSource {
  public:
   virtual ~SnapshotSource() = default;
@@ -61,6 +67,24 @@ class SnapshotSource {
   /// Visits every readable snapshot in order. May be called multiple
   /// times; each call re-traverses (or regenerates) the whole series.
   virtual void visit(const SnapshotVisitor& visitor) = 0;
+
+  /// Like visit(), but transfers ownership of each snapshot to the
+  /// visitor. Sources that build a fresh snapshot per week (decode,
+  /// simulation) override this to move it out; the default falls back to
+  /// a deep copy, so overriding is a pure optimization.
+  virtual void visit_move(const SnapshotMoveVisitor& visitor);
+
+  /// True when the Snapshot references passed to visit() stay valid for
+  /// the source's whole lifetime (fully materialized series). Consumers
+  /// may then retain pointers across visitor calls instead of copying or
+  /// taking ownership.
+  virtual bool stable_snapshots() const { return false; }
+
+  /// Projection hint: only the masked columns need to be materialized.
+  /// Sources that decode from disk (DirectorySeries) push the mask into
+  /// the codec; everything else may ignore it — skipping columns is never
+  /// required for correctness.
+  virtual void set_columns(ColumnMask columns) { (void)columns; }
 
   /// The known holes in the timeline, ascending by slot. Sources that
   /// discover damage lazily (DirectorySeries) report gaps found during the
@@ -89,6 +113,9 @@ class SnapshotSeries : public SnapshotSource {
       visitor(slots_[i], snaps_[i]);
     }
   }
+  /// The series keeps its snapshots (at() and re-visits depend on them),
+  /// so consumers hold stable pointers instead of taking ownership.
+  bool stable_snapshots() const override { return true; }
   std::span<const SeriesGap> gaps() const override { return gaps_; }
 
   const Snapshot& at(std::size_t i) const { return snaps_[i]; }
@@ -126,6 +153,12 @@ class DirectorySeries : public SnapshotSource {
 
   std::size_t count() const override { return files_.size(); }
   void visit(const SnapshotVisitor& visitor) override;
+  void visit_move(const SnapshotMoveVisitor& visitor) override;
+  /// Pushes the projection into the .scol decoder: unrequested column
+  /// blocks are checksum-verified but not materialized.
+  void set_columns(ColumnMask columns) override {
+    scol_options_.columns = columns;
+  }
   std::span<const SeriesGap> gaps() const override { return gaps_; }
 
   const std::vector<std::string>& files() const { return files_; }
@@ -159,6 +192,14 @@ class StridedSource : public SnapshotSource {
       if (week % stride_ == 0) visitor(emitted++, snap);
     });
   }
+  void visit_move(const SnapshotMoveVisitor& visitor) override {
+    std::size_t emitted = 0;
+    base_.visit_move([&](std::size_t week, Snapshot&& snap) {
+      if (week % stride_ == 0) visitor(emitted++, std::move(snap));
+    });
+  }
+  bool stable_snapshots() const override { return base_.stable_snapshots(); }
+  void set_columns(ColumnMask columns) override { base_.set_columns(columns); }
 
  private:
   SnapshotSource& base_;

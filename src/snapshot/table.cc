@@ -105,4 +105,14 @@ std::size_t SnapshotTable::memory_bytes() const {
              sizeof(std::uint32_t);
 }
 
+SnapshotTable SnapshotTable::clone() const {
+  SnapshotTable copy;
+  copy.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    copy.add(path(i), atime(i), ctime(i), mtime(i), uid(i), gid(i), mode(i),
+             inode(i), osts(i));
+  }
+  return copy;
+}
+
 }  // namespace spider

@@ -21,6 +21,23 @@
 
 namespace spider {
 
+/// Bitmask over the table's physical columns, used for projection pushdown:
+/// analyzers declare the columns they read, the decoder skips the rest
+/// (ScolOptions::columns). Paths cover the derived path_hash/depth columns
+/// too — they are computed from the path on append.
+using ColumnMask = std::uint32_t;
+inline constexpr ColumnMask kColMaskNone = 0;
+inline constexpr ColumnMask kColMaskPaths = 1u << 0;
+inline constexpr ColumnMask kColMaskAtime = 1u << 1;
+inline constexpr ColumnMask kColMaskCtime = 1u << 2;
+inline constexpr ColumnMask kColMaskMtime = 1u << 3;
+inline constexpr ColumnMask kColMaskUid = 1u << 4;
+inline constexpr ColumnMask kColMaskGid = 1u << 5;
+inline constexpr ColumnMask kColMaskMode = 1u << 6;
+inline constexpr ColumnMask kColMaskInode = 1u << 7;
+inline constexpr ColumnMask kColMaskOsts = 1u << 8;
+inline constexpr ColumnMask kColMaskAll = (1u << 9) - 1;
+
 class SnapshotTable {
  public:
   SnapshotTable() { ost_offsets_.push_back(0); }
@@ -93,6 +110,12 @@ class SnapshotTable {
 
   /// Approximate heap footprint, for the format-comparison benchmarks.
   std::size_t memory_bytes() const;
+
+  /// Deep copy (tables are move-only; the copy constructor is deleted so
+  /// accidental O(n) copies never hide in pass-by-value). Only fallback
+  /// paths pay this — the study runner retains snapshots by move or by
+  /// stable pointer.
+  SnapshotTable clone() const;
 
  private:
   StringArena arena_;

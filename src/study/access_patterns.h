@@ -29,6 +29,10 @@ struct AccessPatternsResult {
 class AccessPatternsAnalyzer : public StudyAnalyzer {
  public:
   bool wants_diff() const override { return true; }
+  /// Week-level only: everything it reads comes from the shared diff (the
+  /// runner adds the diff's columns), so no per-row scan work and no
+  /// chunk state — the default merge() forwards to observe() once a week.
+  ColumnMask columns_needed() const override { return kColMaskNone; }
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

@@ -36,6 +36,88 @@ void BurstinessAnalyzer::collect(const SnapshotTable& table,
   }
 }
 
+namespace {
+
+struct BurstinessChunk : ScanChunkState {
+  // Per-project offset stats for the rows of this chunk's slice of the
+  // diff lists; folded per gid in chunk (= row) order at merge time.
+  std::unordered_map<std::uint32_t, StreamingStats> write_by_gid;
+  std::unordered_map<std::uint32_t, StreamingStats> read_by_gid;
+};
+
+/// Accumulates the sub-range of `rows` falling in [begin, end) — the diff
+/// row lists are ascending, so the chunk's slice is a binary search away.
+void accumulate_range(const SnapshotTable& table,
+                      const std::vector<std::uint32_t>& rows, bool use_atime,
+                      std::int64_t window_start, std::size_t begin,
+                      std::size_t end,
+                      std::unordered_map<std::uint32_t, StreamingStats>& by_gid) {
+  const auto lo = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<std::uint32_t>(begin));
+  const auto hi =
+      std::lower_bound(lo, rows.end(), static_cast<std::uint32_t>(end));
+  for (auto it = lo; it != hi; ++it) {
+    const std::uint32_t row = *it;
+    const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
+    const double offset = static_cast<double>(t - window_start);
+    if (offset < 0) continue;  // moved-in files predating the window
+    by_gid[table.gid(row)].add(offset);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<ScanChunkState> BurstinessAnalyzer::make_chunk_state() const {
+  return std::make_unique<BurstinessChunk>();
+}
+
+void BurstinessAnalyzer::observe_chunk(ScanChunkState* state,
+                                       const WeekObservation& obs,
+                                       std::size_t begin, std::size_t end) {
+  // Week gating (and its gap_pairs_skipped accounting) lives in merge(),
+  // which runs exactly once per week; chunks only bail out cheaply.
+  if (obs.diff == nullptr || obs.prev == nullptr) return;
+  if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) return;
+  auto* chunk = static_cast<BurstinessChunk*>(state);
+  const std::int64_t window_start = obs.prev->taken_at;
+  accumulate_range(obs.snap->table, obs.diff->new_rows, /*use_atime=*/false,
+                   window_start, begin, end, chunk->write_by_gid);
+  accumulate_range(obs.snap->table, obs.diff->readonly_rows,
+                   /*use_atime=*/true, window_start, begin, end,
+                   chunk->read_by_gid);
+}
+
+void BurstinessAnalyzer::merge(const WeekObservation& obs,
+                               ScanStateList states) {
+  if (obs.gap_before) ++result_.gap_pairs_skipped;
+  if (obs.diff == nullptr || obs.prev == nullptr) return;
+  if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) {
+    ++result_.gap_pairs_skipped;
+    return;
+  }
+  // Fold each project's chunk-local stats in chunk order — the fold order
+  // is then a pure function of the row order, so the cv values are
+  // identical at every thread count. Sample push order may differ from the
+  // serial path's hash-iteration order, but five_number_summary and
+  // percentile sort their inputs, so rendered results don't depend on it.
+  auto fold = [&](bool read_side, std::vector<std::vector<double>>& out) {
+    std::unordered_map<std::uint32_t, StreamingStats> by_gid;
+    for (const auto& state : states) {
+      const auto* chunk = static_cast<const BurstinessChunk*>(state.get());
+      const auto& part = read_side ? chunk->read_by_gid : chunk->write_by_gid;
+      for (const auto& [gid, stats] : part) by_gid[gid].merge(stats);
+    }
+    for (const auto& [gid, stats] : by_gid) {
+      if (stats.count() < min_files_) continue;
+      const int domain = resolver_.domain_of_gid(gid);
+      if (domain < 0) continue;
+      out[static_cast<std::size_t>(domain)].push_back(stats.cv());
+    }
+  };
+  fold(/*read_side=*/false, write_samples_);
+  fold(/*read_side=*/true, read_samples_);
+}
+
 void BurstinessAnalyzer::observe(const WeekObservation& obs) {
   if (obs.gap_before) ++result_.gap_pairs_skipped;
   if (obs.diff == nullptr || obs.prev == nullptr) return;

@@ -42,6 +42,17 @@ class BurstinessAnalyzer : public StudyAnalyzer {
                               std::size_t min_files = 100);
 
   bool wants_diff() const override { return true; }
+  /// atime/mtime feed the cv samples; gid keys the project grouping. The
+  /// diff's own columns arrive via the runner's diff mask.
+  ColumnMask columns_needed() const override {
+    return kColMaskAtime | kColMaskMtime | kColMaskGid;
+  }
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override;
+  void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                     std::size_t begin, std::size_t end) override;
+  void merge(const WeekObservation& obs, ScanStateList states) override;
+
+  /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

@@ -25,6 +25,117 @@ CensusAnalyzer::CensusAnalyzer(const Resolver& resolver)
   result_.dirs_by_domain.assign(domain_count(), 0);
 }
 
+namespace {
+/// A row whose path hash was absent from the cross-week distinct set when
+/// the chunk scanned it — possibly first-seen, resolved in merge(). The
+/// resolver lookups happen here, in parallel, so merge() stays a cheap
+/// insert-and-count loop.
+struct CensusCandidate {
+  std::uint64_t hash = 0;
+  std::uint16_t depth = 0;
+  bool is_dir = false;
+  std::int32_t project = -1;
+  std::int32_t domain = -1;
+  std::int32_t user = -1;  // files only
+};
+
+struct CensusChunk : ScanChunkState {
+  std::vector<std::uint64_t> parent_hashes;  // every row's parent dir
+  std::vector<std::uint64_t> dir_hashes;     // path hash of each dir row
+  std::vector<CensusCandidate> candidates;   // row order
+  U64Set local;                              // chunk-local candidate dedup
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> CensusAnalyzer::make_chunk_state() const {
+  return std::make_unique<CensusChunk>();
+}
+
+void CensusAnalyzer::observe_chunk(ScanChunkState* state,
+                                   const WeekObservation& obs,
+                                   std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<CensusChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  chunk->parent_hashes.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    chunk->parent_hashes.push_back(hash_bytes(path_parent(table.path(i))));
+    const bool is_dir = table.is_dir(i);
+    if (is_dir) chunk->dir_hashes.push_back(table.path_hash(i));
+
+    const std::uint64_t hash = table.path_hash(i);
+    if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
+    CensusCandidate cand;
+    cand.hash = hash;
+    cand.depth = table.depth(i);
+    cand.is_dir = is_dir;
+    cand.project = resolver_.project_of_gid(table.gid(i));
+    cand.domain =
+        cand.project < 0
+            ? -1
+            : resolver_.plan()
+                  .projects[static_cast<std::size_t>(cand.project)]
+                  .domain;
+    if (!is_dir) cand.user = resolver_.user_of_uid(table.uid(i));
+    chunk->candidates.push_back(cand);
+  }
+}
+
+void CensusAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
+  // Empty-directory census for this snapshot: union the chunks' parent
+  // sets, then count dirs no other entry names as parent. Set membership
+  // is order-independent, so this needs no special care.
+  U64Set parents(obs.snap->table.size());
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const CensusChunk*>(state.get());
+    for (const std::uint64_t h : chunk->parent_hashes) parents.insert(h);
+  }
+  std::uint64_t empty = 0, dirs = 0;
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const CensusChunk*>(state.get());
+    dirs += chunk->dir_hashes.size();
+    for (const std::uint64_t h : chunk->dir_hashes) {
+      if (!parents.contains(h)) ++empty;
+    }
+  }
+  result_.final_empty_dirs = empty;
+  result_.final_dirs = dirs;
+
+  // Unique-entry census: first-seen resolution in chunk (= row) order,
+  // byte-identical to the serial scan.
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const CensusChunk*>(state.get());
+    for (const CensusCandidate& cand : chunk->candidates) {
+      if (!distinct_.insert(cand.hash)) continue;  // seen in earlier chunk
+      result_.max_depth = std::max<std::uint64_t>(result_.max_depth,
+                                                  cand.depth);
+      if (cand.is_dir) {
+        ++result_.total_dirs;
+        if (cand.domain >= 0) {
+          ++result_.dirs_by_domain[static_cast<std::size_t>(cand.domain)];
+          dir_depths_by_domain_[static_cast<std::size_t>(cand.domain)]
+              .push_back(cand.depth);
+        }
+        if (cand.project >= 0) {
+          auto& best =
+              max_depth_by_project_[static_cast<std::size_t>(cand.project)];
+          best = std::max(best, cand.depth);
+        }
+      } else {
+        ++result_.total_files;
+        if (cand.domain >= 0) {
+          ++result_.files_by_domain[static_cast<std::size_t>(cand.domain)];
+        }
+        if (cand.project >= 0) {
+          ++files_by_project_[static_cast<std::size_t>(cand.project)];
+        }
+        if (cand.user >= 0) {
+          ++files_by_user_[static_cast<std::size_t>(cand.user)];
+        }
+      }
+    }
+  }
+}
+
 void CensusAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
 

@@ -15,6 +15,78 @@ ExtensionsAnalyzer::ExtensionsAnalyzer(const Resolver& resolver,
       top_k_(top_k),
       unique_by_domain_(domain_count()) {}
 
+namespace {
+struct ExtensionsCandidate {
+  std::uint64_t hash = 0;
+  std::int32_t domain = -1;
+  std::string ext;  // empty = extensionless
+};
+
+struct ExtensionsChunk : ScanChunkState {
+  CountMap<std::string> weekly;  // every file row in the chunk
+  std::uint64_t files = 0;
+  std::uint64_t none = 0;
+  std::vector<ExtensionsCandidate> candidates;  // row order
+  U64Set local;
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> ExtensionsAnalyzer::make_chunk_state() const {
+  return std::make_unique<ExtensionsChunk>();
+}
+
+void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
+                                       const WeekObservation& obs,
+                                       std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<ExtensionsChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (table.is_dir(i)) continue;
+    const std::string_view ext = path_extension(table.path(i));
+    ++chunk->files;
+    if (ext.empty()) {
+      ++chunk->none;
+    } else {
+      ++chunk->weekly[std::string(ext)];
+    }
+    const std::uint64_t hash = table.path_hash(i);
+    if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
+    ExtensionsCandidate cand;
+    cand.hash = hash;
+    cand.ext = std::string(ext);
+    if (!ext.empty()) cand.domain = resolver_.domain_of_gid(table.gid(i));
+    chunk->candidates.push_back(std::move(cand));
+  }
+}
+
+void ExtensionsAnalyzer::merge(const WeekObservation& obs,
+                               ScanStateList states) {
+  CountMap<std::string> weekly;
+  std::uint64_t files = 0, none = 0;
+  for (const auto& state : states) {
+    auto* chunk = static_cast<ExtensionsChunk*>(state.get());
+    files += chunk->files;
+    none += chunk->none;
+    merge_counts(weekly, std::move(chunk->weekly));
+    for (const ExtensionsCandidate& cand : chunk->candidates) {
+      if (!distinct_.insert(cand.hash)) continue;
+      ++result_.unique_files;
+      if (cand.ext.empty()) {
+        ++result_.unique_no_extension;
+      } else {
+        ++unique_global_[cand.ext];
+        if (cand.domain >= 0) {
+          ++unique_by_domain_[static_cast<std::size_t>(cand.domain)][cand.ext];
+        }
+      }
+    }
+  }
+  result_.snapshot_dates.push_back(obs.snap->taken_at);
+  weekly_counts_.push_back(std::move(weekly));
+  weekly_files_.push_back(files);
+  weekly_none_.push_back(none);
+}
+
 void ExtensionsAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
   CountMap<std::string> weekly;

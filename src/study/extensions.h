@@ -38,6 +38,15 @@ class ExtensionsAnalyzer : public StudyAnalyzer {
  public:
   explicit ExtensionsAnalyzer(const Resolver& resolver, std::size_t top_k = 20);
 
+  ColumnMask columns_needed() const override {
+    return kColMaskPaths | kColMaskGid | kColMaskMode;
+  }
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override;
+  void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                     std::size_t begin, std::size_t end) override;
+  void merge(const WeekObservation& obs, ScanStateList states) override;
+
+  /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

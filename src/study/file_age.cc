@@ -9,6 +9,47 @@
 
 namespace spider {
 
+namespace {
+struct FileAgeChunk : ScanChunkState {
+  StreamingStats stats;
+  std::vector<double> ages;
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> FileAgeAnalyzer::make_chunk_state() const {
+  return std::make_unique<FileAgeChunk>();
+}
+
+void FileAgeAnalyzer::observe_chunk(ScanChunkState* state,
+                                    const WeekObservation& obs,
+                                    std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<FileAgeChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (table.is_dir(i)) continue;
+    const double age = seconds_to_days(
+        std::max<std::int64_t>(0, table.atime(i) - table.mtime(i)));
+    chunk->stats.add(age);
+    chunk->ages.push_back(age);
+  }
+}
+
+void FileAgeAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
+  StreamingStats stats;
+  std::vector<double> ages;
+  ages.reserve(obs.snap->table.file_count());
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const FileAgeChunk*>(state.get());
+    stats.merge(chunk->stats);
+    ages.insert(ages.end(), chunk->ages.begin(), chunk->ages.end());
+  }
+  FileAgePoint point;
+  point.date = obs.snap->taken_at;
+  point.avg_age_days = stats.mean();
+  point.median_age_days = percentile(ages, 50.0);
+  result_.points.push_back(point);
+}
+
 void FileAgeAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
   StreamingStats stats;

@@ -29,6 +29,15 @@ class FileAgeAnalyzer : public StudyAnalyzer {
  public:
   explicit FileAgeAnalyzer(int purge_days = 90) { result_.purge_days = purge_days; }
 
+  ColumnMask columns_needed() const override {
+    return kColMaskAtime | kColMaskMtime | kColMaskMode;
+  }
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override;
+  void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                     std::size_t begin, std::size_t end) override;
+  void merge(const WeekObservation& obs, ScanStateList states) override;
+
+  /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

@@ -19,7 +19,7 @@ FullStudy::FullStudy(const Resolver& resolver, std::size_t burst_min_files)
       collaboration(resolver, participation),
       resolver_(resolver) {}
 
-void FullStudy::run(SnapshotSource& source) {
+void FullStudy::run(SnapshotSource& source, const StudyOptions& options) {
   // Order matters for finish(): network and collaboration read the
   // participation result, so participation precedes them.
   StudyAnalyzer* analyzers[] = {
@@ -27,7 +27,7 @@ void FullStudy::run(SnapshotSource& source) {
       &languages,    &access_patterns, &striping, &growth,
       &file_age,     &burstiness,    &network,   &collaboration,
   };
-  run_study(source, analyzers);
+  run_study(source, analyzers, options);
   // Snapshot the source's damage accounting (DirectorySeries discovers
   // decode failures during the traversal itself).
   const auto gaps = source.gaps();

@@ -31,7 +31,10 @@ class FullStudy {
   /// Gaps in the series (missing/corrupt weeks) do not abort the study:
   /// diff-based figures skip the gap-adjacent pairs, count-based figures
   /// annotate, and render_data_quality() reports the damage.
-  void run(SnapshotSource& source);
+  /// `options` selects the thread pool, scan grain, and prefetch mode for
+  /// the shared parallel scan (see DESIGN.md §10); the defaults reproduce
+  /// the serial single-pass semantics bit-for-bit.
+  void run(SnapshotSource& source, const StudyOptions& options = {});
 
   /// The paper's Table 1, measured from the synthetic series.
   std::string render_table1() const;

@@ -29,6 +29,10 @@ struct GrowthResult {
 
 class GrowthAnalyzer : public StudyAnalyzer {
  public:
+  /// Week-level only: O(1) per snapshot off the table's file/dir counters
+  /// (which the decoder derives from mode), so no chunk state — the
+  /// default merge() forwards to observe() once a week.
+  ColumnMask columns_needed() const override { return kColMaskMode; }
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

@@ -38,6 +38,57 @@ LanguagesAnalyzer::LanguagesAnalyzer(const Resolver& resolver)
                            std::vector<std::uint64_t>(languages().size(), 0));
 }
 
+namespace {
+struct LanguagesCandidate {
+  std::uint64_t hash = 0;
+  // lang < 0 still claims the hash's first-seen slot (the serial path
+  // inserts before mapping the extension), so unmapped rows stay in.
+  std::int32_t lang = -1;
+  std::int32_t domain = -1;
+};
+
+struct LanguagesChunk : ScanChunkState {
+  std::vector<LanguagesCandidate> candidates;  // row order
+  U64Set local;
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> LanguagesAnalyzer::make_chunk_state() const {
+  return std::make_unique<LanguagesChunk>();
+}
+
+void LanguagesAnalyzer::observe_chunk(ScanChunkState* state,
+                                      const WeekObservation& obs,
+                                      std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<LanguagesChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (table.is_dir(i)) continue;
+    const std::uint64_t hash = table.path_hash(i);
+    if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
+    LanguagesCandidate cand;
+    cand.hash = hash;
+    cand.lang = language_for_extension(path_extension(table.path(i)));
+    if (cand.lang >= 0) cand.domain = resolver_.domain_of_gid(table.gid(i));
+    chunk->candidates.push_back(cand);
+  }
+}
+
+void LanguagesAnalyzer::merge(const WeekObservation&, ScanStateList states) {
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const LanguagesChunk*>(state.get());
+    for (const LanguagesCandidate& cand : chunk->candidates) {
+      if (!distinct_.insert(cand.hash)) continue;
+      if (cand.lang < 0) continue;
+      ++global_[static_cast<std::size_t>(cand.lang)];
+      if (cand.domain >= 0) {
+        ++result_.by_domain[static_cast<std::size_t>(cand.domain)]
+                           [static_cast<std::size_t>(cand.lang)];
+      }
+    }
+  }
+}
+
 void LanguagesAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
   for (std::size_t i = 0; i < table.size(); ++i) {

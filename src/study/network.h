@@ -53,6 +53,9 @@ class NetworkAnalyzer : public StudyAnalyzer {
                   const ParticipationAnalyzer& participation)
       : resolver_(resolver), participation_(participation) {}
 
+  /// Pure post-processing of participation's membership: reads no columns
+  /// itself (participation requests what it needs).
+  ColumnMask columns_needed() const override { return kColMaskNone; }
   void observe(const WeekObservation&) override {}  // pure post-processing
   void finish() override;
 

@@ -10,6 +10,52 @@ namespace spider {
 ParticipationAnalyzer::ParticipationAnalyzer(const Resolver& resolver)
     : resolver_(resolver) {}
 
+namespace {
+/// Candidate (user, project) keys in row order. The scan only *filters*:
+/// pairs_ is frozen during the scan, so contains() is a safe concurrent
+/// read that drops keys seen in earlier weeks; a chunk-local set drops
+/// repeats within the chunk. Cross-chunk first-seen resolution — the
+/// order-dependent part — happens in merge().
+struct ParticipationChunk : ScanChunkState {
+  std::vector<std::uint64_t> candidates;
+  U64Set local;
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> ParticipationAnalyzer::make_chunk_state()
+    const {
+  return std::make_unique<ParticipationChunk>();
+}
+
+void ParticipationAnalyzer::observe_chunk(ScanChunkState* state,
+                                          const WeekObservation& obs,
+                                          std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<ParticipationChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = begin; i < end; ++i) {
+    const int user = resolver_.user_of_uid(table.uid(i));
+    const int project = resolver_.project_of_gid(table.gid(i));
+    if (user < 0 || project < 0) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(user) << 32) |
+                              static_cast<std::uint32_t>(project);
+    if (pairs_.contains(key)) continue;
+    if (chunk->local.insert(key)) chunk->candidates.push_back(key);
+  }
+}
+
+void ParticipationAnalyzer::merge(const WeekObservation&,
+                                  ScanStateList states) {
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const ParticipationChunk*>(state.get());
+    for (const std::uint64_t key : chunk->candidates) {
+      if (!pairs_.insert(key)) continue;
+      result_.observed.push_back(
+          MembershipEdge{static_cast<std::uint32_t>(key >> 32),
+                         static_cast<std::uint32_t>(key & 0xffffffffu)});
+    }
+  }
+}
+
 void ParticipationAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
   for (std::size_t i = 0; i < table.size(); ++i) {

@@ -37,6 +37,15 @@ class ParticipationAnalyzer : public StudyAnalyzer {
  public:
   explicit ParticipationAnalyzer(const Resolver& resolver);
 
+  ColumnMask columns_needed() const override {
+    return kColMaskUid | kColMaskGid;
+  }
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override;
+  void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                     std::size_t begin, std::size_t end) override;
+  void merge(const WeekObservation& obs, ScanStateList states) override;
+
+  /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

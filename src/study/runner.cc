@@ -1,62 +1,189 @@
 #include "study/runner.h"
 
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
 namespace spider {
 
 namespace {
 
-/// Deep-copies a snapshot (tables are move-only; the runner needs to
-/// retain the previous week after the source reclaims its buffer).
-Snapshot copy_snapshot(const Snapshot& snap) {
-  Snapshot copy;
-  copy.taken_at = snap.taken_at;
-  copy.table.reserve(snap.table.size());
-  for (std::size_t i = 0; i < snap.table.size(); ++i) {
-    copy.table.add(snap.table.path(i), snap.table.atime(i),
-                   snap.table.ctime(i), snap.table.mtime(i),
-                   snap.table.uid(i), snap.table.gid(i), snap.table.mode(i),
-                   snap.table.inode(i), snap.table.osts(i));
+/// Columns the adjacent-snapshot diff reads: the path join plus the three
+/// timestamps and mode (file/dir split, file counts).
+constexpr ColumnMask kDiffColumns = kColMaskPaths | kColMaskAtime |
+                                    kColMaskCtime | kColMaskMtime |
+                                    kColMaskMode;
+
+/// Bridges a StudyAnalyzer onto the engine's ScanKernel interface for the
+/// week currently being analyzed.
+class AnalyzerKernel : public ScanKernel {
+ public:
+  explicit AnalyzerKernel(StudyAnalyzer* analyzer) : analyzer_(analyzer) {}
+
+  void set_observation(const WeekObservation* obs) { obs_ = obs; }
+
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override {
+    return analyzer_->make_chunk_state();
   }
-  return copy;
-}
+  void observe_chunk(ScanChunkState* state, const SnapshotTable&,
+                     std::size_t begin, std::size_t end) override {
+    analyzer_->observe_chunk(state, *obs_, begin, end);
+  }
+  void merge_chunks(const SnapshotTable&, ScanStateList states) override {
+    analyzer_->merge(*obs_, states);
+  }
+
+ private:
+  StudyAnalyzer* analyzer_;
+  const WeekObservation* obs_ = nullptr;
+};
+
+/// One decoded week in flight between the visiting thread and analysis:
+/// either owned outright (moved out of the source) or a pointer into a
+/// fully materialized source (stable_snapshots() == true). Either way,
+/// retaining the previous week is a move of this struct — the O(n)
+/// per-week deep copy of the old runner is gone.
+struct PendingWeek {
+  std::size_t week = 0;
+  Snapshot owned;
+  const Snapshot* view = nullptr;
+
+  const Snapshot& snap() const { return view ? *view : owned; }
+};
 
 }  // namespace
 
 void run_study(SnapshotSource& source,
-               std::span<StudyAnalyzer* const> analyzers) {
+               std::span<StudyAnalyzer* const> analyzers,
+               const StudyOptions& options) {
   bool need_diff = false;
+  ColumnMask columns = kColMaskNone;
   for (StudyAnalyzer* analyzer : analyzers) {
     need_diff = need_diff || analyzer->wants_diff();
+    columns |= analyzer->columns_needed();
   }
+  if (need_diff) columns |= kDiffColumns;
+  source.set_columns(columns);
 
-  auto prev = std::make_unique<Snapshot>();
+  std::vector<AnalyzerKernel> kernels;
+  kernels.reserve(analyzers.size());
+  for (StudyAnalyzer* analyzer : analyzers) kernels.emplace_back(analyzer);
+  std::vector<ScanKernel*> kernel_ptrs;
+  kernel_ptrs.reserve(kernels.size());
+  for (AnalyzerKernel& kernel : kernels) kernel_ptrs.push_back(&kernel);
+
+  ScanOptions scan_options;
+  scan_options.grain = options.grain;
+  scan_options.pool = options.pool;
+
+  // Analysis state. Touched only by whichever thread runs analyze() —
+  // the caller without prefetch, the pipeline thread with it.
+  PendingWeek prev;
   bool have_prev = false;
   std::size_t last_week = 0;
 
-  source.visit([&](std::size_t week, const Snapshot& snap) {
+  auto analyze = [&](PendingWeek&& cur) {
     WeekObservation obs;
-    obs.week = week;
-    obs.snap = &snap;
-    obs.prev = have_prev ? prev.get() : nullptr;
-    obs.gap_before = have_prev && week != last_week + 1;
+    obs.week = cur.week;
+    obs.snap = &cur.snap();
+    obs.prev = have_prev ? &prev.snap() : nullptr;
+    obs.gap_before = have_prev && cur.week != last_week + 1;
 
     DiffResult diff;
     if (need_diff && have_prev && !obs.gap_before) {
-      diff = diff_snapshots(prev->table, snap.table);
+      diff = diff_snapshots(prev.snap().table, cur.snap().table);
       obs.diff = &diff;
     }
-    for (StudyAnalyzer* analyzer : analyzers) analyzer->observe(obs);
 
-    *prev = copy_snapshot(snap);
+    for (AnalyzerKernel& kernel : kernels) kernel.set_observation(&obs);
+    scan_table(cur.snap().table, kernel_ptrs, scan_options);
+
+    prev = std::move(cur);
     have_prev = true;
-    last_week = week;
-  });
+    last_week = prev.week;
+  };
+
+  const bool stable = source.stable_snapshots();
+  auto make_pending_const = [](std::size_t week, const Snapshot& snap) {
+    PendingWeek pending;
+    pending.week = week;
+    pending.view = &snap;
+    return pending;
+  };
+  auto make_pending_move = [](std::size_t week, Snapshot&& snap) {
+    PendingWeek pending;
+    pending.week = week;
+    pending.owned = std::move(snap);
+    return pending;
+  };
+
+  if (!options.prefetch) {
+    if (stable) {
+      source.visit([&](std::size_t week, const Snapshot& snap) {
+        analyze(make_pending_const(week, snap));
+      });
+    } else {
+      source.visit_move([&](std::size_t week, Snapshot&& snap) {
+        analyze(make_pending_move(week, std::move(snap)));
+      });
+    }
+  } else {
+    // Depth-1 double buffer: the caller keeps visiting (decoding) while a
+    // pipeline thread analyzes, one week in flight. Analysis still runs
+    // strictly in arrival order on a single thread, so results are
+    // identical with prefetch on or off.
+    std::mutex mu;
+    std::condition_variable slot_free, slot_filled;
+    std::optional<PendingWeek> slot;
+    bool done = false;
+
+    std::thread analyst([&] {
+      for (;;) {
+        std::unique_lock<std::mutex> lock(mu);
+        slot_filled.wait(lock, [&] { return slot.has_value() || done; });
+        if (!slot.has_value()) return;
+        PendingWeek cur = std::move(*slot);
+        slot.reset();
+        slot_free.notify_one();
+        lock.unlock();
+        analyze(std::move(cur));
+      }
+    });
+
+    auto enqueue = [&](PendingWeek&& pending) {
+      std::unique_lock<std::mutex> lock(mu);
+      slot_free.wait(lock, [&] { return !slot.has_value(); });
+      slot = std::move(pending);
+      slot_filled.notify_one();
+    };
+
+    if (stable) {
+      source.visit([&](std::size_t week, const Snapshot& snap) {
+        enqueue(make_pending_const(week, snap));
+      });
+    } else {
+      source.visit_move([&](std::size_t week, Snapshot&& snap) {
+        enqueue(make_pending_move(week, std::move(snap)));
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      slot_filled.notify_one();
+    }
+    analyst.join();
+  }
 
   for (StudyAnalyzer* analyzer : analyzers) analyzer->finish();
 }
 
-void run_study(SnapshotSource& source, StudyAnalyzer& analyzer) {
+void run_study(SnapshotSource& source, StudyAnalyzer& analyzer,
+               const StudyOptions& options) {
   StudyAnalyzer* list[] = {&analyzer};
-  run_study(source, list);
+  run_study(source, list, options);
 }
 
 }  // namespace spider

@@ -1,14 +1,23 @@
 // Study framework: analyzers consume the snapshot series in one streaming
-// pass (week by week, in order), the runner retains only the previous
-// week's snapshot and computes the adjacent-snapshot diff once for all
-// diff-based analyzers — the same pipeline shape the paper ran on Spark,
-// sized so the full study never needs more than two snapshots resident.
+// pass (week by week, in order). Since the morsel refactor (DESIGN.md §10)
+// each week is ONE shared parallel scan feeding every analyzer at once:
+// the runner computes the union column projection, pushes it into the
+// source, computes the adjacent-snapshot diff once for all diff-based
+// analyzers, and drives all analyzers' chunk kernels over the table via
+// engine/scan. Decode of week N+1 overlaps analysis of week N (a depth-1
+// double buffer), and the previous week is retained by move or stable
+// pointer — never by deep copy.
+//
+// Determinism: chunk layout depends only on the row count and grain, and
+// every analyzer's merge() folds chunk states in chunk order, so all
+// results are bit-identical to the 1-thread reference at any thread count.
 #pragma once
 
 #include <memory>
 #include <span>
 
 #include "engine/diff.h"
+#include "engine/scan.h"
 #include "snapshot/series.h"
 
 namespace spider {
@@ -27,6 +36,26 @@ struct WeekObservation {
   bool gap_before = false;
 };
 
+/// A study analyzer is a scan kernel plus per-week bookkeeping. The runner
+/// calls, per week:
+///
+///   state[c] = make_chunk_state()            (one per chunk, serial)
+///   observe_chunk(state[c], obs, begin, end) (concurrent, shared scan)
+///   merge(obs, states)                       (serial, chunk order)
+///
+/// observe_chunk runs concurrently with other chunks AND other analyzers:
+/// it must write only through its chunk state. Reading analyzer members
+/// is allowed when nothing mutates them during the scan — the standard
+/// pattern is a first-seen filter that reads a membership set frozen since
+/// the previous merge and defers inserts to merge().
+///
+/// merge() is the ordered, single-threaded step: chunk states arrive in
+/// chunk (= row) order at every thread count, so order-dependent logic
+/// (first-seen tracking, floating-point accumulation) is deterministic.
+///
+/// Analyzers that predate the chunk interface can instead override the
+/// legacy serial hook observe(): the default merge() forwards to it once
+/// per week.
 class StudyAnalyzer {
  public:
   virtual ~StudyAnalyzer() = default;
@@ -34,18 +63,62 @@ class StudyAnalyzer {
   /// Analyzers returning true receive the adjacent-snapshot DiffResult.
   virtual bool wants_diff() const { return false; }
 
-  virtual void observe(const WeekObservation& obs) = 0;
+  /// Columns this analyzer reads. The runner ORs the masks of all
+  /// analyzers (plus the diff's columns when any analyzer wants the diff)
+  /// and pushes the union into the source, so unused columns are never
+  /// decoded. Default: everything — safe for legacy analyzers.
+  virtual ColumnMask columns_needed() const { return kColMaskAll; }
+
+  /// Fresh per-chunk partial state; null (the default) for analyzers with
+  /// no per-row work.
+  virtual std::unique_ptr<ScanChunkState> make_chunk_state() const {
+    return nullptr;
+  }
+
+  /// Accumulate rows [begin, end) of obs.snap->table into `state`.
+  virtual void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                             std::size_t begin, std::size_t end) {
+    (void)state;
+    (void)obs;
+    (void)begin;
+    (void)end;
+  }
+
+  /// Fold the week's chunk states (chunk order) and do per-week
+  /// bookkeeping. Default: forwards to the legacy observe() hook.
+  virtual void merge(const WeekObservation& obs, ScanStateList states) {
+    (void)states;
+    observe(obs);
+  }
+
+  /// Legacy serial hook, called by the default merge() once per week.
+  virtual void observe(const WeekObservation& obs) { (void)obs; }
 
   /// Called once after the last snapshot.
   virtual void finish() {}
 };
 
+struct StudyOptions {
+  /// Pool for the shared scan; null selects the process-global pool.
+  ThreadPool* pool = nullptr;
+  /// Rows per morsel (see kScanGrainRows). Results are bit-identical
+  /// across thread counts for a FIXED grain; changing the grain changes
+  /// chunk boundaries and may perturb floating-point last bits.
+  std::size_t grain = kScanGrainRows;
+  /// Decode week N+1 on the visiting thread while a pipeline thread
+  /// analyzes week N. Analysis order and results are unchanged; off is
+  /// useful for debugging and single-threaded profiling.
+  bool prefetch = true;
+};
+
 /// Streams `source` through all analyzers. The diff (when any analyzer
 /// wants it) is computed once per week and shared.
 void run_study(SnapshotSource& source,
-               std::span<StudyAnalyzer* const> analyzers);
+               std::span<StudyAnalyzer* const> analyzers,
+               const StudyOptions& options = {});
 
 /// Convenience for a single analyzer.
-void run_study(SnapshotSource& source, StudyAnalyzer& analyzer);
+void run_study(SnapshotSource& source, StudyAnalyzer& analyzer,
+               const StudyOptions& options = {});
 
 }  // namespace spider

@@ -11,6 +11,50 @@ StripingAnalyzer::StripingAnalyzer(const Resolver& resolver)
   result_.by_domain.assign(domain_count(), StreamingStats{});
 }
 
+namespace {
+struct StripingChunk : ScanChunkState {
+  StreamingStats overall;
+  std::vector<StreamingStats> by_domain;
+  std::uint32_t max_stripe = 0;
+};
+}  // namespace
+
+std::unique_ptr<ScanChunkState> StripingAnalyzer::make_chunk_state() const {
+  auto chunk = std::make_unique<StripingChunk>();
+  chunk->by_domain.assign(domain_count(), StreamingStats{});
+  return chunk;
+}
+
+void StripingAnalyzer::observe_chunk(ScanChunkState* state,
+                                     const WeekObservation& obs,
+                                     std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<StripingChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (table.is_dir(i)) continue;
+    const std::uint32_t stripes = table.stripe_count(i);
+    chunk->overall.add(stripes);
+    chunk->max_stripe = std::max(chunk->max_stripe, stripes);
+    const int domain = resolver_.domain_of_gid(table.gid(i));
+    if (domain >= 0) {
+      chunk->by_domain[static_cast<std::size_t>(domain)].add(stripes);
+    }
+  }
+}
+
+void StripingAnalyzer::merge(const WeekObservation&, ScanStateList states) {
+  // Chunk-order folds keep the floating-point accumulation identical at
+  // every thread count (StreamingStats::merge is order-sensitive).
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const StripingChunk*>(state.get());
+    result_.overall.merge(chunk->overall);
+    result_.max_stripe = std::max(result_.max_stripe, chunk->max_stripe);
+    for (std::size_t d = 0; d < chunk->by_domain.size(); ++d) {
+      result_.by_domain[d].merge(chunk->by_domain[d]);
+    }
+  }
+}
+
 void StripingAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
   for (std::size_t i = 0; i < table.size(); ++i) {

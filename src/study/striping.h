@@ -25,6 +25,15 @@ class StripingAnalyzer : public StudyAnalyzer {
  public:
   explicit StripingAnalyzer(const Resolver& resolver);
 
+  ColumnMask columns_needed() const override {
+    return kColMaskOsts | kColMaskGid | kColMaskMode;
+  }
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override;
+  void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
+                     std::size_t begin, std::size_t end) override;
+  void merge(const WeekObservation& obs, ScanStateList states) override;
+
+  /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
   void finish() override;
 

@@ -24,8 +24,44 @@ double UserProfileResult::org_fraction(OrgType org) const {
          static_cast<double>(active_users);
 }
 
+namespace {
+struct UserProfileChunk : ScanChunkState {
+  std::vector<std::uint8_t> seen;  // by dense user index, lazily sized
+  std::size_t unknown = 0;
+};
+}  // namespace
+
 UserProfileAnalyzer::UserProfileAnalyzer(const Resolver& resolver)
     : resolver_(resolver), seen_(resolver.plan().users.size(), 0) {}
+
+std::unique_ptr<ScanChunkState> UserProfileAnalyzer::make_chunk_state() const {
+  return std::make_unique<UserProfileChunk>();
+}
+
+void UserProfileAnalyzer::observe_chunk(ScanChunkState* state,
+                                        const WeekObservation& obs,
+                                        std::size_t begin, std::size_t end) {
+  auto* chunk = static_cast<UserProfileChunk*>(state);
+  const SnapshotTable& table = obs.snap->table;
+  if (chunk->seen.empty()) chunk->seen.assign(seen_.size(), 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    const int user = resolver_.user_of_uid(table.uid(i));
+    if (user >= 0) {
+      chunk->seen[static_cast<std::size_t>(user)] = 1;
+    } else {
+      ++chunk->unknown;
+    }
+  }
+}
+
+void UserProfileAnalyzer::merge(const WeekObservation&, ScanStateList states) {
+  for (const auto& state : states) {
+    const auto* chunk = static_cast<const UserProfileChunk*>(state.get());
+    result_.unknown_uids += chunk->unknown;
+    if (chunk->seen.empty()) continue;
+    for (std::size_t u = 0; u < seen_.size(); ++u) seen_[u] |= chunk->seen[u];
+  }
+}
 
 void UserProfileAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;

@@ -214,7 +214,7 @@ class Simulation {
     seed_initial_population();
   }
 
-  void run(const SnapshotVisitor& visitor) {
+  void run(const SnapshotMoveVisitor& visitor) {
     const auto gaps = FacilityGenerator::gap_weeks(config_);
     in_study_ = true;  // job records start with the observation window
     std::size_t emitted = 0;
@@ -226,7 +226,7 @@ class Simulation {
       Snapshot snap;
       snap.taken_at = week_start(week + 1);  // collected at week end
       emit(snap.table);
-      visitor(emitted++, snap);
+      visitor(emitted++, std::move(snap));
     }
   }
 
@@ -781,6 +781,10 @@ std::size_t FacilityGenerator::count() const {
 }
 
 void FacilityGenerator::visit(const SnapshotVisitor& visitor) {
+  visit_move([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
+}
+
+void FacilityGenerator::visit_move(const SnapshotMoveVisitor& visitor) {
   Simulation sim(config_, plan_);
   sim.run(visitor);
 }
@@ -788,7 +792,7 @@ void FacilityGenerator::visit(const SnapshotVisitor& visitor) {
 void FacilityGenerator::visit_with_jobs(const SnapshotVisitor& visitor,
                                         const JobVisitor& jobs) {
   Simulation sim(config_, plan_, &jobs);
-  sim.run(visitor);
+  sim.run([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
 }
 
 }  // namespace spider

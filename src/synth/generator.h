@@ -104,6 +104,9 @@ class FacilityGenerator : public SnapshotSource {
   /// over emitted snapshots; taken_at carries the real (gappy) dates.
   void visit(const SnapshotVisitor& visitor) override;
 
+  /// Each weekly snapshot is freshly built, so ownership transfer is free.
+  void visit_move(const SnapshotMoveVisitor& visitor) override;
+
   /// Like visit(), but additionally streams the scheduler job log
   /// (interleaved chronologically per week, before that week's snapshot).
   void visit_with_jobs(const SnapshotVisitor& visitor,

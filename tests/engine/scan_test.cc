@@ -1,0 +1,174 @@
+// Tests for the morsel-driven shared scan: chunk layout, ordered merge,
+// multi-kernel dispatch, and thread-count invariance.
+#include "engine/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "snapshot/table.h"
+#include "util/parallel.h"
+
+namespace spider {
+namespace {
+
+SnapshotTable make_table(std::size_t rows) {
+  SnapshotTable table;
+  table.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    table.add("/f/" + std::to_string(i), static_cast<std::int64_t>(i), 0,
+              static_cast<std::int64_t>(2 * i), static_cast<std::uint32_t>(i),
+              0, kModeRegular | 0664, i, {});
+  }
+  return table;
+}
+
+struct SumState : ScanChunkState {
+  std::int64_t sum = 0;
+};
+
+/// Sums the atime column; merge() concatenates partials in chunk order.
+class SumKernel : public ScanKernel {
+ public:
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override {
+    return std::make_unique<SumState>();
+  }
+  void observe_chunk(ScanChunkState* state, const SnapshotTable& table,
+                     std::size_t begin, std::size_t end) override {
+    auto* sum = static_cast<SumState*>(state);
+    for (std::size_t i = begin; i < end; ++i) sum->sum += table.atime(i);
+  }
+  void merge_chunks(const SnapshotTable&, ScanStateList states) override {
+    merge_calls++;
+    for (const auto& state : states) {
+      total += static_cast<const SumState*>(state.get())->sum;
+    }
+  }
+
+  std::int64_t total = 0;
+  int merge_calls = 0;
+};
+
+struct RangeState : ScanChunkState {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+};
+
+/// Records every (begin, end) a chunk state saw; merge() checks the states
+/// arrive in chunk order and jointly tile [0, n) exactly once.
+class RangeKernel : public ScanKernel {
+ public:
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override {
+    return std::make_unique<RangeState>();
+  }
+  void observe_chunk(ScanChunkState* state, const SnapshotTable&,
+                     std::size_t begin, std::size_t end) override {
+    static_cast<RangeState*>(state)->ranges.emplace_back(begin, end);
+  }
+  void merge_chunks(const SnapshotTable& table, ScanStateList states) override {
+    std::size_t next = 0;
+    for (const auto& state : states) {
+      const auto* chunk = static_cast<const RangeState*>(state.get());
+      // One chunk per state, visited exactly once.
+      ASSERT_EQ(chunk->ranges.size(), 1u);
+      EXPECT_EQ(chunk->ranges[0].first, next);
+      EXPECT_GT(chunk->ranges[0].second, chunk->ranges[0].first);
+      next = chunk->ranges[0].second;
+    }
+    EXPECT_EQ(next, table.size());
+    tiled = true;
+  }
+
+  bool tiled = false;
+};
+
+TEST(ScanTest, SumMatchesSerialLoop) {
+  const SnapshotTable table = make_table(10000);
+  std::int64_t expected = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) expected += table.atime(i);
+
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000}, kScanGrainRows}) {
+    SumKernel kernel;
+    ScanKernel* kernels[] = {&kernel};
+    ScanOptions options;
+    options.grain = grain;
+    scan_table(table, kernels, options);
+    EXPECT_EQ(kernel.total, expected) << "grain " << grain;
+    EXPECT_EQ(kernel.merge_calls, 1);
+  }
+}
+
+TEST(ScanTest, EmptyTableStillMerges) {
+  const SnapshotTable table;
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel};
+  scan_table(table, kernels);
+  EXPECT_EQ(kernel.total, 0);
+  EXPECT_EQ(kernel.merge_calls, 1);  // merge runs even with zero chunks
+}
+
+TEST(ScanTest, ChunksTileTableInOrder) {
+  const SnapshotTable table = make_table(5000);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{617},
+                                  std::size_t{5000}, std::size_t{100000}}) {
+    RangeKernel kernel;
+    ScanKernel* kernels[] = {&kernel};
+    ScanOptions options;
+    options.grain = grain;
+    scan_table(table, kernels, options);
+    EXPECT_TRUE(kernel.tiled) << "grain " << grain;
+  }
+}
+
+TEST(ScanTest, MultipleKernelsShareOnePass) {
+  const SnapshotTable table = make_table(3000);
+  SumKernel a, b;
+  RangeKernel ranges;
+  ScanKernel* kernels[] = {&a, &ranges, &b};
+  ScanOptions options;
+  options.grain = 256;
+  scan_table(table, kernels, options);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_TRUE(ranges.tiled);
+}
+
+TEST(ScanTest, ResultIdenticalAcrossPoolSizes) {
+  const SnapshotTable table = make_table(20000);
+  ScanOptions base;
+  base.grain = 512;  // many chunks so pools actually interleave
+
+  SumKernel reference;
+  {
+    ThreadPool pool(1);
+    ScanKernel* kernels[] = {&reference};
+    ScanOptions options = base;
+    options.pool = &pool;
+    scan_table(table, kernels, options);
+  }
+  for (const unsigned threads : {2u, 7u, 0u}) {
+    ThreadPool pool(threads);
+    SumKernel kernel;
+    ScanKernel* kernels[] = {&kernel};
+    ScanOptions options = base;
+    options.pool = &pool;
+    scan_table(table, kernels, options);
+    EXPECT_EQ(kernel.total, reference.total) << "threads " << threads;
+  }
+}
+
+TEST(ScanTest, ZeroGrainFallsBackToDefault) {
+  const SnapshotTable table = make_table(100);
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel};
+  ScanOptions options;
+  options.grain = 0;
+  scan_table(table, kernels, options);
+  std::int64_t expected = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) expected += table.atime(i);
+  EXPECT_EQ(kernel.total, expected);
+}
+
+}  // namespace
+}  // namespace spider

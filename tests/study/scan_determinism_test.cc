@@ -1,0 +1,281 @@
+// Determinism harness for the morsel-driven study pipeline (DESIGN.md §10):
+// every rendered result — Table 1, the data-quality report, and all twelve
+// analyzer renders — must be byte-identical to the 1-thread reference at
+// every thread count and with the decode prefetch on or off, including on
+// gapped and fault-damaged series.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "snapshot/scol.h"
+#include "snapshot/series.h"
+#include "study/full_study.h"
+#include "synth/generator.h"
+#include "util/fault.h"
+#include "util/io.h"
+#include "util/parallel.h"
+
+namespace spider {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every user-visible string the study produces, concatenated. Two runs
+/// agree iff this bundle is byte-identical.
+std::string render_bundle(const FullStudy& study) {
+  std::string out;
+  out += study.render_table1();
+  out += study.render_data_quality();
+  out += study.user_profile.render();
+  out += study.participation.render();
+  out += study.census.render();
+  out += study.extensions.render();
+  out += study.languages.render();
+  out += study.access_patterns.render();
+  out += study.striping.render();
+  out += study.growth.render();
+  out += study.file_age.render();
+  out += study.burstiness.render();
+  out += study.network.render();
+  out += study.collaboration.render();
+  return out;
+}
+
+std::string run_bundle(SnapshotSource& source, const Resolver& resolver,
+                       const StudyOptions& options,
+                       std::size_t burst_min_files = 10) {
+  FullStudy study(resolver, burst_min_files);
+  study.run(source, options);
+  return render_bundle(study);
+}
+
+/// Shared fixture: simulate once, materialize in memory, re-analyze under
+/// many thread settings.
+class ScanDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FacilityConfig config;
+    config.scale = 0.0001;
+    config.weeks = 24;
+    // The generator outlives the resolver: Resolver references its plan.
+    generator_ = new FacilityGenerator(config);
+    resolver_ = new Resolver(generator_->plan());
+    series_ = new SnapshotSeries();
+    generator_->visit_move([&](std::size_t, Snapshot&& snap) {
+      series_->add(std::move(snap));
+    });
+  }
+  static void TearDownTestSuite() {
+    delete series_;
+    delete resolver_;
+    delete generator_;
+    series_ = nullptr;
+    resolver_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static FacilityGenerator* generator_;
+  static SnapshotSeries* series_;
+  static Resolver* resolver_;
+};
+
+FacilityGenerator* ScanDeterminismTest::generator_ = nullptr;
+SnapshotSeries* ScanDeterminismTest::series_ = nullptr;
+Resolver* ScanDeterminismTest::resolver_ = nullptr;
+
+TEST_F(ScanDeterminismTest, BundleIdenticalAcrossThreadCounts) {
+  // Reference: one worker, no prefetch — the configuration closest to the
+  // old serial runner.
+  ThreadPool one(1);
+  StudyOptions ref_options;
+  ref_options.pool = &one;
+  ref_options.prefetch = false;
+  const std::string reference = run_bundle(*series_, *resolver_, ref_options);
+  ASSERT_GT(reference.size(), 1000u);
+
+  for (const unsigned threads : {1u, 2u, 7u, 0u}) {  // 0 = hardware
+    ThreadPool pool(threads);
+    StudyOptions options;
+    options.pool = &pool;
+    options.prefetch = true;
+    const std::string bundle = run_bundle(*series_, *resolver_, options);
+    EXPECT_EQ(bundle, reference) << "threads=" << threads << " prefetch=on";
+  }
+
+  // Prefetch off at a non-trivial thread count: the pipeline overlap must
+  // not change results either.
+  {
+    ThreadPool pool(7);
+    StudyOptions options;
+    options.pool = &pool;
+    options.prefetch = false;
+    EXPECT_EQ(run_bundle(*series_, *resolver_, options), reference)
+        << "threads=7 prefetch=off";
+  }
+}
+
+TEST_F(ScanDeterminismTest, SmallGrainsForceManyChunks) {
+  // A tiny grain makes every table span hundreds of chunks, exercising the
+  // ordered merge far beyond what kScanGrainRows does at test scale.
+  ThreadPool one(1);
+  StudyOptions ref_options;
+  ref_options.pool = &one;
+  ref_options.prefetch = false;
+  const std::string reference = run_bundle(*series_, *resolver_, ref_options);
+
+  ThreadPool pool(4);
+  StudyOptions options;
+  options.pool = &pool;
+  options.grain = 97;  // prime, misaligned with every table size
+  const std::string bundle = run_bundle(*series_, *resolver_, options);
+
+  // Many-chunk merges fold StreamingStats partials pairwise instead of
+  // row-by-row, so only the grain — never the thread count or prefetch
+  // mode — may move the last floating-point bits. Same grain, different
+  // pools: byte-identical.
+  ThreadPool other(2);
+  StudyOptions options2 = options;
+  options2.pool = &other;
+  options2.prefetch = false;
+  EXPECT_EQ(run_bundle(*series_, *resolver_, options2), bundle);
+  ASSERT_GT(reference.size(), 1000u);
+}
+
+TEST(ScanDeterminismGapTest, GappedSeriesIdenticalAcrossThreadCounts) {
+  FacilityConfig config;
+  config.scale = 5e-5;
+  config.weeks = 12;
+  config.seed = 20150105;
+  config.maintenance_gaps = false;
+  FacilityGenerator generator(config);
+  Resolver resolver(generator.plan());
+
+  // Materialize with a hole at slot 5: gap_before handling and the skip
+  // accounting must survive parallel analysis bit-for-bit.
+  SnapshotSeries series;
+  std::vector<Snapshot> snaps;
+  generator.visit_move(
+      [&](std::size_t, Snapshot&& snap) { snaps.push_back(std::move(snap)); });
+  for (std::size_t w = 0; w < snaps.size(); ++w) {
+    if (w == 5) {
+      series.add_gap(snaps[w].taken_at,
+                     Status::corruption("injected test gap"));
+      continue;
+    }
+    series.add(std::move(snaps[w]));
+  }
+
+  ThreadPool one(1);
+  StudyOptions serial;
+  serial.pool = &one;
+  serial.prefetch = false;
+  const std::string reference = run_bundle(series, resolver, serial);
+  EXPECT_NE(reference.find("gap"), std::string::npos);
+
+  for (const unsigned threads : {2u, 7u}) {
+    ThreadPool pool(threads);
+    StudyOptions options;
+    options.pool = &pool;
+    options.prefetch = true;
+    EXPECT_EQ(run_bundle(series, resolver, options), reference)
+        << "threads=" << threads;
+  }
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Flips one payload bit of an on-disk v2 .scol file.
+void corrupt_scol_file(const std::string& file, std::uint64_t seed) {
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(read_file(file, &bytes).ok());
+  ScolV2Layout layout;
+  ASSERT_TRUE(parse_scol_v2_layout(bytes, &layout).ok());
+  FaultInjector injector(seed);
+  injector.bit_flip(&bytes, layout.payload_start, bytes.size());
+  ASSERT_TRUE(
+      write_file_atomic(file, std::span<const std::uint8_t>(bytes)).ok());
+}
+
+// A damaged on-disk series must produce the same gaps, the same
+// gap_pairs_skipped counts, and the same renders through the parallel
+// runner (with projection pushdown and prefetch active) as through the
+// serial configuration — decode damage accounting is not allowed to
+// depend on the execution schedule.
+TEST(ScanDeterminismFaultTest, DamagedSeriesParityWithSerialRunner) {
+  TempDir dir("spider_scan_determinism_fault_test");
+  FacilityConfig config;
+  config.scale = 5e-5;
+  config.weeks = 10;
+  config.seed = 20150105;
+  config.maintenance_gaps = false;
+  FacilityGenerator generator(config);
+  std::string error;
+  ASSERT_TRUE(save_series(generator, dir.path(), &error)) << error;
+
+  DirectorySeries probe;
+  ASSERT_TRUE(probe.open(dir.path(), &error)) << error;
+  ASSERT_EQ(probe.files().size(), 10u);
+  corrupt_scol_file(probe.files()[2], /*seed=*/21);
+  corrupt_scol_file(probe.files()[6], /*seed=*/22);
+  fs::remove(probe.files()[4]);
+
+  Resolver resolver(generator.plan());
+
+  // Serial configuration: decode-all columns would be the historical
+  // behavior, but projection is applied by the runner in both cases; what
+  // differs is the pool, the chunking, and the prefetch pipeline.
+  DirectorySeries serial_series;
+  ASSERT_TRUE(serial_series.open(dir.path(), &error)) << error;
+  ThreadPool one(1);
+  StudyOptions serial;
+  serial.pool = &one;
+  serial.prefetch = false;
+  FullStudy serial_study(resolver, /*burst_min_files=*/5);
+  serial_study.run(serial_series, serial);
+
+  DirectorySeries parallel_series;
+  ASSERT_TRUE(parallel_series.open(dir.path(), &error)) << error;
+  ThreadPool pool(4);
+  StudyOptions parallel;
+  parallel.pool = &pool;
+  parallel.prefetch = true;
+  parallel.grain = 512;  // many chunks even at 5e-5 scale
+  FullStudy parallel_study(resolver, /*burst_min_files=*/5);
+  parallel_study.run(parallel_series, parallel);
+
+  // Identical damage accounting...
+  ASSERT_EQ(serial_study.gaps().size(), 3u);
+  ASSERT_EQ(parallel_study.gaps().size(), 3u);
+  for (std::size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(serial_study.gaps()[g].describe(),
+              parallel_study.gaps()[g].describe());
+  }
+  EXPECT_EQ(serial_study.access_patterns.result().gap_pairs_skipped,
+            parallel_study.access_patterns.result().gap_pairs_skipped);
+  EXPECT_EQ(serial_study.burstiness.result().gap_pairs_skipped,
+            parallel_study.burstiness.result().gap_pairs_skipped);
+  EXPECT_EQ(serial_study.growth.result().gap_weeks,
+            parallel_study.growth.result().gap_weeks);
+  EXPECT_EQ(serial_study.render_data_quality(),
+            parallel_study.render_data_quality());
+
+  // ...and identical results everywhere else.
+  EXPECT_EQ(render_bundle(serial_study), render_bundle(parallel_study));
+}
+
+}  // namespace
+}  // namespace spider
