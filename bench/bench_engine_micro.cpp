@@ -170,6 +170,29 @@ void BM_DiffSortMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffSortMerge);
 
+void BM_PartitionedIndexBuild(benchmark::State& state) {
+  const SnapshotTable& t = fixture_table();
+  for (auto _ : state) {
+    PartitionedPathIndex index(t);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PartitionedIndexBuild);
+
+void BM_DiffPartitioned(benchmark::State& state) {
+  const SnapshotTable& prev = fixture_table();
+  const SnapshotTable& cur = mutated_table();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diff_snapshots_partitioned(prev, cur));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(prev.size() + cur.size()));
+}
+BENCHMARK(BM_DiffPartitioned);
+
 void BM_GroupByExtension(benchmark::State& state) {
   const SnapshotTable& t = fixture_table();
   for (auto _ : state) {

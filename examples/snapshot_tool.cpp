@@ -9,6 +9,8 @@
 //   snapshot_tool purgelist --in=snap.scol [--age=90] [--exempt=cli104,...]
 //                 [--out=purge.list] [--now=<epoch>]
 //   snapshot_tool verify --dir=/tmp/series   (or --in=snap.scol)
+//   snapshot_tool diff <prev.scol> <cur.scol>
+//                 [--strategy=hash|sortmerge|partitioned]
 //
 // Salvage flags (convert/inspect/purgelist): --salvage=skip|quarantine
 // decodes damaged .scol files by dropping corrupt row groups;
@@ -24,6 +26,7 @@
 #include <fstream>
 
 #include "engine/agg.h"
+#include "engine/diff.h"
 #include "engine/purge.h"
 #include "snapshot/psv.h"
 #include "snapshot/scol.h"
@@ -279,6 +282,61 @@ bool verify_one(const std::string& file, std::string* line) {
   return true;
 }
 
+/// The Fig 13 classifier between two snapshot files: counts and fractions
+/// of the five access classes. --strategy cross-checks the join
+/// implementations in the field (see README "join strategies"); all three
+/// produce identical results, so a mismatch means a damaged input.
+int cmd_diff(const CliArgs& args) {
+  if (args.positional().size() < 3) {
+    std::cerr << "diff requires two inputs: snapshot_tool diff <prev> <cur>\n";
+    return 1;
+  }
+  const std::string& prev_file = args.positional()[1];
+  const std::string& cur_file = args.positional()[2];
+  const std::string name = args.get("strategy", "partitioned");
+  DiffStrategy strategy;
+  if (name == "hash") {
+    strategy = DiffStrategy::kHash;
+  } else if (name == "sortmerge") {
+    strategy = DiffStrategy::kSortMerge;
+  } else if (name == "partitioned") {
+    strategy = DiffStrategy::kPartitioned;
+  } else {
+    std::cerr << "bad --strategy value (want hash|sortmerge|partitioned)\n";
+    return 1;
+  }
+
+  SnapshotTable prev, cur;
+  std::string error;
+  if (!load_any(args, prev_file, &prev, &error)) {
+    std::cerr << "cannot read " << prev_file << ": " << error << "\n";
+    return 1;
+  }
+  if (!load_any(args, cur_file, &cur, &error)) {
+    std::cerr << "cannot read " << cur_file << ": " << error << "\n";
+    return 1;
+  }
+
+  const DiffResult diff = diff_snapshots_with(strategy, prev, cur);
+  std::cout << "prev: " << prev_file << " (" << diff.prev_files
+            << " files)\ncur:  " << cur_file << " (" << diff.cur_files
+            << " files)\nstrategy: " << name << "\n";
+  AsciiTable table({"class", "count", "fraction", "of"});
+  const auto pct = [](double f) { return format_double(100.0 * f, 2) + "%"; };
+  table.add_row({"new", std::to_string(diff.new_rows.size()),
+                 pct(diff.new_fraction()), "cur files"});
+  table.add_row({"deleted", std::to_string(diff.deleted_rows.size()),
+                 pct(diff.deleted_fraction()), "prev files"});
+  table.add_row({"readonly", std::to_string(diff.readonly_rows.size()),
+                 pct(diff.readonly_fraction()), "prev files"});
+  table.add_row({"updated", std::to_string(diff.updated_rows.size()),
+                 pct(diff.updated_fraction()), "prev files"});
+  table.add_row({"untouched", std::to_string(diff.untouched_rows.size()),
+                 pct(diff.untouched_fraction()), "prev files"});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_verify(const CliArgs& args) {
   const std::string dir = args.get("dir", "");
   const std::string in = args.get("in", "");
@@ -323,7 +381,7 @@ int main(int argc, char** argv) {
   const spider::CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::cerr << "usage: snapshot_tool "
-                 "<generate|convert|inspect|purgelist|verify> [flags]\n";
+                 "<generate|convert|inspect|purgelist|verify|diff> [flags]\n";
     return 1;
   }
   const std::string& command = args.positional()[0];
@@ -332,6 +390,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return cmd_inspect(args);
   if (command == "purgelist") return cmd_purgelist(args);
   if (command == "verify") return cmd_verify(args);
+  if (command == "diff") return cmd_diff(args);
   std::cerr << "unknown command: " << command << "\n";
   return 1;
 }

@@ -23,6 +23,13 @@ run(${TOOL} inspect --in=${first})
 run(${TOOL} convert --in=${first} --out=${WORKDIR}/snap.psv)
 run(${TOOL} convert --in=${WORKDIR}/snap.psv --out=${WORKDIR}/snap.scol)
 run(${TOOL} purgelist --in=${first} --age=60 --out=${WORKDIR}/purge.list)
+list(LENGTH snaps count)
+if(count GREATER 1)
+  list(GET snaps 1 second)
+  run(${TOOL} diff ${first} ${second})
+  run(${TOOL} diff ${first} ${second} --strategy=hash)
+  run(${TOOL} diff ${first} ${second} --strategy=sortmerge)
+endif()
 run(${ANALYZE} --dir=${WORKDIR}/series --report=census)
 
 file(REMOVE_RECURSE ${WORKDIR})

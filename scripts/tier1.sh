@@ -20,6 +20,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
+echo "==> tier 1: bench smoke (tiny-scale harness run-through)"
+ctest --test-dir build --output-on-failure -L bench-smoke -j"${JOBS}"
+
 echo "==> tier 1: ASan+UBSan build + robustness suites"
 cmake -B build-asan -S . -DSPIDER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}" --target \
@@ -36,9 +39,10 @@ done
 echo "==> tier 1: TSan build + parallel scan/runner suites"
 cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
-    util_parallel_test engine_scan_test study_runner_test \
-    study_scan_determinism_test
-for t in util_parallel_test engine_scan_test study_runner_test; do
+    util_parallel_test engine_scan_test engine_partition_test \
+    engine_diff_parity_test study_runner_test study_scan_determinism_test
+for t in util_parallel_test engine_scan_test engine_partition_test \
+         engine_diff_parity_test study_runner_test; do
   echo "--> ${t} (tsan)"
   ./build-tsan/tests/"${t}"
 done

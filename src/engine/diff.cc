@@ -1,18 +1,67 @@
 #include "engine/diff.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <memory>
-
-#include "engine/hash_index.h"
-#include "util/parallel.h"
 
 namespace spider {
 
 namespace {
 
 double fraction(std::size_t part, std::size_t whole) {
-  return whole == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(whole);
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// Probe/sweep chunk size. Fixed for the same reason as kScanGrainRows:
+/// the chunk layout (and with it the partial-splice order) must never
+/// depend on the pool width.
+constexpr std::size_t kDiffGrain = 8192;
+
+/// How many rows ahead the hash strategy's probe loop issues the
+/// slot-line prefetch. The probe is a chain of independent random
+/// lookups, so overlapping ~16 in-flight misses hides most of the
+/// latency; the value is uncritical (8..32 measure alike) and does not
+/// affect results. (The partitioned probe does not prefetch — its Bloom
+/// pre-filter answers most misses from L2.)
+constexpr std::size_t kProbePrefetchDistance = 16;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void classify_row(std::uint32_t row, bool atime_same, bool mtime_same,
+                  bool ctime_same, DiffChunkRows& out) {
+  if (mtime_same && ctime_same && atime_same) {
+    out.rows[DiffChunkRows::kUntouched].push_back(row);
+  } else if (mtime_same && ctime_same) {
+    out.rows[DiffChunkRows::kReadonly].push_back(row);
+  } else {
+    out.rows[DiffChunkRows::kUpdated].push_back(row);
+  }
+}
+
+/// Ascending regular-file rows of `table`, gathered serially (the build
+/// side of the hash strategy; the partitioned index gathers its own copy
+/// in parallel).
+std::vector<std::uint32_t> file_rows_of(const SnapshotTable& table) {
+  std::vector<std::uint32_t> rows;
+  rows.reserve(table.file_count());
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (!table.is_dir(row)) rows.push_back(static_cast<std::uint32_t>(row));
+  }
+  return rows;
+}
+
+/// Zeroed match flags, one per build-side file (never per row — the
+/// directory rows of the previous week get no slots).
+std::unique_ptr<std::atomic<std::uint8_t>[]> make_matched(std::size_t files) {
+  if (files == 0) return nullptr;
+  // Value-initialization zeroes the atomics (C++20).
+  return std::unique_ptr<std::atomic<std::uint8_t>[]>(
+      new std::atomic<std::uint8_t>[files]());
 }
 
 }  // namespace
@@ -33,82 +82,182 @@ double DiffResult::new_fraction() const {
   return fraction(new_rows.size(), cur_files);
 }
 
-DiffResult diff_snapshots(const SnapshotTable& prev,
-                          const SnapshotTable& cur) {
+void diff_probe_range(const PartitionedPathIndex& index,
+                      const SnapshotTable& prev, const SnapshotTable& cur,
+                      std::size_t begin, std::size_t end,
+                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out) {
+  // No prefetch-ahead here: the index's Bloom pre-filter answers the
+  // dominant miss case from L2, so most rows never touch a slot line (and,
+  // via lookup_lazy, never materialize the probe-side path either).
+  for (std::size_t row = begin; row < end; ++row) {
+    if (cur.is_dir(row)) continue;
+    const std::uint32_t ordinal = index.lookup_lazy(
+        prev, cur.path_hash(row), [&cur, row] { return cur.path(row); });
+    if (ordinal == PartitionedPathIndex::kNotFound) {
+      out->rows[DiffChunkRows::kNew].push_back(
+          static_cast<std::uint32_t>(row));
+      continue;
+    }
+    matched[ordinal].store(1, std::memory_order_relaxed);
+    const PartitionedPathIndex::Payload& payload = index.payload(ordinal);
+    classify_row(static_cast<std::uint32_t>(row),
+                 cur.atime(row) == payload.atime,
+                 cur.mtime(row) == payload.mtime,
+                 cur.ctime(row) == payload.ctime, *out);
+  }
+}
+
+void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
+                   const std::atomic<std::uint8_t>* matched,
+                   std::span<const DiffChunkRows* const> chunks,
+                   ThreadPool* pool, DiffResult* out) {
+  std::size_t totals[4] = {0, 0, 0, 0};
+  for (const DiffChunkRows* chunk : chunks) {
+    for (int k = 0; k < 4; ++k) totals[k] += chunk->rows[k].size();
+  }
+  out->new_rows.reserve(totals[DiffChunkRows::kNew]);
+  out->readonly_rows.reserve(totals[DiffChunkRows::kReadonly]);
+  out->updated_rows.reserve(totals[DiffChunkRows::kUpdated]);
+  out->untouched_rows.reserve(totals[DiffChunkRows::kUntouched]);
+  for (const DiffChunkRows* chunk : chunks) {
+    out->new_rows.insert(out->new_rows.end(),
+                         chunk->rows[DiffChunkRows::kNew].begin(),
+                         chunk->rows[DiffChunkRows::kNew].end());
+    out->readonly_rows.insert(out->readonly_rows.end(),
+                              chunk->rows[DiffChunkRows::kReadonly].begin(),
+                              chunk->rows[DiffChunkRows::kReadonly].end());
+    out->updated_rows.insert(out->updated_rows.end(),
+                             chunk->rows[DiffChunkRows::kUpdated].begin(),
+                             chunk->rows[DiffChunkRows::kUpdated].end());
+    out->untouched_rows.insert(out->untouched_rows.end(),
+                               chunk->rows[DiffChunkRows::kUntouched].begin(),
+                               chunk->rows[DiffChunkRows::kUntouched].end());
+  }
+
+  // Deleted sweep: everything never matched. The match counts are already
+  // known, so the result is sized exactly before the sweep.
+  const std::size_t matched_total = totals[DiffChunkRows::kReadonly] +
+                                    totals[DiffChunkRows::kUpdated] +
+                                    totals[DiffChunkRows::kUntouched];
+  out->deleted_rows.reserve(prev_file_rows.size() - matched_total);
+  const std::size_t n = prev_file_rows.size();
+  const std::size_t sweep_chunks = n == 0 ? 0 : (n + kDiffGrain - 1) / kDiffGrain;
+  std::vector<std::vector<std::uint32_t>> partials(sweep_chunks);
+  parallel_for_chunked(
+      n, kDiffGrain,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint32_t>& deleted = partials[begin / kDiffGrain];
+        for (std::size_t pos = begin; pos < end; ++pos) {
+          if (matched[pos].load(std::memory_order_relaxed) == 0) {
+            deleted.push_back(prev_file_rows[pos]);
+          }
+        }
+      },
+      pool);
+  for (const std::vector<std::uint32_t>& deleted : partials) {
+    out->deleted_rows.insert(out->deleted_rows.end(), deleted.begin(),
+                             deleted.end());
+  }
+}
+
+DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
+                          ThreadPool* pool, DiffBreakdown* breakdown) {
   DiffResult result;
   result.prev_files = prev.file_count();
   result.cur_files = cur.file_count();
 
-  const PathIndex index(prev, /*files_only=*/true);
-
-  // matched[row] flags previous-week files found in the current week; what
-  // remains unmatched was deleted. Transitions are 0 -> 1 only, so relaxed
-  // atomics suffice.
-  std::unique_ptr<std::atomic<std::uint8_t>[]> matched(
-      new std::atomic<std::uint8_t>[prev.size()]);
-  for (std::size_t i = 0; i < prev.size(); ++i) {
-    matched[i].store(0, std::memory_order_relaxed);
+  auto mark = std::chrono::steady_clock::now();
+  // Index the previous week's files via the subset constructor: lookups
+  // return positions in file_rows, so the match flags and the deleted
+  // sweep stay dense over files (directory rows get no slots).
+  const std::vector<std::uint32_t> file_rows = file_rows_of(prev);
+  const PathIndex index(prev, file_rows);
+  auto matched = make_matched(file_rows.size());
+  if (breakdown) {
+    breakdown->build_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
   }
 
   // Per-chunk classification buffers, merged in chunk order so the final
   // row vectors are ascending regardless of scheduling.
-  struct Partial {
-    std::vector<std::uint32_t> rows[4];  // new, readonly, updated, untouched
-  };
-  constexpr std::size_t kGrain = 8192;
   const std::size_t n = cur.size();
-  const std::size_t chunks = n == 0 ? 0 : (n + kGrain - 1) / kGrain;
-  std::vector<Partial> partials(chunks);
-
-  parallel_for_chunked(n, kGrain, [&](std::size_t begin, std::size_t end) {
-    Partial& p = partials[begin / kGrain];
-    for (std::size_t row = begin; row < end; ++row) {
-      if (cur.is_dir(row)) continue;
-      const std::uint32_t prev_row =
-          index.lookup(cur.path_hash(row), cur.path(row));
-      if (prev_row == PathIndex::kNotFound) {
-        p.rows[0].push_back(static_cast<std::uint32_t>(row));
-        continue;
-      }
-      matched[prev_row].store(1, std::memory_order_relaxed);
-      const bool atime_same = cur.atime(row) == prev.atime(prev_row);
-      const bool mtime_same = cur.mtime(row) == prev.mtime(prev_row);
-      const bool ctime_same = cur.ctime(row) == prev.ctime(prev_row);
-      if (mtime_same && ctime_same && atime_same) {
-        p.rows[3].push_back(static_cast<std::uint32_t>(row));
-      } else if (mtime_same && ctime_same) {
-        p.rows[2].push_back(static_cast<std::uint32_t>(row));
-      } else {
-        p.rows[1].push_back(static_cast<std::uint32_t>(row));
-      }
-    }
-  });
-
-  std::size_t totals[4] = {0, 0, 0, 0};
-  for (const Partial& p : partials) {
-    for (int k = 0; k < 4; ++k) totals[k] += p.rows[k].size();
-  }
-  result.new_rows.reserve(totals[0]);
-  result.updated_rows.reserve(totals[1]);
-  result.readonly_rows.reserve(totals[2]);
-  result.untouched_rows.reserve(totals[3]);
-  for (Partial& p : partials) {
-    result.new_rows.insert(result.new_rows.end(), p.rows[0].begin(),
-                           p.rows[0].end());
-    result.updated_rows.insert(result.updated_rows.end(), p.rows[1].begin(),
-                               p.rows[1].end());
-    result.readonly_rows.insert(result.readonly_rows.end(), p.rows[2].begin(),
-                                p.rows[2].end());
-    result.untouched_rows.insert(result.untouched_rows.end(),
-                                 p.rows[3].begin(), p.rows[3].end());
+  const std::size_t chunks = n == 0 ? 0 : (n + kDiffGrain - 1) / kDiffGrain;
+  std::vector<DiffChunkRows> partials(chunks);
+  parallel_for_chunked(
+      n, kDiffGrain,
+      [&](std::size_t begin, std::size_t end) {
+        DiffChunkRows& out = partials[begin / kDiffGrain];
+        for (std::size_t row = begin; row < end; ++row) {
+          const std::size_t ahead = row + kProbePrefetchDistance;
+          if (ahead < end && !cur.is_dir(ahead)) {
+            index.prefetch(cur.path_hash(ahead));
+          }
+          if (cur.is_dir(row)) continue;
+          const std::uint32_t pos =
+              index.lookup(cur.path_hash(row), cur.path(row));
+          if (pos == PathIndex::kNotFound) {
+            out.rows[DiffChunkRows::kNew].push_back(
+                static_cast<std::uint32_t>(row));
+            continue;
+          }
+          matched[pos].store(1, std::memory_order_relaxed);
+          const std::uint32_t prev_row = file_rows[pos];
+          classify_row(static_cast<std::uint32_t>(row),
+                       cur.atime(row) == prev.atime(prev_row),
+                       cur.mtime(row) == prev.mtime(prev_row),
+                       cur.ctime(row) == prev.ctime(prev_row), out);
+        }
+      },
+      pool);
+  if (breakdown) {
+    breakdown->probe_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
   }
 
-  for (std::size_t row = 0; row < prev.size(); ++row) {
-    if (prev.is_dir(row)) continue;
-    if (matched[row].load(std::memory_order_relaxed) == 0) {
-      result.deleted_rows.push_back(static_cast<std::uint32_t>(row));
-    }
+  std::vector<const DiffChunkRows*> chunk_ptrs;
+  chunk_ptrs.reserve(partials.size());
+  for (const DiffChunkRows& partial : partials) chunk_ptrs.push_back(&partial);
+  diff_finalize(file_rows, matched.get(), chunk_ptrs, pool, &result);
+  if (breakdown) breakdown->sweep_s = seconds_since(mark);
+  return result;
+}
+
+DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
+                                      const SnapshotTable& cur,
+                                      ThreadPool* pool,
+                                      DiffBreakdown* breakdown) {
+  DiffResult result;
+  result.prev_files = prev.file_count();
+  result.cur_files = cur.file_count();
+
+  auto mark = std::chrono::steady_clock::now();
+  const PartitionedPathIndex index(prev, pool);
+  auto matched = make_matched(index.size());
+  if (breakdown) {
+    breakdown->build_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
   }
+
+  const std::size_t n = cur.size();
+  const std::size_t chunks = n == 0 ? 0 : (n + kDiffGrain - 1) / kDiffGrain;
+  std::vector<DiffChunkRows> partials(chunks);
+  parallel_for_chunked(
+      n, kDiffGrain,
+      [&](std::size_t begin, std::size_t end) {
+        diff_probe_range(index, prev, cur, begin, end, matched.get(),
+                         &partials[begin / kDiffGrain]);
+      },
+      pool);
+  if (breakdown) {
+    breakdown->probe_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
+  }
+
+  std::vector<const DiffChunkRows*> chunk_ptrs;
+  chunk_ptrs.reserve(partials.size());
+  for (const DiffChunkRows& partial : partials) chunk_ptrs.push_back(&partial);
+  diff_finalize(index.file_rows(), matched.get(), chunk_ptrs, pool, &result);
+  if (breakdown) breakdown->sweep_s = seconds_since(mark);
   return result;
 }
 
@@ -116,11 +265,7 @@ namespace {
 
 /// Rows of one table's regular files, sorted by (path hash, row).
 std::vector<std::uint32_t> sorted_file_rows(const SnapshotTable& table) {
-  std::vector<std::uint32_t> rows;
-  rows.reserve(table.file_count());
-  for (std::size_t row = 0; row < table.size(); ++row) {
-    if (!table.is_dir(row)) rows.push_back(static_cast<std::uint32_t>(row));
-  }
+  std::vector<std::uint32_t> rows = file_rows_of(table);
   std::sort(rows.begin(), rows.end(),
             [&table](std::uint32_t a, std::uint32_t b) {
               if (table.path_hash(a) != table.path_hash(b)) {
@@ -149,13 +294,19 @@ void classify_pair(const SnapshotTable& prev, const SnapshotTable& cur,
 }  // namespace
 
 DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
-                                    const SnapshotTable& cur) {
+                                    const SnapshotTable& cur,
+                                    DiffBreakdown* breakdown) {
   DiffResult result;
   result.prev_files = prev.file_count();
   result.cur_files = cur.file_count();
 
+  auto mark = std::chrono::steady_clock::now();
   const std::vector<std::uint32_t> lhs = sorted_file_rows(prev);
   const std::vector<std::uint32_t> rhs = sorted_file_rows(cur);
+  if (breakdown) {
+    breakdown->build_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
+  }
 
   std::size_t i = 0, j = 0;
   auto key_less = [&](std::uint32_t a, std::uint32_t b) {
@@ -182,6 +333,10 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
   }
   for (; i < lhs.size(); ++i) result.deleted_rows.push_back(lhs[i]);
   for (; j < rhs.size(); ++j) result.new_rows.push_back(rhs[j]);
+  if (breakdown) {
+    breakdown->probe_s = seconds_since(mark);
+    mark = std::chrono::steady_clock::now();
+  }
 
   // Restore the hash join's row-order contract.
   for (auto* rows : {&result.new_rows, &result.readonly_rows,
@@ -189,7 +344,23 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
                      &result.deleted_rows}) {
     std::sort(rows->begin(), rows->end());
   }
+  if (breakdown) breakdown->sweep_s = seconds_since(mark);
   return result;
+}
+
+DiffResult diff_snapshots_with(DiffStrategy strategy,
+                               const SnapshotTable& prev,
+                               const SnapshotTable& cur, ThreadPool* pool,
+                               DiffBreakdown* breakdown) {
+  switch (strategy) {
+    case DiffStrategy::kSortMerge:
+      return diff_snapshots_sortmerge(prev, cur, breakdown);
+    case DiffStrategy::kPartitioned:
+      return diff_snapshots_partitioned(prev, cur, pool, breakdown);
+    case DiffStrategy::kHash:
+      break;
+  }
+  return diff_snapshots(prev, cur, pool, breakdown);
 }
 
 }  // namespace spider

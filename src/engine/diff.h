@@ -10,12 +10,21 @@
 // reported by the study follow the paper's convention: deleted, readonly,
 // updated, untouched are fractions of the previous week's file count; new
 // is a fraction of the current week's.
+//
+// Three join strategies share this contract (README "join strategies",
+// DESIGN.md §11): a single hash index (the reference), sort-merge, and the
+// radix-partitioned join. All produce byte-identical DiffResults at any
+// thread count; bench/bench_diff.cpp measures them against each other.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "engine/hash_index.h"
 #include "snapshot/table.h"
+#include "util/parallel.h"
 
 namespace spider {
 
@@ -46,14 +55,87 @@ struct DiffResult {
   double new_fraction() const;
 };
 
-/// Classifies regular files between two adjacent snapshots. The join probes
-/// in parallel; outputs are in ascending row order (deterministic).
-DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur);
+/// Which join implementation computes the diff (CLI: snapshot_tool diff
+/// --strategy; benchmarked by bench/bench_diff.cpp).
+enum class DiffStrategy {
+  kHash,
+  kSortMerge,
+  kPartitioned,
+};
+
+/// Per-phase wall-clock of one diff, for the strategy benchmark.
+struct DiffBreakdown {
+  double build_s = 0;  // index build / sort of the previous week
+  double probe_s = 0;  // classify the current week against it
+  double sweep_s = 0;  // splice partials + deleted sweep / final sorts
+};
+
+/// One scan chunk's classification of current-week rows, each list in
+/// ascending row order. The concatenation across chunks (in chunk order)
+/// of each class is globally ascending — the mechanism behind the
+/// bit-identity of every strategy and of the fused kernel.
+struct DiffChunkRows {
+  static constexpr int kNew = 0;
+  static constexpr int kReadonly = 1;
+  static constexpr int kUpdated = 2;
+  static constexpr int kUntouched = 3;
+  std::vector<std::uint32_t> rows[4];
+};
+
+/// Classifies regular files between two adjacent snapshots with the single
+/// hash-index join. Probes in parallel on `pool` (null = global pool);
+/// outputs are in ascending row order (deterministic).
+DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
+                          ThreadPool* pool = nullptr,
+                          DiffBreakdown* breakdown = nullptr);
 
 /// Sort-merge alternative to the hash join: both sides are sorted by
-/// (path hash, row) and merged. Same result contract as diff_snapshots;
-/// exists for the join-strategy ablation benchmark.
+/// (path hash, path) and merged. Same result contract as diff_snapshots;
+/// exists for the join-strategy ablation benchmark. Serial.
 DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
-                                    const SnapshotTable& cur);
+                                    const SnapshotTable& cur,
+                                    DiffBreakdown* breakdown = nullptr);
+
+/// The radix-partitioned join (DESIGN.md §11): build side partitioned once
+/// by the top bits of the path hash, per-partition shards built fully in
+/// parallel with no atomics, parallel probe, parallel deleted sweep.
+/// Byte-identical to diff_snapshots at any thread count.
+DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
+                                      const SnapshotTable& cur,
+                                      ThreadPool* pool = nullptr,
+                                      DiffBreakdown* breakdown = nullptr);
+
+/// Dispatches on `strategy` (kSortMerge ignores the pool).
+DiffResult diff_snapshots_with(DiffStrategy strategy,
+                               const SnapshotTable& prev,
+                               const SnapshotTable& cur,
+                               ThreadPool* pool = nullptr,
+                               DiffBreakdown* breakdown = nullptr);
+
+// --- Fused-kernel building blocks -----------------------------------------
+// The study runner computes the diff as a kernel on the shared weekly scan
+// (study/runner.cc) instead of as a separate pass: each scan chunk probes
+// its own rows via diff_probe_range, and the kernel's merge assembles the
+// DiffResult via diff_finalize. Exposed here so the kernel, the standalone
+// strategies, and the tests share one implementation.
+
+/// Probes rows [begin, end) of `cur` against the partitioned index over
+/// `prev`, appending each file row to the matching class list of `out` and
+/// flagging matched build-side ordinals in `matched` (0 -> 1 transitions
+/// only; relaxed atomics suffice). Safe to run concurrently over disjoint
+/// ranges with distinct `out` states.
+void diff_probe_range(const PartitionedPathIndex& index,
+                      const SnapshotTable& prev, const SnapshotTable& cur,
+                      std::size_t begin, std::size_t end,
+                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out);
+
+/// Splices per-chunk classifications (chunk order) into `out` and sweeps
+/// the unmatched positions of `prev_file_rows` into deleted_rows, in
+/// parallel. Fills the five row lists only; the caller sets
+/// prev_files/cur_files.
+void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
+                   const std::atomic<std::uint8_t>* matched,
+                   std::span<const DiffChunkRows* const> chunks,
+                   ThreadPool* pool, DiffResult* out);
 
 }  // namespace spider

@@ -1,0 +1,19 @@
+#include "engine/partition.h"
+
+namespace spider {
+
+std::uint32_t radix_bits_for(std::size_t n) {
+  std::uint32_t bits = 1;
+  while (bits < 10 && (n >> bits) > 4096) ++bits;
+  return bits;
+}
+
+RadixPartitions radix_partition_files(const SnapshotTable& table,
+                                      std::uint32_t bits, ThreadPool* pool) {
+  return radix_partition(
+      table.size(), bits,
+      [&table](std::size_t i) { return table.path_hash(i); },
+      [&table](std::size_t i) { return !table.is_dir(i); }, pool);
+}
+
+}  // namespace spider

@@ -1,0 +1,138 @@
+// Radix partitioning: split n keyed items into 2^bits partitions by the
+// TOP bits of a 64-bit hash, with deterministic partition layout. This is
+// the building block under the partitioned diff join (DESIGN.md §11) and
+// any future sharded group-by: each partition can then be processed by one
+// task with no atomics, because every partition's slice of the output is
+// private to it.
+//
+// Determinism contract (mirrors engine/scan.h): the chunk layout of the
+// histogram/scatter passes is a pure function of the item count and a
+// fixed grain — never the pool width — and within a partition items keep
+// ascending input order (the scatter walks chunks in input order and each
+// (chunk, partition) cell has a precomputed write cursor). The same input
+// therefore produces byte-identical RadixPartitions at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snapshot/table.h"
+#include "util/parallel.h"
+
+namespace spider {
+
+/// Items partitioned by the top `bits` of their 64-bit keys. `items` holds
+/// the caller's item ids grouped partition-major; `keys` holds each item's
+/// key at the same position, so consumers (e.g. the shard build in
+/// hash_index.cc) never re-derive hashes. `offsets` has 2^bits + 1 entries
+/// delimiting the partitions.
+struct RadixPartitions {
+  std::uint32_t bits = 0;
+  std::vector<std::uint32_t> items;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> offsets;
+
+  std::size_t partition_count() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+
+  std::span<const std::uint32_t> partition_items(std::size_t p) const {
+    return std::span<const std::uint32_t>(items).subspan(
+        offsets[p], offsets[p + 1] - offsets[p]);
+  }
+  std::span<const std::uint64_t> partition_keys(std::size_t p) const {
+    return std::span<const std::uint64_t>(keys).subspan(
+        offsets[p], offsets[p + 1] - offsets[p]);
+  }
+
+  /// Partition of `key`: its top `bits` bits. The top bits — not the low
+  /// bits — so the per-shard hash tables in hash_index.cc can keep using
+  /// low bits for slot selection without correlation between the two.
+  static std::size_t partition_of(std::uint64_t key, std::uint32_t bits) {
+    return bits == 0 ? 0 : static_cast<std::size_t>(key >> (64 - bits));
+  }
+};
+
+/// Partition count heuristic: aim for ~4K items per partition so a
+/// partition's hash shard (2x slots) stays cache-resident while one task
+/// builds it, clamped to [2, 1024] partitions.
+std::uint32_t radix_bits_for(std::size_t n);
+
+/// Fixed grain for the histogram and scatter passes. A constant for the
+/// same reason as kScanGrainRows: an adaptive grain would change the chunk
+/// layout with the pool width. (Layout here is thread-count-invariant by
+/// construction anyway — cursors are precomputed — but a fixed grain keeps
+/// the pass trivially auditable.)
+inline constexpr std::size_t kRadixGrainRows = 8192;
+
+/// Partitions items [0, n) by the top `bits` of key(i), keeping only items
+/// with keep(i). Two parallel passes: per-chunk histograms, then a scatter
+/// through precomputed (chunk, partition) cursors — no atomics, and within
+/// each partition items stay in ascending input order.
+template <typename KeyFn, typename KeepFn>
+RadixPartitions radix_partition(std::size_t n, std::uint32_t bits, KeyFn&& key,
+                                KeepFn&& keep, ThreadPool* pool = nullptr) {
+  RadixPartitions out;
+  out.bits = bits;
+  const std::size_t parts = std::size_t{1} << bits;
+  out.offsets.assign(parts + 1, 0);
+  if (n == 0) return out;
+
+  const std::size_t grain = kRadixGrainRows;
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  // Pass 1: per-chunk histogram, chunk-major so each chunk's counters are
+  // private (distinct bytes = distinct memory locations; no atomics).
+  std::vector<std::uint32_t> hist(chunks * parts, 0);
+  parallel_for_chunked(
+      n, grain,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint32_t* counts = hist.data() + (begin / grain) * parts;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!keep(i)) continue;
+          ++counts[RadixPartitions::partition_of(key(i), bits)];
+        }
+      },
+      pool);
+
+  // Serial partition-major prefix sum: hist cells become write cursors and
+  // offsets[] falls out for free. Partition p's slice holds chunk 0's items
+  // first, then chunk 1's, ... — ascending input order within the partition.
+  std::uint32_t total = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    out.offsets[p] = total;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::uint32_t count = hist[c * parts + p];
+      hist[c * parts + p] = total;
+      total += count;
+    }
+  }
+  out.offsets[parts] = total;
+
+  // Pass 2: scatter items and keys through the cursors.
+  out.items.resize(total);
+  out.keys.resize(total);
+  parallel_for_chunked(
+      n, grain,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint32_t* cursors = hist.data() + (begin / grain) * parts;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!keep(i)) continue;
+          const std::uint64_t k = key(i);
+          const std::uint32_t at =
+              cursors[RadixPartitions::partition_of(k, bits)]++;
+          out.items[at] = static_cast<std::uint32_t>(i);
+          out.keys[at] = k;
+        }
+      },
+      pool);
+  return out;
+}
+
+/// Partitions the regular-file rows of `table` by the top bits of the
+/// precomputed path hash — the shape the diff join consumes.
+RadixPartitions radix_partition_files(const SnapshotTable& table,
+                                      std::uint32_t bits,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace spider

@@ -23,6 +23,12 @@
 //     state that no one mutates during the scan (e.g. a membership set
 //     frozen since the previous merge) but must write only through its
 //     chunk state.
+//   * Within one chunk, kernels run in REGISTRATION ORDER on the same
+//     thread: kernel k observes chunk c only after kernels 0..k-1 have
+//     finished observing c. This is part of the contract — the study
+//     runner's fused diff kernel is registered first and publishes its
+//     per-chunk classification for sibling kernels to read during the
+//     same chunk visit (study/runner.cc).
 #pragma once
 
 #include <cstddef>

@@ -32,6 +32,9 @@ class AccessPatternsAnalyzer : public StudyAnalyzer {
   /// Week-level only: everything it reads comes from the shared diff (the
   /// runner adds the diff's columns), so no per-row scan work and no
   /// chunk state — the default merge() forwards to observe() once a week.
+  /// Merge-time reads are safe under the fused diff kernel too: the
+  /// kernel's merge runs first (registration order) and completes
+  /// obs.diff before this analyzer's merge sees it.
   ColumnMask columns_needed() const override { return kColMaskNone; }
   void observe(const WeekObservation& obs) override;
   void finish() override;

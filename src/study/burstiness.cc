@@ -1,6 +1,7 @@
 #include "study/burstiness.h"
 
 #include <algorithm>
+#include <span>
 #include <sstream>
 #include <unordered_map>
 
@@ -45,6 +46,18 @@ struct BurstinessChunk : ScanChunkState {
   std::unordered_map<std::uint32_t, StreamingStats> read_by_gid;
 };
 
+void accumulate_rows(const SnapshotTable& table,
+                     std::span<const std::uint32_t> rows, bool use_atime,
+                     std::int64_t window_start,
+                     std::unordered_map<std::uint32_t, StreamingStats>& by_gid) {
+  for (const std::uint32_t row : rows) {
+    const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
+    const double offset = static_cast<double>(t - window_start);
+    if (offset < 0) continue;  // moved-in files predating the window
+    by_gid[table.gid(row)].add(offset);
+  }
+}
+
 /// Accumulates the sub-range of `rows` falling in [begin, end) — the diff
 /// row lists are ascending, so the chunk's slice is a binary search away.
 void accumulate_range(const SnapshotTable& table,
@@ -56,13 +69,11 @@ void accumulate_range(const SnapshotTable& table,
                                    static_cast<std::uint32_t>(begin));
   const auto hi =
       std::lower_bound(lo, rows.end(), static_cast<std::uint32_t>(end));
-  for (auto it = lo; it != hi; ++it) {
-    const std::uint32_t row = *it;
-    const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
-    const double offset = static_cast<double>(t - window_start);
-    if (offset < 0) continue;  // moved-in files predating the window
-    by_gid[table.gid(row)].add(offset);
-  }
+  accumulate_rows(table,
+                  std::span<const std::uint32_t>(
+                      rows.data() + (lo - rows.begin()),
+                      static_cast<std::size_t>(hi - lo)),
+                  use_atime, window_start, by_gid);
 }
 
 }  // namespace
@@ -80,6 +91,18 @@ void BurstinessAnalyzer::observe_chunk(ScanChunkState* state,
   if (obs.snap->taken_at - obs.prev->taken_at > 8 * kSecondsPerDay) return;
   auto* chunk = static_cast<BurstinessChunk*>(state);
   const std::int64_t window_start = obs.prev->taken_at;
+  if (obs.diff_chunks != nullptr) {
+    // Fused diff: obs.diff is not assembled until merge time, but the
+    // diff kernel (registered ahead of us) has already classified exactly
+    // this chunk — its lists ARE our [begin, end) slice.
+    const DiffChunkRows* rows = obs.diff_chunks->chunk_rows(begin);
+    if (rows == nullptr) return;
+    accumulate_rows(obs.snap->table, rows->rows[DiffChunkRows::kNew],
+                    /*use_atime=*/false, window_start, chunk->write_by_gid);
+    accumulate_rows(obs.snap->table, rows->rows[DiffChunkRows::kReadonly],
+                    /*use_atime=*/true, window_start, chunk->read_by_gid);
+    return;
+  }
   accumulate_range(obs.snap->table, obs.diff->new_rows, /*use_atime=*/false,
                    window_start, begin, end, chunk->write_by_gid);
   accumulate_range(obs.snap->table, obs.diff->readonly_rows,

@@ -1,11 +1,15 @@
 #include "study/runner.h"
 
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "engine/hash_index.h"
 
 namespace spider {
 
@@ -46,12 +50,90 @@ class AnalyzerKernel : public ScanKernel {
 /// fully materialized source (stable_snapshots() == true). Either way,
 /// retaining the previous week is a move of this struct — the O(n)
 /// per-week deep copy of the old runner is gone.
+///
+/// In fused-diff mode the week's partitioned index rides along: it is
+/// built on the visiting thread right after decode, so with prefetch on
+/// the build of week N's index overlaps week N-1's analysis, and by the
+/// time week N becomes `prev` its build side is already up. The index
+/// stores no table pointer (moving this struct relocates `owned`), so the
+/// move is safe.
 struct PendingWeek {
   std::size_t week = 0;
   Snapshot owned;
   const Snapshot* view = nullptr;
+  std::unique_ptr<PartitionedPathIndex> index;
 
   const Snapshot& snap() const { return view ? *view : owned; }
+};
+
+/// The diff as a scan kernel (DESIGN.md §11): registered FIRST, so within
+/// every chunk its probe runs before any analyzer observes the same rows,
+/// and sibling kernels may read the chunk's classification through the
+/// DiffChunkProvider interface. merge_chunks assembles the week's
+/// DiffResult (serial, chunk-ordered) before any analyzer's merge runs —
+/// merge-time consumers of obs.diff see the complete result.
+class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
+ public:
+  /// Arms the kernel for one week (null index = inactive week: no diff).
+  /// Must be called before every scan — it also resets the chunk registry.
+  void set_week(const PartitionedPathIndex* index, const SnapshotTable* prev,
+                DiffResult* out, ThreadPool* pool, std::size_t grain) {
+    index_ = index;
+    prev_ = prev;
+    out_ = out;
+    pool_ = pool;
+    grain_ = grain == 0 ? kScanGrainRows : grain;
+    chunk_rows_.clear();
+    if (index_ != nullptr && index_->size() > 0) {
+      // Value-initialization zeroes the atomics (C++20).
+      matched_.reset(new std::atomic<std::uint8_t>[index_->size()]());
+    } else {
+      matched_.reset();
+    }
+  }
+
+  std::unique_ptr<ScanChunkState> make_chunk_state() const override {
+    if (index_ == nullptr) return nullptr;
+    auto state = std::make_unique<DiffKernelChunk>();
+    // make_chunk_state runs serially in chunk order before the scan, so
+    // the registry index equals the chunk index.
+    chunk_rows_.push_back(&state->rows);
+    return state;
+  }
+
+  void observe_chunk(ScanChunkState* state, const SnapshotTable& cur,
+                     std::size_t begin, std::size_t end) override {
+    if (index_ == nullptr) return;
+    diff_probe_range(*index_, *prev_, cur, begin, end, matched_.get(),
+                     &static_cast<DiffKernelChunk*>(state)->rows);
+  }
+
+  void merge_chunks(const SnapshotTable& cur, ScanStateList) override {
+    if (index_ == nullptr) return;
+    diff_finalize(index_->file_rows(), matched_.get(),
+                  std::span<const DiffChunkRows* const>(chunk_rows_), pool_,
+                  out_);
+    out_->prev_files = index_->size();
+    out_->cur_files = cur.file_count();
+  }
+
+  const DiffChunkRows* chunk_rows(std::size_t begin) const override {
+    const std::size_t chunk = begin / grain_;
+    return chunk < chunk_rows_.size() ? chunk_rows_[chunk] : nullptr;
+  }
+
+ private:
+  struct DiffKernelChunk : ScanChunkState {
+    DiffChunkRows rows;
+  };
+
+  const PartitionedPathIndex* index_ = nullptr;
+  const SnapshotTable* prev_ = nullptr;
+  DiffResult* out_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  std::size_t grain_ = kScanGrainRows;
+  mutable std::vector<const DiffChunkRows*> chunk_rows_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> matched_;
 };
 
 }  // namespace
@@ -68,11 +150,17 @@ void run_study(SnapshotSource& source,
   if (need_diff) columns |= kDiffColumns;
   source.set_columns(columns);
 
+  const bool fuse = need_diff && options.fuse_diff;
+
   std::vector<AnalyzerKernel> kernels;
   kernels.reserve(analyzers.size());
   for (StudyAnalyzer* analyzer : analyzers) kernels.emplace_back(analyzer);
+  DiffScanKernel diff_kernel;
   std::vector<ScanKernel*> kernel_ptrs;
-  kernel_ptrs.reserve(kernels.size());
+  kernel_ptrs.reserve(kernels.size() + 1);
+  // The diff kernel must be first: sibling kernels read its per-chunk
+  // output during the scan (see DiffChunkProvider).
+  if (fuse) kernel_ptrs.push_back(&diff_kernel);
   for (AnalyzerKernel& kernel : kernels) kernel_ptrs.push_back(&kernel);
 
   ScanOptions scan_options;
@@ -93,8 +181,18 @@ void run_study(SnapshotSource& source,
     obs.gap_before = have_prev && cur.week != last_week + 1;
 
     DiffResult diff;
-    if (need_diff && have_prev && !obs.gap_before) {
-      diff = diff_snapshots(prev.snap().table, cur.snap().table);
+    const bool diff_active = need_diff && have_prev && !obs.gap_before;
+    if (fuse) {
+      diff_kernel.set_week(diff_active ? prev.index.get() : nullptr,
+                           diff_active ? &prev.snap().table : nullptr,
+                           diff_active ? &diff : nullptr, options.pool,
+                           options.grain);
+      if (diff_active) {
+        obs.diff = &diff;
+        obs.diff_chunks = &diff_kernel;
+      }
+    } else if (diff_active) {
+      diff = diff_snapshots(prev.snap().table, cur.snap().table, options.pool);
       obs.diff = &diff;
     }
 
@@ -107,16 +205,29 @@ void run_study(SnapshotSource& source,
   };
 
   const bool stable = source.stable_snapshots();
-  auto make_pending_const = [](std::size_t week, const Snapshot& snap) {
+  // In fused mode every decoded week gets its partitioned index here, on
+  // the visiting thread: the week is the NEXT diff's build side, and with
+  // prefetch on this build overlaps the current week's analysis. (The
+  // mutex hand-off of the prefetch slot sequences the build before any
+  // probe of it.)
+  auto attach_index = [&](PendingWeek& pending) {
+    if (fuse) {
+      pending.index = std::make_unique<PartitionedPathIndex>(
+          pending.snap().table, options.pool);
+    }
+  };
+  auto make_pending_const = [&](std::size_t week, const Snapshot& snap) {
     PendingWeek pending;
     pending.week = week;
     pending.view = &snap;
+    attach_index(pending);
     return pending;
   };
-  auto make_pending_move = [](std::size_t week, Snapshot&& snap) {
+  auto make_pending_move = [&](std::size_t week, Snapshot&& snap) {
     PendingWeek pending;
     pending.week = week;
     pending.owned = std::move(snap);
+    attach_index(pending);
     return pending;
   };
 

@@ -3,10 +3,12 @@
 // each week is ONE shared parallel scan feeding every analyzer at once:
 // the runner computes the union column projection, pushes it into the
 // source, computes the adjacent-snapshot diff once for all diff-based
-// analyzers, and drives all analyzers' chunk kernels over the table via
-// engine/scan. Decode of week N+1 overlaps analysis of week N (a depth-1
-// double buffer), and the previous week is retained by move or stable
-// pointer — never by deep copy.
+// analyzers — by default as a kernel fused into the same scan, probing a
+// radix-partitioned index built during the decode slot (DESIGN.md §11) —
+// and drives all analyzers' chunk kernels over the table via engine/scan.
+// Decode of week N+1 overlaps analysis of week N (a depth-1 double
+// buffer), and the previous week is retained by move or stable pointer —
+// never by deep copy.
 //
 // Determinism: chunk layout depends only on the row count and grain, and
 // every analyzer's merge() folds chunk states in chunk order, so all
@@ -22,11 +24,32 @@
 
 namespace spider {
 
+/// Read-only view of the fused diff kernel's per-chunk classification.
+/// scan_table runs kernels in registration order within a chunk and the
+/// diff kernel is registered first, so when any analyzer's observe_chunk
+/// sees rows [begin, end), the DiffChunkRows for that same range is
+/// already complete and safe to read from the same thread.
+class DiffChunkProvider {
+ public:
+  /// The classification of the chunk whose row range starts at `begin`,
+  /// or null when no diff is active this week.
+  virtual const DiffChunkRows* chunk_rows(std::size_t begin) const = 0;
+
+ protected:
+  ~DiffChunkProvider() = default;
+};
+
 struct WeekObservation {
   std::size_t week = 0;  // slot index in the series timeline (may skip)
   const Snapshot* snap = nullptr;
   const Snapshot* prev = nullptr;  // null on the first snapshot
   const DiffResult* diff = nullptr;  // null unless requested & prev exists
+  /// Non-null only while the fused diff kernel is active
+  /// (StudyOptions::fuse_diff): analyzers that consume diff rows inside
+  /// observe_chunk must read their chunk's slice through this — in fused
+  /// mode `diff` is only complete by merge() time. Merge-time readers can
+  /// keep using `diff` unchanged.
+  const DiffChunkProvider* diff_chunks = nullptr;
   /// True when one or more slots between `prev` and `snap` are gaps
   /// (missing or corrupt weeks). The runner does not compute a diff
   /// across a gap — it would span several collection intervals and
@@ -109,6 +132,13 @@ struct StudyOptions {
   /// analyzes week N. Analysis order and results are unchanged; off is
   /// useful for debugging and single-threaded profiling.
   bool prefetch = true;
+  /// Compute the weekly diff as a kernel fused into the shared scan: the
+  /// radix-partitioned index over week N is built right after N's decode
+  /// (overlapping week N-1's analysis when prefetch is on), and the probe
+  /// rides the same morsels as the analyzers instead of a separate full
+  /// pass over the current table. Results are bit-identical either way;
+  /// off preserves the standalone diff_snapshots reference path.
+  bool fuse_diff = true;
 };
 
 /// Streams `source` through all analyzers. The diff (when any analyzer

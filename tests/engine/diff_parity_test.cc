@@ -1,0 +1,244 @@
+// Join-strategy parity: the hash, sort-merge, and partitioned diff joins
+// must produce byte-identical DiffResults on the same snapshot pair, at
+// every thread count, including the degenerate weeks (empty, all-new,
+// all-deleted, dirs-only) and pairs engineered so many paths share the
+// top 16 bits of their hash — the partition selector AND the shard
+// fingerprint's neighborhood, the worst case for the partitioned probe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/diff.h"
+#include "snapshot/table.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+RawRecord file_record(const std::string& path, std::int64_t atime,
+                      std::int64_t ctime, std::int64_t mtime) {
+  RawRecord rec;
+  rec.path = path;
+  rec.atime = atime;
+  rec.ctime = ctime;
+  rec.mtime = mtime;
+  rec.mode = kModeRegular | 0664;
+  return rec;
+}
+
+RawRecord dir_record(const std::string& path) {
+  RawRecord rec;
+  rec.path = path;
+  rec.mode = kModeDirectory | 0775;
+  return rec;
+}
+
+struct SnapshotPair {
+  SnapshotTable prev;
+  SnapshotTable cur;
+};
+
+/// A realistic pair: prev has files and directories; cur deletes ~10%,
+/// touches ~15% (readonly), rewrites ~10% (updated), keeps the rest
+/// untouched, and adds ~15% new paths.
+SnapshotPair random_pair(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  SnapshotPair pair;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string path =
+        "/lustre/atlas2/prj" + std::to_string(i % 37) + "/u/f" +
+        std::to_string(i);
+    if (i % 29 == 0) {
+      const std::string dir = "/lustre/atlas2/prj" + std::to_string(i);
+      pair.prev.add(dir_record(dir));
+      pair.cur.add(dir_record(dir));
+      continue;
+    }
+    const std::int64_t atime = 1000 + static_cast<std::int64_t>(
+                                          rng.uniform_u64(1'000'000));
+    const std::int64_t ctime = atime - static_cast<std::int64_t>(
+                                           rng.uniform_u64(1000));
+    const std::int64_t mtime = ctime;
+    pair.prev.add(file_record(path, atime, ctime, mtime));
+    const double roll = rng.uniform();
+    if (roll < 0.10) continue;  // deleted
+    if (roll < 0.25) {          // readonly: only atime moves
+      pair.cur.add(file_record(path, atime + 777, ctime, mtime));
+    } else if (roll < 0.35) {   // updated
+      pair.cur.add(file_record(path, atime + 5, ctime + 5, mtime + 5));
+    } else {                    // untouched
+      pair.cur.add(file_record(path, atime, ctime, mtime));
+    }
+  }
+  const std::size_t fresh = n / 7 + 1;
+  for (std::size_t i = 0; i < fresh; ++i) {
+    pair.cur.add(file_record("/lustre/atlas2/new/f" + std::to_string(i),
+                             2'000'000, 2'000'000, 2'000'000));
+  }
+  return pair;
+}
+
+/// A pair whose file paths are drawn from hash buckets sharing the top 16
+/// bits, so hundreds of keys land in the same radix partition and collide
+/// on the fingerprint's high half. Found by scanning candidates; fully
+/// deterministic.
+SnapshotPair collision_pair(std::uint64_t seed) {
+  std::unordered_map<std::uint16_t, std::vector<std::string>> buckets;
+  std::vector<std::string> cluster;
+  for (std::size_t i = 0; i < 150'000 && cluster.size() < 400; ++i) {
+    std::string path = "/lustre/atlas2/c/f" + std::to_string(i);
+    const auto top = static_cast<std::uint16_t>(hash_bytes(path) >> 48);
+    auto& bucket = buckets[top];
+    bucket.push_back(std::move(path));
+    if (bucket.size() >= 3) {
+      for (auto& p : bucket) cluster.push_back(std::move(p));
+      bucket.clear();
+    }
+  }
+  EXPECT_GE(cluster.size(), 100u) << "collision scan found too few clusters";
+
+  Rng rng(seed);
+  SnapshotPair pair;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const std::int64_t t = 5000 + static_cast<std::int64_t>(i);
+    pair.prev.add(file_record(cluster[i], t, t, t));
+    const double roll = rng.uniform();
+    if (roll < 0.2) continue;                                   // deleted
+    if (roll < 0.4) pair.cur.add(file_record(cluster[i], t + 9, t, t));
+    else if (roll < 0.6) pair.cur.add(file_record(cluster[i], t, t + 9, t + 9));
+    else pair.cur.add(file_record(cluster[i], t, t, t));
+  }
+  // A few filler rows so the tables aren't purely the pathological cluster.
+  for (std::size_t i = 0; i < 500; ++i) {
+    const std::string path = "/lustre/atlas2/fill/f" + std::to_string(i);
+    pair.prev.add(file_record(path, 1, 1, 1));
+    if (i % 3 != 0) pair.cur.add(file_record(path, 1, 1, 1));
+  }
+  for (std::size_t i = 0; i < 200; ++i) {
+    pair.cur.add(file_record("/lustre/atlas2/cnew/f" + std::to_string(i),
+                             7, 7, 7));
+  }
+  return pair;
+}
+
+SnapshotPair make_profile(const std::string& profile, std::uint64_t seed) {
+  if (profile == "random") return random_pair(seed, 6000);
+  if (profile == "collisions") return collision_pair(seed);
+  if (profile == "both_empty") return {};
+  SnapshotPair pair;
+  if (profile == "all_new") {
+    // prev holds only directories; every cur file is new.
+    for (int i = 0; i < 50; ++i) {
+      pair.prev.add(dir_record("/lustre/atlas2/d" + std::to_string(i)));
+    }
+    for (int i = 0; i < 3000; ++i) {
+      pair.cur.add(file_record("/lustre/atlas2/n/f" + std::to_string(i),
+                               i, i, i));
+    }
+    return pair;
+  }
+  if (profile == "all_deleted") {
+    for (int i = 0; i < 3000; ++i) {
+      pair.prev.add(file_record("/lustre/atlas2/g/f" + std::to_string(i),
+                               i, i, i));
+    }
+    for (int i = 0; i < 50; ++i) {
+      pair.cur.add(dir_record("/lustre/atlas2/d" + std::to_string(i)));
+    }
+    return pair;
+  }
+  if (profile == "dirs_only") {
+    for (int i = 0; i < 200; ++i) {
+      const std::string dir = "/lustre/atlas2/d" + std::to_string(i);
+      pair.prev.add(dir_record(dir));
+      pair.cur.add(dir_record(dir + "/sub"));
+    }
+    return pair;
+  }
+  ADD_FAILURE() << "unknown profile " << profile;
+  return pair;
+}
+
+void expect_equal(const DiffResult& got, const DiffResult& want,
+                  const std::string& label) {
+  EXPECT_EQ(got.new_rows, want.new_rows) << label;
+  EXPECT_EQ(got.readonly_rows, want.readonly_rows) << label;
+  EXPECT_EQ(got.updated_rows, want.updated_rows) << label;
+  EXPECT_EQ(got.untouched_rows, want.untouched_rows) << label;
+  EXPECT_EQ(got.deleted_rows, want.deleted_rows) << label;
+  EXPECT_EQ(got.prev_files, want.prev_files) << label;
+  EXPECT_EQ(got.cur_files, want.cur_files) << label;
+}
+
+class DiffParityTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DiffParityTest, StrategiesAgreeAtEveryThreadCount) {
+  const std::string profile = GetParam();
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    const SnapshotPair pair = make_profile(profile, seed);
+    ThreadPool reference_pool(1);
+    const DiffResult reference =
+        diff_snapshots(pair.prev, pair.cur, &reference_pool);
+
+    expect_equal(diff_snapshots_sortmerge(pair.prev, pair.cur), reference,
+                 profile + "/sortmerge seed=" + std::to_string(seed));
+
+    for (const unsigned threads : {1u, 2u, 7u, 0u}) {  // 0 = hardware
+      ThreadPool pool(threads);
+      const std::string label = profile + " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+      expect_equal(diff_snapshots(pair.prev, pair.cur, &pool), reference,
+                   "hash " + label);
+      expect_equal(diff_snapshots_partitioned(pair.prev, pair.cur, &pool),
+                   reference, "partitioned " + label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, DiffParityTest,
+                         testing::Values("random", "collisions", "both_empty",
+                                         "all_new", "all_deleted",
+                                         "dirs_only"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(DiffStrategyDispatchTest, WithSelectsEachStrategy) {
+  const SnapshotPair pair = random_pair(5, 1500);
+  ThreadPool pool(2);
+  const DiffResult reference = diff_snapshots(pair.prev, pair.cur, &pool);
+  expect_equal(
+      diff_snapshots_with(DiffStrategy::kHash, pair.prev, pair.cur, &pool),
+      reference, "with/hash");
+  expect_equal(diff_snapshots_with(DiffStrategy::kSortMerge, pair.prev,
+                                   pair.cur, &pool),
+               reference, "with/sortmerge");
+  expect_equal(diff_snapshots_with(DiffStrategy::kPartitioned, pair.prev,
+                                   pair.cur, &pool),
+               reference, "with/partitioned");
+}
+
+TEST(DiffBreakdownTest, PhasesAreRecordedForEveryStrategy) {
+  const SnapshotPair pair = random_pair(9, 2000);
+  ThreadPool pool(2);
+  for (const DiffStrategy strategy :
+       {DiffStrategy::kHash, DiffStrategy::kSortMerge,
+        DiffStrategy::kPartitioned}) {
+    DiffBreakdown breakdown;
+    const DiffResult result =
+        diff_snapshots_with(strategy, pair.prev, pair.cur, &pool, &breakdown);
+    EXPECT_GT(result.prev_files, 0u);
+    EXPECT_GE(breakdown.build_s, 0.0);
+    EXPECT_GE(breakdown.probe_s, 0.0);
+    EXPECT_GE(breakdown.sweep_s, 0.0);
+    EXPECT_GT(breakdown.build_s + breakdown.probe_s + breakdown.sweep_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -116,6 +116,41 @@ TEST_F(ScanDeterminismTest, BundleIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(ScanDeterminismTest, FusedDiffKernelMatchesStandaloneDiff) {
+  // Unfused reference: fuse_diff=false computes each week's diff with the
+  // standalone diff_snapshots call after the scan, exactly the pre-fusion
+  // pipeline. The fused kernel (diff as a scan kernel, index built in the
+  // prefetch slot) must reproduce it byte-for-byte at every width.
+  ThreadPool one(1);
+  StudyOptions ref_options;
+  ref_options.pool = &one;
+  ref_options.prefetch = false;
+  ref_options.fuse_diff = false;
+  const std::string reference = run_bundle(*series_, *resolver_, ref_options);
+  ASSERT_GT(reference.size(), 1000u);
+
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    for (const bool prefetch : {false, true}) {
+      ThreadPool pool(threads);
+      StudyOptions options;
+      options.pool = &pool;
+      options.prefetch = prefetch;
+      options.fuse_diff = true;
+      EXPECT_EQ(run_bundle(*series_, *resolver_, options), reference)
+          << "fused threads=" << threads << " prefetch=" << prefetch;
+    }
+  }
+
+  // And switching fusion off at a non-trivial width changes nothing either.
+  ThreadPool pool(7);
+  StudyOptions options;
+  options.pool = &pool;
+  options.prefetch = true;
+  options.fuse_diff = false;
+  EXPECT_EQ(run_bundle(*series_, *resolver_, options), reference)
+      << "unfused threads=7";
+}
+
 TEST_F(ScanDeterminismTest, SmallGrainsForceManyChunks) {
   // A tiny grain makes every table span hundreds of chunks, exercising the
   // ordered merge far beyond what kScanGrainRows does at test scale.
