@@ -8,6 +8,7 @@
 
 #include "engine/agg.h"
 #include "engine/diff.h"
+#include "groupby_strategies.h"
 #include "engine/hash_index.h"
 #include "engine/u64set.h"
 #include "graph/components.h"
@@ -208,6 +209,52 @@ void BM_GroupByExtension(benchmark::State& state) {
                           static_cast<std::int64_t>(t.size()));
 }
 BENCHMARK(BM_GroupByExtension);
+
+// The seed's string group-by, vendored in groupby_strategies.h — the
+// frozen baseline the flat/dictionary rows are measured against.
+void BM_GroupByExtensionLegacy(benchmark::State& state) {
+  const SnapshotTable& t = fixture_table();
+  for (auto _ : state) {
+    const auto counts = bench::legacy_group_by_extension(t, nullptr);
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_GroupByExtensionLegacy);
+
+void BM_GroupByExtensionDict(benchmark::State& state) {
+  const SnapshotTable& t = fixture_table();
+  for (auto _ : state) {
+    const auto counts = bench::dict_group_by_extension(t, nullptr);
+    benchmark::DoNotOptimize(counts.dict.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_GroupByExtensionDict);
+
+void BM_GroupByU64Legacy(benchmark::State& state) {
+  const SnapshotTable& t = fixture_table();
+  for (auto _ : state) {
+    const auto counts = bench::legacy_group_by_gid(t, nullptr);
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_GroupByU64Legacy);
+
+void BM_GroupByU64Flat(benchmark::State& state) {
+  const SnapshotTable& t = fixture_table();
+  for (auto _ : state) {
+    const auto counts = bench::flat_group_by_gid(t, nullptr);
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_GroupByU64Flat);
 
 void BM_DistinctInsert(benchmark::State& state) {
   const SnapshotTable& t = fixture_table();

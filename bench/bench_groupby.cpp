@@ -1,0 +1,187 @@
+// Group-by aggregation benchmark: the flat aggregation layer (DESIGN.md
+// §12) versus the PRE-REWRITE std::unordered_map path, vendored in
+// groupby_strategies.h as `legacy` so the baseline doesn't move when the
+// library improves.
+//
+// Two key shapes over one generated weekly snapshot:
+//   * string keys (file extensions) — legacy unordered_map<std::string>
+//     versus the dictionary-encoded path (per-chunk StringDict + dense
+//     count vectors, ordered merge);
+//   * 64-bit keys (gids) — legacy unordered_map<uint64_t> versus
+//     FlatCountMap with the radix-partitioned merge.
+//
+// Every run is checked against the legacy 1-thread reference counts
+// before any number is reported, and the results land in
+// BENCH_groupby.json.
+//
+// Flags: --scale (default 2e-4), --seed, --reps=<n> best-of-n (default
+// 5), --out=<path> for the JSON.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "groupby_strategies.h"
+#include "synth/generator.h"
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace spider;
+using namespace spider::bench;
+
+struct Timing {
+  double seconds = 1e300;
+  bool identical = true;
+};
+
+/// Best-of-`reps` wall time; every rep's counts must canonicalize to the
+/// reference exactly.
+template <typename Fn, typename Canonical>
+Timing time_strategy(int reps, const Canonical& reference, Fn&& fn) {
+  Timing best;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = fn();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (canonical(result) != reference) best.identical = false;
+    best.seconds = std::min(best.seconds, elapsed);
+  }
+  return best;
+}
+
+std::string ms(double seconds) { return format_double(1000.0 * seconds, 2); }
+
+struct Setting {
+  unsigned threads;
+  Timing legacy_string, dict_string, legacy_u64, flat_u64;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 2e-4);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 20150105));
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 5)));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("== Group-by aggregation — flat/dictionary layer vs legacy ==\n");
+  std::printf(
+      "one generated weekly snapshot; legacy = vendored seed "
+      "unordered_map path; best of %d rep(s)\n\n",
+      reps);
+
+  FacilityConfig config;
+  config.scale = scale;
+  config.weeks = 1;
+  config.seed = seed;
+  config.maintenance_gaps = false;
+  FacilityGenerator generator(config);
+  std::vector<Snapshot> snaps;
+  generator.visit_move(
+      [&](std::size_t, Snapshot&& snap) { snaps.push_back(std::move(snap)); });
+  if (snaps.empty()) {
+    std::fprintf(stderr, "generator produced no snapshots\n");
+    return 1;
+  }
+  const SnapshotTable& t = snaps[0].table;
+
+  // The bit-identity yardstick for every strategy at every thread count.
+  ThreadPool one(1);
+  const auto string_reference =
+      canonical(legacy_group_by_extension(t, &one));
+  const auto u64_reference = canonical(legacy_group_by_gid(t, &one));
+
+  std::printf("scale %g: %s rows, %s files, %zu distinct extensions, %zu "
+              "distinct gids\n",
+              scale, format_with_commas(t.size()).c_str(),
+              format_with_commas(t.file_count()).c_str(),
+              string_reference.size(), u64_reference.size());
+
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  bool identical = true;
+  std::vector<Setting> settings;
+  AsciiTable table(
+      {"threads", "keys", "legacy ms", "flat ms", "speedup"});
+  for (const unsigned threads : thread_counts) {
+    ThreadPool pool(threads);
+    Setting setting;
+    setting.threads = threads;
+
+    setting.legacy_string = time_strategy(reps, string_reference, [&] {
+      return legacy_group_by_extension(t, &pool);
+    });
+    setting.dict_string = time_strategy(reps, string_reference, [&] {
+      return dict_group_by_extension(t, &pool);
+    });
+    setting.legacy_u64 = time_strategy(
+        reps, u64_reference, [&] { return legacy_group_by_gid(t, &pool); });
+    setting.flat_u64 = time_strategy(
+        reps, u64_reference, [&] { return flat_group_by_gid(t, &pool); });
+
+    identical = identical && setting.legacy_string.identical &&
+                setting.dict_string.identical && setting.legacy_u64.identical &&
+                setting.flat_u64.identical;
+
+    table.add_row({std::to_string(threads), "string (ext)",
+                   ms(setting.legacy_string.seconds),
+                   ms(setting.dict_string.seconds),
+                   format_double(setting.legacy_string.seconds /
+                                     setting.dict_string.seconds,
+                                 2) +
+                       "x"});
+    table.add_row({std::to_string(threads), "u64 (gid)",
+                   ms(setting.legacy_u64.seconds),
+                   ms(setting.flat_u64.seconds),
+                   format_double(setting.legacy_u64.seconds /
+                                     setting.flat_u64.seconds,
+                                 2) +
+                       "x"});
+    settings.push_back(setting);
+  }
+  table.print(std::cout);
+  std::printf("count-identity self-check: %s\n\n",
+              identical ? "ok (all strategies, all thread counts)" : "FAILED");
+  if (!identical) return 1;
+
+  const std::string json_path = args.get("out", "BENCH_groupby.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"reps\": " << reps << ",\n  \"hardware_threads\": " << hw
+       << ",\n  \"scale\": " << scale << ",\n  \"rows\": " << t.size()
+       << ",\n  \"files\": " << t.file_count()
+       << ",\n  \"distinct_extensions\": " << string_reference.size()
+       << ",\n  \"distinct_gids\": " << u64_reference.size()
+       << ",\n  \"bit_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"settings\": [\n";
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const Setting& s = settings[i];
+    json << "    {\"threads\": " << s.threads
+         << ", \"string_legacy_ms\": " << 1000.0 * s.legacy_string.seconds
+         << ", \"string_dict_ms\": " << 1000.0 * s.dict_string.seconds
+         << ", \"speedup_dict_vs_legacy\": "
+         << s.legacy_string.seconds / s.dict_string.seconds
+         << ", \"u64_legacy_ms\": " << 1000.0 * s.legacy_u64.seconds
+         << ", \"u64_flat_ms\": " << 1000.0 * s.flat_u64.seconds
+         << ", \"speedup_flat_vs_legacy\": "
+         << s.legacy_u64.seconds / s.flat_u64.seconds << "}"
+         << (i + 1 < settings.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Group-by strategies shared by bench_groupby and the bench_engine_micro
+// BM_GroupBy* rows.
+//
+// The `legacy_*` functions are VENDORED copies of the seed's aggregation
+// path — per-row std::string key construction into std::unordered_map
+// partials, folded with the seed's sum-reserving merge — frozen here so
+// the baseline can never inherit the flat aggregation layer (same
+// discipline as LegacySeedPathIndex in bench_diff.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/agg.h"
+#include "engine/dict.h"
+#include "snapshot/record.h"
+#include "snapshot/table.h"
+#include "util/parallel.h"
+
+namespace spider::bench {
+
+using LegacyStringCounts = std::unordered_map<std::string, std::uint64_t>;
+using LegacyU64Counts = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+inline std::size_t seed_grain(std::size_t n, ThreadPool* pool) {
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  const std::size_t width = std::max(1u, p.size());
+  return std::max<std::size_t>(kGrainMin, (n + width - 1) / width);
+}
+
+/// Frozen seed string group-by: one unordered_map partial per pool-width
+/// chunk, a freshly constructed std::string key per row, and the seed's
+/// sum-reserving copy merge of the partials in chunk order.
+inline LegacyStringCounts legacy_group_by_extension(const SnapshotTable& t,
+                                                    ThreadPool* pool) {
+  const std::size_t n = t.size();
+  const std::size_t grain = seed_grain(n, pool);
+  std::vector<LegacyStringCounts> partials(n == 0 ? 0
+                                                  : (n + grain - 1) / grain);
+  parallel_for_chunked(
+      n, grain,
+      [&](std::size_t begin, std::size_t end) {
+        LegacyStringCounts& acc = partials[begin / grain];
+        for (std::size_t row = begin; row < end; ++row) {
+          if (!t.is_dir(row)) {
+            acc[std::string(path_extension(t.path(row)))] += 1;
+          }
+        }
+      },
+      pool);
+  LegacyStringCounts result;
+  for (const LegacyStringCounts& partial : partials) {
+    result.reserve(result.size() + partial.size());  // the seed's sum-reserve
+    for (const auto& [key, count] : partial) result[key] += count;
+  }
+  return result;
+}
+
+/// Frozen seed 64-bit group-by (gid keys), same shape as the string path.
+inline LegacyU64Counts legacy_group_by_gid(const SnapshotTable& t,
+                                           ThreadPool* pool) {
+  const std::size_t n = t.size();
+  const std::size_t grain = seed_grain(n, pool);
+  std::vector<LegacyU64Counts> partials(n == 0 ? 0 : (n + grain - 1) / grain);
+  parallel_for_chunked(
+      n, grain,
+      [&](std::size_t begin, std::size_t end) {
+        LegacyU64Counts& acc = partials[begin / grain];
+        for (std::size_t row = begin; row < end; ++row) {
+          if (!t.is_dir(row)) acc[t.gid(row)] += 1;
+        }
+      },
+      pool);
+  LegacyU64Counts result;
+  for (const LegacyU64Counts& partial : partials) {
+    result.reserve(result.size() + partial.size());
+    for (const auto& [key, count] : partial) result[key] += count;
+  }
+  return result;
+}
+
+/// Dictionary-encoded group-by result: `counts[id]` for ids of `dict`.
+struct DictCounts {
+  StringDict dict;
+  std::vector<std::uint64_t> counts;
+};
+
+/// The flat tier's string group-by (the extensions analyzer's discipline):
+/// each chunk interns into a private StringDict and counts dense u32 ids
+/// in a plain vector; partials fold in chunk order by re-interning names
+/// into the global dictionary.
+inline DictCounts dict_group_by_extension(const SnapshotTable& t,
+                                          ThreadPool* pool) {
+  struct Part {
+    StringDict dict;
+    std::vector<std::uint64_t> counts;
+  };
+  const std::size_t n = t.size();
+  const std::size_t grain = seed_grain(n, pool);
+  std::vector<Part> parts(n == 0 ? 0 : (n + grain - 1) / grain);
+  parallel_for_chunked(
+      n, grain,
+      [&](std::size_t begin, std::size_t end) {
+        Part& part = parts[begin / grain];
+        // Snapshot rows are path-sorted, so runs of files share an
+        // extension; memoizing the previous one skips the hash + probe.
+        std::string_view last_ext;
+        std::uint32_t last_id = 0;
+        bool have_last = false;
+        for (std::size_t row = begin; row < end; ++row) {
+          if (t.is_dir(row)) continue;
+          const std::string_view ext = path_extension(t.path(row));
+          if (!have_last || ext != last_ext) {
+            last_id = part.dict.intern(ext);
+            last_ext = ext;  // views the table's storage — stays valid
+            have_last = true;
+            if (last_id == part.counts.size()) part.counts.push_back(0);
+          }
+          ++part.counts[last_id];
+        }
+      },
+      pool);
+  DictCounts out;
+  for (const Part& part : parts) {
+    for (std::uint32_t lid = 0; lid < part.dict.size(); ++lid) {
+      const std::uint32_t gid = out.dict.intern(part.dict.name(lid));
+      if (gid == out.counts.size()) out.counts.push_back(0);
+      out.counts[gid] += part.counts[lid];
+    }
+  }
+  return out;
+}
+
+/// The flat tier's 64-bit group-by: per-chunk FlatCountMap partials folded
+/// by the radix-partitioned merge (engine/agg.h).
+inline FlatCountMapRaw flat_group_by_gid(const SnapshotTable& t,
+                                         ThreadPool* pool) {
+  return parallel_count_flat<FingerprintKeyMix>(
+      t.size(),
+      [&t](std::size_t row, auto emit) {
+        if (!t.is_dir(row)) emit(t.gid(row), 1);
+      },
+      pool, seed_grain(t.size(), pool));
+}
+
+/// Canonical (key, count) form for the bit-identity self-checks.
+inline std::vector<std::pair<std::string, std::uint64_t>> canonical(
+    const LegacyStringCounts& counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> entries(counts.begin(),
+                                                             counts.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+inline std::vector<std::pair<std::string, std::uint64_t>> canonical(
+    const DictCounts& counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  entries.reserve(counts.dict.size());
+  for (std::uint32_t id = 0; id < counts.dict.size(); ++id) {
+    entries.emplace_back(std::string(counts.dict.name(id)), counts.counts[id]);
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+inline std::vector<std::pair<std::uint64_t, std::uint64_t>> canonical(
+    const LegacyU64Counts& counts) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(counts.begin(),
+                                                               counts.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+inline std::vector<std::pair<std::uint64_t, std::uint64_t>> canonical(
+    const FlatCountMapRaw& counts) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(counts.size());
+  counts.for_each([&entries](std::uint64_t key, std::uint64_t count) {
+    entries.emplace_back(key, count);
+  });
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace spider::bench

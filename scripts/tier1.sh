@@ -6,8 +6,8 @@
 #   scripts/tier1.sh
 #
 # The sanitizer passes are scoped rather than suite-wide to keep the gate
-# fast: ASan+UBSan covers the ingest/robustness tests, TSan covers the
-# parallel scan/runner/full-study tests. SPIDER_SANITIZE=ON (address) or
+# fast: ASan+UBSan covers the ingest/robustness and aggregation tests,
+# TSan covers the parallel scan/runner/aggregation-merge tests. SPIDER_SANITIZE=ON (address) or
 # SPIDER_SANITIZE=thread works on any target if a full sanitized run is
 # wanted.
 set -euo pipefail
@@ -28,10 +28,11 @@ cmake -B build-asan -S . -DSPIDER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}" --target \
     snapshot_fault_injection_test snapshot_scol_test snapshot_scol_v2_test \
     snapshot_psv_test snapshot_psv_fuzz_test snapshot_series_test \
-    util_io_test util_status_test
+    util_io_test util_status_test engine_agg_test engine_flat_map_test
 for t in snapshot_fault_injection_test snapshot_scol_test \
          snapshot_scol_v2_test snapshot_psv_test snapshot_psv_fuzz_test \
-         snapshot_series_test util_io_test util_status_test; do
+         snapshot_series_test util_io_test util_status_test \
+         engine_agg_test engine_flat_map_test; do
   echo "--> ${t} (sanitized)"
   ./build-asan/tests/"${t}"
 done
@@ -40,9 +41,10 @@ echo "==> tier 1: TSan build + parallel scan/runner suites"
 cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
     util_parallel_test engine_scan_test engine_partition_test \
-    engine_diff_parity_test study_runner_test study_scan_determinism_test
+    engine_diff_parity_test engine_flat_map_test study_runner_test \
+    study_scan_determinism_test
 for t in util_parallel_test engine_scan_test engine_partition_test \
-         engine_diff_parity_test study_runner_test; do
+         engine_diff_parity_test engine_flat_map_test study_runner_test; do
   echo "--> ${t} (tsan)"
   ./build-tsan/tests/"${t}"
 done

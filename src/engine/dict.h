@@ -1,0 +1,121 @@
+// String dictionary for dictionary-encoded GROUP BY keys: interns each
+// distinct string once and hands out dense u32 ids, so per-row aggregation
+// becomes an array increment instead of a heap-allocating
+// unordered_map<std::string> probe.
+//
+// The index is a flat open-addressing table of (hash, id) pairs over the
+// interned strings. Probes compare the stored 64-bit hash first and the
+// actual bytes second, so full hash collisions degrade to an extra probe —
+// never to a false merge. Growth follows the probe-before-grow discipline
+// of flat_map.h: re-interning a string that is already present can never
+// trigger a resize.
+//
+// Determinism: ids are assigned in first-intern order, so a dictionary
+// built by the study's ordered chunk merge assigns the same ids at every
+// thread count (the chunk layout is a pure function of the row count).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace spider {
+
+class StringDict {
+ public:
+  explicit StringDict(std::size_t expected = 0) {
+    if (expected > 0) allocate(capacity_for(expected));
+  }
+
+  /// Returns the id of `s`, interning it on first sight. Ids are dense:
+  /// the n-th distinct string gets id n-1.
+  std::uint32_t intern(std::string_view s) {
+    return intern_hashed(hash_bytes(s), s);
+  }
+
+  /// Pre-hashed intern. Public so callers that already hold the hash skip
+  /// re-hashing — and so tests can force full 64-bit collisions to
+  /// exercise the byte-comparison fallback.
+  std::uint32_t intern_hashed(std::uint64_t hash, std::string_view s) {
+    if (slots_.empty()) allocate(kMinCapacity);
+    std::uint64_t slot = hash & mask_;
+    for (;;) {
+      const Slot& sl = slots_[slot];
+      if (sl.id == kEmptySlot) break;
+      if (sl.hash == hash && names_[sl.id] == s) return sl.id;
+      slot = (slot + 1) & mask_;
+    }
+    // Genuine insert: grow if the new occupancy would cross 1/2 load.
+    if ((names_.size() + 1) * 2 > slots_.size()) {
+      grow();
+      slot = hash & mask_;
+      while (slots_[slot].id != kEmptySlot) slot = (slot + 1) & mask_;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+    slots_[slot] = Slot{hash, id};
+    names_.emplace_back(s);
+    return id;
+  }
+
+  /// Id of `s`, or -1 when it was never interned.
+  std::int64_t find(std::string_view s) const {
+    if (slots_.empty()) return -1;
+    const std::uint64_t hash = hash_bytes(s);
+    std::uint64_t slot = hash & mask_;
+    for (;;) {
+      const Slot& sl = slots_[slot];
+      if (sl.id == kEmptySlot) return -1;
+      if (sl.hash == hash && names_[sl.id] == s) return sl.id;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  std::string_view name(std::uint32_t id) const { return names_[id]; }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  bool empty() const { return names_.empty(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xffff'ffffu;
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// Hash and id interleaved so a probe touches one cache line, not two
+  /// parallel arrays.
+  struct Slot {
+    std::uint64_t hash = 0;          // hash of names_[id]
+    std::uint32_t id = kEmptySlot;   // index into names_, kEmptySlot = free
+  };
+
+  static std::size_t capacity_for(std::size_t expected) {
+    return std::bit_ceil(std::max<std::size_t>(expected * 2, kMinCapacity));
+  }
+
+  void allocate(std::size_t capacity) {
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+  }
+
+  void grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    allocate(old.size() * 2);
+    for (const Slot& sl : old) {
+      if (sl.id == kEmptySlot) continue;
+      std::uint64_t slot = sl.hash & mask_;
+      while (slots_[slot].id != kEmptySlot) slot = (slot + 1) & mask_;
+      slots_[slot] = sl;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::vector<std::string> names_;  // id -> string, first-intern order
+};
+
+}  // namespace spider

@@ -37,7 +37,7 @@ void scan_table(const SnapshotTable& table,
 
   // Serial, chunk-ordered merges — the determinism point of the design.
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    kernels[k]->merge_chunks(table, states[k]);
+    kernels[k]->merge_chunks(table, states[k], options.pool);
   }
 }
 

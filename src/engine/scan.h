@@ -73,8 +73,13 @@ class ScanKernel {
   /// the calling thread after every observe_chunk has finished; this is
   /// where order-dependent logic belongs. Called even for an empty table
   /// (with an empty list), so per-scan bookkeeping always runs.
-  virtual void merge_chunks(const SnapshotTable& table,
-                            ScanStateList states) = 0;
+  ///
+  /// `pool` is the scan's pool (null = process-global): order-INsensitive
+  /// sub-steps of a merge (e.g. the radix-partitioned count-map merges of
+  /// engine/agg.h) may fan back out on it, as long as the order-sensitive
+  /// fold itself stays serial and chunk-ordered.
+  virtual void merge_chunks(const SnapshotTable& table, ScanStateList states,
+                            ThreadPool* pool) = 0;
 };
 
 struct ScanOptions {

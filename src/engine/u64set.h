@@ -21,23 +21,28 @@ class U64Set {
   }
 
   /// Inserts `key`; returns true when the key was not present before.
+  /// Probe-before-grow: the duplicate check runs first, so a duplicate-heavy
+  /// stream never resizes the table (duplicates add no occupancy).
   bool insert(std::uint64_t key) {
     if (key == kEmpty) {
       const bool fresh = !has_empty_key_;
       has_empty_key_ = true;
       return fresh;
     }
-    if ((size_ + 1) * 2 > slots_.size()) grow();
     std::uint64_t slot = key & mask_;
     for (;;) {
-      if (slots_[slot] == kEmpty) {
-        slots_[slot] = key;
-        ++size_;
-        return true;
-      }
+      if (slots_[slot] == kEmpty) break;
       if (slots_[slot] == key) return false;
       slot = (slot + 1) & mask_;
     }
+    if ((size_ + 1) * 2 > slots_.size()) {
+      grow();
+      slot = place(key);
+    } else {
+      slots_[slot] = key;
+    }
+    ++size_;
+    return true;
   }
 
   bool contains(std::uint64_t key) const {
@@ -51,18 +56,26 @@ class U64Set {
   }
 
   std::size_t size() const { return size_ + (has_empty_key_ ? 1 : 0); }
+  std::size_t capacity() const { return slots_.size(); }
 
  private:
   static constexpr std::uint64_t kEmpty = 0;
+
+  /// Probes for the empty slot of a key known to be absent and claims it.
+  std::uint64_t place(std::uint64_t key) {
+    std::uint64_t slot = key & mask_;
+    while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    slots_[slot] = key;
+    return slot;
+  }
 
   void grow() {
     std::vector<std::uint64_t> old;
     old.swap(slots_);
     slots_.assign(old.size() * 2, kEmpty);
     mask_ = slots_.size() - 1;
-    size_ = 0;
     for (const std::uint64_t key : old) {
-      if (key != kEmpty) insert(key);
+      if (key != kEmpty) place(key);
     }
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/flat_map.h"
+
 namespace spider {
 
 BipartiteGraph::BipartiteGraph(std::uint32_t num_users,
@@ -30,7 +32,9 @@ CollaborationStats collaboration_stats(
     std::uint32_t shared = 0;
     std::uint64_t domain_mask = 0;  // num_domains <= 64 in this study
   };
-  std::unordered_map<std::uint64_t, PairInfo> pairs;
+  // Packed (a << 32 | b) keys are structured, not mixed — the fingerprint
+  // policy avalanches them before slot selection (engine/flat_map.h).
+  FlatMap<PairInfo, FingerprintKeyMix> pairs;
 
   for (std::size_t p = 0; p < project_members.size(); ++p) {
     std::vector<std::uint32_t> members = project_members[p];
@@ -41,7 +45,7 @@ CollaborationStats collaboration_stats(
       for (std::size_t j = i + 1; j < members.size(); ++j) {
         const std::uint64_t key =
             (static_cast<std::uint64_t>(members[i]) << 32) | members[j];
-        PairInfo& info = pairs[key];
+        PairInfo& info = pairs.slot(key);
         ++info.shared;
         info.domain_mask |= domain_bit;
       }
@@ -49,9 +53,17 @@ CollaborationStats collaboration_stats(
   }
 
   stats.collaborating_pairs = pairs.size();
-  for (const auto& [key, info] : pairs) {
-    if (info.shared > stats.max_shared_projects) {
+  std::uint64_t max_key = 0;
+  bool have_max = false;
+  pairs.for_each([&](std::uint64_t key, const PairInfo& info) {
+    // Ties break toward the smaller packed key (lexicographically first
+    // pair) so the reported pair never depends on table layout.
+    if (info.shared > stats.max_shared_projects ||
+        (info.shared == stats.max_shared_projects && have_max &&
+         key < max_key)) {
       stats.max_shared_projects = info.shared;
+      max_key = key;
+      have_max = true;
       stats.max_pair_user_a = static_cast<std::uint32_t>(key >> 32);
       stats.max_pair_user_b = static_cast<std::uint32_t>(key & 0xffffffffu);
     }
@@ -60,7 +72,7 @@ CollaborationStats collaboration_stats(
         ++stats.pairs_touching_domain[d];
       }
     }
-  }
+  });
   return stats;
 }
 

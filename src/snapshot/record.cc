@@ -51,12 +51,17 @@ std::string_view path_parent(std::string_view path) {
 }
 
 std::string_view path_extension(std::string_view path) {
-  const std::string_view base = path_basename(path);
-  const std::size_t dot = base.rfind('.');
-  if (dot == std::string_view::npos || dot == 0 || dot + 1 == base.size()) {
-    return {};
-  }
-  return base.substr(dot + 1);
+  // Single right-to-left scan: the first '.' seen before a '/' is the
+  // basename's last dot (this is the group-by hot path — one pass, not
+  // basename + rfind).
+  std::size_t end = path.size();
+  while (end > 0 && path[end - 1] == '/') --end;
+  std::size_t i = end;
+  while (i > 0 && path[i - 1] != '/' && path[i - 1] != '.') --i;
+  if (i == 0 || path[i - 1] != '.') return {};     // no dot in the basename
+  if (i == end) return {};                         // trailing dot
+  if (i - 1 == 0 || path[i - 2] == '/') return {};  // leading-dot basename
+  return path.substr(i, end - i);
 }
 
 }  // namespace spider

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "engine/flat_map.h"
 #include "util/table.h"
 #include "util/timeutil.h"
 
@@ -39,22 +40,25 @@ void BurstinessAnalyzer::collect(const SnapshotTable& table,
 
 namespace {
 
+/// Per-gid stats table: gids are raw dense ids, so the fingerprint mix
+/// avalanches them before slot selection (see engine/flat_map.h).
+using GidStatsMap = FlatMap<StreamingStats, FingerprintKeyMix>;
+
 struct BurstinessChunk : ScanChunkState {
   // Per-project offset stats for the rows of this chunk's slice of the
   // diff lists; folded per gid in chunk (= row) order at merge time.
-  std::unordered_map<std::uint32_t, StreamingStats> write_by_gid;
-  std::unordered_map<std::uint32_t, StreamingStats> read_by_gid;
+  GidStatsMap write_by_gid;
+  GidStatsMap read_by_gid;
 };
 
 void accumulate_rows(const SnapshotTable& table,
                      std::span<const std::uint32_t> rows, bool use_atime,
-                     std::int64_t window_start,
-                     std::unordered_map<std::uint32_t, StreamingStats>& by_gid) {
+                     std::int64_t window_start, GidStatsMap& by_gid) {
   for (const std::uint32_t row : rows) {
     const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
     const double offset = static_cast<double>(t - window_start);
     if (offset < 0) continue;  // moved-in files predating the window
-    by_gid[table.gid(row)].add(offset);
+    by_gid.slot(table.gid(row)).add(offset);
   }
 }
 
@@ -63,8 +67,7 @@ void accumulate_rows(const SnapshotTable& table,
 void accumulate_range(const SnapshotTable& table,
                       const std::vector<std::uint32_t>& rows, bool use_atime,
                       std::int64_t window_start, std::size_t begin,
-                      std::size_t end,
-                      std::unordered_map<std::uint32_t, StreamingStats>& by_gid) {
+                      std::size_t end, GidStatsMap& by_gid) {
   const auto lo = std::lower_bound(rows.begin(), rows.end(),
                                    static_cast<std::uint32_t>(begin));
   const auto hi =
@@ -124,18 +127,20 @@ void BurstinessAnalyzer::merge(const WeekObservation& obs,
   // serial path's hash-iteration order, but five_number_summary and
   // percentile sort their inputs, so rendered results don't depend on it.
   auto fold = [&](bool read_side, std::vector<std::vector<double>>& out) {
-    std::unordered_map<std::uint32_t, StreamingStats> by_gid;
+    GidStatsMap by_gid;
     for (const auto& state : states) {
       const auto* chunk = static_cast<const BurstinessChunk*>(state.get());
       const auto& part = read_side ? chunk->read_by_gid : chunk->write_by_gid;
-      for (const auto& [gid, stats] : part) by_gid[gid].merge(stats);
+      part.for_each([&by_gid](std::uint64_t gid, const StreamingStats& stats) {
+        by_gid.slot(gid).merge(stats);
+      });
     }
-    for (const auto& [gid, stats] : by_gid) {
-      if (stats.count() < min_files_) continue;
-      const int domain = resolver_.domain_of_gid(gid);
-      if (domain < 0) continue;
+    by_gid.for_each([&](std::uint64_t gid, const StreamingStats& stats) {
+      if (stats.count() < min_files_) return;
+      const int domain = resolver_.domain_of_gid(static_cast<std::uint32_t>(gid));
+      if (domain < 0) return;
       out[static_cast<std::size_t>(domain)].push_back(stats.cv());
-    }
+    });
   };
   fold(/*read_side=*/false, write_samples_);
   fold(/*read_side=*/true, read_samples_);

@@ -1,8 +1,10 @@
 #include "study/census.h"
 
 #include <algorithm>
+#include <span>
 #include <sstream>
 
+#include "engine/agg.h"
 #include "util/table.h"
 
 namespace spider {
@@ -83,22 +85,56 @@ void CensusAnalyzer::observe_chunk(ScanChunkState* state,
 void CensusAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
   // Empty-directory census for this snapshot: union the chunks' parent
   // sets, then count dirs no other entry names as parent. Set membership
-  // is order-independent, so this needs no special care.
-  U64Set parents(obs.snap->table.size());
-  for (const auto& state : states) {
-    const auto* chunk = static_cast<const CensusChunk*>(state.get());
-    for (const std::uint64_t h : chunk->parent_hashes) parents.insert(h);
-  }
-  std::uint64_t empty = 0, dirs = 0;
-  for (const auto& state : states) {
-    const auto* chunk = static_cast<const CensusChunk*>(state.get());
-    dirs += chunk->dir_hashes.size();
-    for (const std::uint64_t h : chunk->dir_hashes) {
-      if (!parents.contains(h)) ++empty;
+  // and the counts are order-independent, so both steps may run in
+  // parallel — this union is the highest-cardinality merge in the study
+  // (every row contributes a parent hash) and used to be the scan's
+  // serial tail.
+  if (obs.flat_agg) {
+    std::vector<std::span<const std::uint64_t>> spans;
+    spans.reserve(states.size());
+    for (const auto& state : states) {
+      const auto* chunk = static_cast<const CensusChunk*>(state.get());
+      spans.emplace_back(chunk->parent_hashes);
     }
+    PartitionedU64Set parents;
+    parents.build(spans, obs.pool);
+    struct Tally {
+      std::uint64_t empty = 0;
+      std::uint64_t dirs = 0;
+    };
+    const Tally tally = parallel_reduce<Tally>(
+        states.size(), Tally{},
+        [&](Tally& acc, std::size_t c) {
+          const auto* chunk = static_cast<const CensusChunk*>(states[c].get());
+          acc.dirs += chunk->dir_hashes.size();
+          for (const std::uint64_t h : chunk->dir_hashes) {
+            if (!parents.contains(h)) ++acc.empty;
+          }
+        },
+        [](Tally& into, Tally& from) {
+          into.empty += from.empty;
+          into.dirs += from.dirs;
+        },
+        obs.pool, /*grain=*/1);
+    result_.final_empty_dirs = tally.empty;
+    result_.final_dirs = tally.dirs;
+  } else {
+    U64Set parents(obs.snap->table.size());
+    for (const auto& state : states) {
+      const auto* chunk = static_cast<const CensusChunk*>(state.get());
+      for (const std::uint64_t h : chunk->parent_hashes) parents.insert(h);
+    }
+    std::uint64_t empty = 0, dirs = 0;
+    for (const auto& state : states) {
+      const auto* chunk = static_cast<const CensusChunk*>(state.get());
+      dirs += chunk->dir_hashes.size();
+      for (const std::uint64_t h : chunk->dir_hashes) {
+        if (!parents.contains(h)) ++empty;
+      }
+    }
+    result_.final_empty_dirs = empty;
+    result_.final_dirs = dirs;
   }
-  result_.final_empty_dirs = empty;
-  result_.final_dirs = dirs;
 
   // Unique-entry census: first-seen resolution in chunk (= row) order,
   // byte-identical to the serial scan.

@@ -16,19 +16,42 @@ ExtensionsAnalyzer::ExtensionsAnalyzer(const Resolver& resolver,
       unique_by_domain_(domain_count()) {}
 
 namespace {
+
+/// Dense-id counter access; the dictionary grows over the study, so each
+/// count vector is only as long as the ids it has actually seen.
+void bump(std::vector<std::uint64_t>& counts, std::uint32_t id,
+          std::uint64_t weight) {
+  if (counts.size() <= id) counts.resize(id + 1, 0);
+  counts[id] += weight;
+}
+
+std::uint64_t count_at(const std::vector<std::uint64_t>& counts,
+                       std::uint32_t id) {
+  return id < counts.size() ? counts[id] : 0;
+}
+
 struct ExtensionsCandidate {
   std::uint64_t hash = 0;
   std::int32_t domain = -1;
-  std::string ext;  // empty = extensionless
+  std::int32_t ext_id = -1;  // flat path: chunk-local id; -1 = extensionless
+  std::string ext;           // legacy path; empty = extensionless
 };
 
 struct ExtensionsChunk : ScanChunkState {
-  CountMap<std::string> weekly;  // every file row in the chunk
+  bool flat = false;
+  // Flat path: each distinct extension in the chunk is interned ONCE into
+  // the chunk-local dictionary; every other row with that extension is a
+  // dense array increment. No per-row std::string, no per-row map probe.
+  StringDict dict;
+  std::vector<std::uint64_t> counts;  // [local id], every file row
+  // Legacy path (obs.flat_agg == false): the reference string-keyed map.
+  CountMap<std::string> weekly;
   std::uint64_t files = 0;
   std::uint64_t none = 0;
   std::vector<ExtensionsCandidate> candidates;  // row order
   U64Set local;
 };
+
 }  // namespace
 
 std::unique_ptr<ScanChunkState> ExtensionsAnalyzer::make_chunk_state() const {
@@ -39,13 +62,30 @@ void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
                                        const WeekObservation& obs,
                                        std::size_t begin, std::size_t end) {
   auto* chunk = static_cast<ExtensionsChunk*>(state);
+  chunk->flat = obs.flat_agg;
   const SnapshotTable& table = obs.snap->table;
+  // Rows are path-sorted, so runs of files share an extension; memoizing
+  // the previous row's intern skips the hash + probe (views the table's
+  // storage, so the view stays valid across interns).
+  std::string_view last_ext;
+  std::uint32_t last_id = 0;
+  bool have_last = false;
   for (std::size_t i = begin; i < end; ++i) {
     if (table.is_dir(i)) continue;
     const std::string_view ext = path_extension(table.path(i));
     ++chunk->files;
+    std::int32_t ext_id = -1;
     if (ext.empty()) {
       ++chunk->none;
+    } else if (chunk->flat) {
+      if (!have_last || ext != last_ext) {
+        last_id = chunk->dict.intern(ext);
+        last_ext = ext;
+        have_last = true;
+        if (last_id == chunk->counts.size()) chunk->counts.push_back(0);
+      }
+      ++chunk->counts[last_id];
+      ext_id = static_cast<std::int32_t>(last_id);
     } else {
       ++chunk->weekly[std::string(ext)];
     }
@@ -53,7 +93,11 @@ void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
     if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
     ExtensionsCandidate cand;
     cand.hash = hash;
-    cand.ext = std::string(ext);
+    if (chunk->flat) {
+      cand.ext_id = ext_id;
+    } else {
+      cand.ext = std::string(ext);
+    }
     if (!ext.empty()) cand.domain = resolver_.domain_of_gid(table.gid(i));
     chunk->candidates.push_back(std::move(cand));
   }
@@ -61,23 +105,40 @@ void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
 
 void ExtensionsAnalyzer::merge(const WeekObservation& obs,
                                ScanStateList states) {
-  CountMap<std::string> weekly;
+  std::vector<std::uint64_t> weekly;  // [study-long ext id]
   std::uint64_t files = 0, none = 0;
   for (const auto& state : states) {
     auto* chunk = static_cast<ExtensionsChunk*>(state.get());
     files += chunk->files;
     none += chunk->none;
-    merge_counts(weekly, std::move(chunk->weekly));
+    // Resolve the chunk's local ids against the study-long dictionary.
+    // Chunks fold in chunk order and the chunk layout is thread-count
+    // invariant, so the global id assignment is too.
+    std::vector<std::uint32_t> local_to_global(chunk->dict.size());
+    if (chunk->flat) {
+      for (std::uint32_t lid = 0; lid < chunk->dict.size(); ++lid) {
+        local_to_global[lid] = dict_.intern(chunk->dict.name(lid));
+        bump(weekly, local_to_global[lid], chunk->counts[lid]);
+      }
+    } else {
+      for (const auto& [ext, count] : chunk->weekly) {
+        bump(weekly, dict_.intern(ext), count);
+      }
+    }
     for (const ExtensionsCandidate& cand : chunk->candidates) {
       if (!distinct_.insert(cand.hash)) continue;
       ++result_.unique_files;
-      if (cand.ext.empty()) {
+      const bool has_ext = chunk->flat ? cand.ext_id >= 0 : !cand.ext.empty();
+      if (!has_ext) {
         ++result_.unique_no_extension;
-      } else {
-        ++unique_global_[cand.ext];
-        if (cand.domain >= 0) {
-          ++unique_by_domain_[static_cast<std::size_t>(cand.domain)][cand.ext];
-        }
+        continue;
+      }
+      const std::uint32_t id =
+          chunk->flat ? local_to_global[static_cast<std::uint32_t>(cand.ext_id)]
+                      : dict_.intern(cand.ext);
+      bump(unique_global_, id, 1);
+      if (cand.domain >= 0) {
+        bump(unique_by_domain_[static_cast<std::size_t>(cand.domain)], id, 1);
       }
     }
   }
@@ -89,27 +150,29 @@ void ExtensionsAnalyzer::merge(const WeekObservation& obs,
 
 void ExtensionsAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
-  CountMap<std::string> weekly;
+  std::vector<std::uint64_t> weekly;
   std::uint64_t files = 0, none = 0;
   for (std::size_t i = 0; i < table.size(); ++i) {
     if (table.is_dir(i)) continue;
     const std::string_view ext = path_extension(table.path(i));
     ++files;
+    std::int64_t id = -1;
     if (ext.empty()) {
       ++none;
     } else {
-      ++weekly[std::string(ext)];
+      id = dict_.intern(ext);
+      bump(weekly, static_cast<std::uint32_t>(id), 1);
     }
     if (distinct_.insert(table.path_hash(i))) {
       ++result_.unique_files;
-      if (ext.empty()) {
+      if (id < 0) {
         ++result_.unique_no_extension;
       } else {
-        const std::string key(ext);
-        ++unique_global_[key];
+        bump(unique_global_, static_cast<std::uint32_t>(id), 1);
         const int domain = resolver_.domain_of_gid(table.gid(i));
         if (domain >= 0) {
-          ++unique_by_domain_[static_cast<std::size_t>(domain)][key];
+          bump(unique_by_domain_[static_cast<std::size_t>(domain)],
+               static_cast<std::uint32_t>(id), 1);
         }
       }
     }
@@ -121,40 +184,42 @@ void ExtensionsAnalyzer::observe(const WeekObservation& obs) {
 }
 
 void ExtensionsAnalyzer::finish() {
-  result_.global_top = top_k(unique_global_, top_k_);
+  const auto top = top_k_dict(unique_global_, dict_, top_k_);
+  result_.global_top.reserve(top.size());
+  for (const auto& [id, count] : top) {
+    result_.global_top.emplace_back(std::string(dict_.name(id)), count);
+  }
 
   result_.top3_by_domain.assign(domain_count(), {});
   for (std::size_t d = 0; d < unique_by_domain_.size(); ++d) {
     std::uint64_t domain_files = 0;
-    for (const auto& [ext, count] : unique_by_domain_[d]) {
+    for (const std::uint64_t count : unique_by_domain_[d]) {
       domain_files += count;
     }
     // Extensionless files are part of the domain's denominator too; derive
     // them from the census by re-counting is avoided — shares here follow
     // the paper's Table 2 convention (percent of the domain's files).
-    for (const auto& [ext, count] : top_k(unique_by_domain_[d], 3)) {
+    for (const auto& [id, count] : top_k_dict(unique_by_domain_[d], dict_, 3)) {
       const double pct = domain_files == 0
                              ? 0.0
                              : 100.0 * static_cast<double>(count) /
                                    static_cast<double>(domain_files);
-      result_.top3_by_domain[d].emplace_back(ext, pct);
+      result_.top3_by_domain[d].emplace_back(std::string(dict_.name(id)), pct);
     }
   }
 
   const std::size_t weeks = weekly_counts_.size();
-  result_.share_top.assign(weeks, std::vector<double>(result_.global_top.size(), 0.0));
+  result_.share_top.assign(weeks, std::vector<double>(top.size(), 0.0));
   result_.share_none.assign(weeks, 0.0);
   result_.share_other.assign(weeks, 0.0);
   for (std::size_t w = 0; w < weeks; ++w) {
     const double files =
         std::max<std::uint64_t>(1, weekly_files_[w]);
     double covered = 0;
-    for (std::size_t k = 0; k < result_.global_top.size(); ++k) {
-      const auto it = weekly_counts_[w].find(result_.global_top[k].first);
+    for (std::size_t k = 0; k < top.size(); ++k) {
       const double share =
-          it == weekly_counts_[w].end()
-              ? 0.0
-              : static_cast<double>(it->second) / files;
+          static_cast<double>(count_at(weekly_counts_[w], top[k].first)) /
+          files;
       result_.share_top[w][k] = share;
       covered += share;
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/agg.h"
+#include "engine/dict.h"
 #include "engine/u64set.h"
 #include "study/resolve.h"
 #include "study/runner.h"
@@ -57,9 +58,14 @@ class ExtensionsAnalyzer : public StudyAnalyzer {
   const Resolver& resolver_;
   std::size_t top_k_;
   U64Set distinct_;
-  std::vector<CountMap<std::string>> unique_by_domain_;
-  CountMap<std::string> unique_global_;
-  std::vector<CountMap<std::string>> weekly_counts_;
+  /// Study-long extension dictionary (DESIGN.md §12): every distinct
+  /// extension interned once, counts below are dense vectors indexed by
+  /// id. All rendered output sorts by count with NAME tie-breaks, so the
+  /// results never depend on intern order.
+  StringDict dict_;
+  std::vector<std::uint64_t> unique_global_;                  // [ext id]
+  std::vector<std::vector<std::uint64_t>> unique_by_domain_;  // [domain][id]
+  std::vector<std::vector<std::uint64_t>> weekly_counts_;     // [week][id]
   std::vector<std::uint64_t> weekly_files_;
   std::vector<std::uint64_t> weekly_none_;
   ExtensionsResult result_;

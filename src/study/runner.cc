@@ -36,7 +36,11 @@ class AnalyzerKernel : public ScanKernel {
                      std::size_t begin, std::size_t end) override {
     analyzer_->observe_chunk(state, *obs_, begin, end);
   }
-  void merge_chunks(const SnapshotTable&, ScanStateList states) override {
+  void merge_chunks(const SnapshotTable&, ScanStateList states,
+                    ThreadPool*) override {
+    // Analyzers take the pool through obs_->pool instead — it is the same
+    // pool, and the WeekObservation carries it to the serial (non-scan)
+    // observe() path too.
     analyzer_->merge(*obs_, states);
   }
 
@@ -77,11 +81,10 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   /// Arms the kernel for one week (null index = inactive week: no diff).
   /// Must be called before every scan — it also resets the chunk registry.
   void set_week(const PartitionedPathIndex* index, const SnapshotTable* prev,
-                DiffResult* out, ThreadPool* pool, std::size_t grain) {
+                DiffResult* out, std::size_t grain) {
     index_ = index;
     prev_ = prev;
     out_ = out;
-    pool_ = pool;
     grain_ = grain == 0 ? kScanGrainRows : grain;
     chunk_rows_.clear();
     if (index_ != nullptr && index_->size() > 0) {
@@ -108,10 +111,11 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
                      &static_cast<DiffKernelChunk*>(state)->rows);
   }
 
-  void merge_chunks(const SnapshotTable& cur, ScanStateList) override {
+  void merge_chunks(const SnapshotTable& cur, ScanStateList,
+                    ThreadPool* pool) override {
     if (index_ == nullptr) return;
     diff_finalize(index_->file_rows(), matched_.get(),
-                  std::span<const DiffChunkRows* const>(chunk_rows_), pool_,
+                  std::span<const DiffChunkRows* const>(chunk_rows_), pool,
                   out_);
     out_->prev_files = index_->size();
     out_->cur_files = cur.file_count();
@@ -130,7 +134,6 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   const PartitionedPathIndex* index_ = nullptr;
   const SnapshotTable* prev_ = nullptr;
   DiffResult* out_ = nullptr;
-  ThreadPool* pool_ = nullptr;
   std::size_t grain_ = kScanGrainRows;
   mutable std::vector<const DiffChunkRows*> chunk_rows_;
   std::unique_ptr<std::atomic<std::uint8_t>[]> matched_;
@@ -179,14 +182,15 @@ void run_study(SnapshotSource& source,
     obs.snap = &cur.snap();
     obs.prev = have_prev ? &prev.snap() : nullptr;
     obs.gap_before = have_prev && cur.week != last_week + 1;
+    obs.pool = options.pool;
+    obs.flat_agg = options.flat_agg;
 
     DiffResult diff;
     const bool diff_active = need_diff && have_prev && !obs.gap_before;
     if (fuse) {
       diff_kernel.set_week(diff_active ? prev.index.get() : nullptr,
                            diff_active ? &prev.snap().table : nullptr,
-                           diff_active ? &diff : nullptr, options.pool,
-                           options.grain);
+                           diff_active ? &diff : nullptr, options.grain);
       if (diff_active) {
         obs.diff = &diff;
         obs.diff_chunks = &diff_kernel;

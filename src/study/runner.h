@@ -57,6 +57,11 @@ struct WeekObservation {
   /// analyzers that want it; count-based analyzers use the flag to
   /// annotate the affected week.
   bool gap_before = false;
+  /// The study's pool (null = process-global), for order-insensitive
+  /// parallel sub-steps inside merge() — see ScanKernel::merge_chunks.
+  ThreadPool* pool = nullptr;
+  /// Mirror of StudyOptions::flat_agg for analyzers that keep both paths.
+  bool flat_agg = true;
 };
 
 /// A study analyzer is a scan kernel plus per-week bookkeeping. The runner
@@ -139,6 +144,12 @@ struct StudyOptions {
   /// pass over the current table. Results are bit-identical either way;
   /// off preserves the standalone diff_snapshots reference path.
   bool fuse_diff = true;
+  /// Use the flat aggregation layer (DESIGN.md §12): open-addressing count
+  /// maps, the dictionary-encoded extension group-by, and the radix-
+  /// partitioned merge for high-cardinality partials. Rendered results are
+  /// byte-identical either way; off preserves the std::unordered_map
+  /// reference path the determinism suite diffs against.
+  bool flat_agg = true;
 };
 
 /// Streams `source` through all analyzers. The diff (when any analyzer

@@ -43,6 +43,19 @@ TEST(U64SetTest, GrowthPreservesMembership) {
   }
 }
 
+TEST(U64SetTest, DuplicateStreamNeverGrows) {
+  // Probe-before-grow: inserting the same keys forever adds no occupancy,
+  // so the table must keep its original capacity.
+  U64Set set(8);
+  for (std::uint64_t k = 1; k <= 8; ++k) EXPECT_TRUE(set.insert(k));
+  const std::size_t capacity = set.capacity();
+  for (int round = 0; round < 1000; ++round) {
+    for (std::uint64_t k = 1; k <= 8; ++k) EXPECT_FALSE(set.insert(k));
+  }
+  EXPECT_EQ(set.capacity(), capacity);
+  EXPECT_EQ(set.size(), 8u);
+}
+
 TEST(MergeCountsTest, AddsPerKey) {
   CountMap<std::string> a{{"x", 1}, {"y", 2}};
   const CountMap<std::string> b{{"y", 3}, {"z", 4}};
@@ -51,6 +64,31 @@ TEST(MergeCountsTest, AddsPerKey) {
   EXPECT_EQ(a["y"], 5u);
   EXPECT_EQ(a["z"], 4u);
   EXPECT_EQ(total_count(a), 10u);
+}
+
+TEST(MergeCountsTest, OverlappingKeySetsDoNotOverReserve) {
+  // The copy overload reserves max(|into|, |from|), not the sum: identical
+  // key sets must leave the bucket count untouched.
+  CountMap<int> a, b;
+  for (int k = 0; k < 1000; ++k) {
+    a[k] = 1;
+    b[k] = 2;
+  }
+  const std::size_t buckets = a.bucket_count();
+  merge_counts(a, b);
+  // The old sum-reserve would rehash to >= 2000 buckets here; max-reserve
+  // must never grow the table (libstdc++ may even tighten it).
+  EXPECT_LE(a.bucket_count(), buckets);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(total_count(a), 3000u);
+}
+
+TEST(MergeCountsTest, IntoEmptyCopies) {
+  CountMap<int> a;
+  const CountMap<int> b{{1, 2}, {3, 4}};
+  merge_counts(a, b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(3), 4u);
 }
 
 TEST(ParallelCountTest, MatchesSerial) {

@@ -40,7 +40,8 @@ class SumKernel : public ScanKernel {
     auto* sum = static_cast<SumState*>(state);
     for (std::size_t i = begin; i < end; ++i) sum->sum += table.atime(i);
   }
-  void merge_chunks(const SnapshotTable&, ScanStateList states) override {
+  void merge_chunks(const SnapshotTable&, ScanStateList states,
+                    ThreadPool*) override {
     merge_calls++;
     for (const auto& state : states) {
       total += static_cast<const SumState*>(state.get())->sum;
@@ -66,7 +67,8 @@ class RangeKernel : public ScanKernel {
                      std::size_t begin, std::size_t end) override {
     static_cast<RangeState*>(state)->ranges.emplace_back(begin, end);
   }
-  void merge_chunks(const SnapshotTable& table, ScanStateList states) override {
+  void merge_chunks(const SnapshotTable& table, ScanStateList states,
+                    ThreadPool*) override {
     std::size_t next = 0;
     for (const auto& state : states) {
       const auto* chunk = static_cast<const RangeState*>(state.get());

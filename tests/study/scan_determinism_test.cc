@@ -151,6 +151,32 @@ TEST_F(ScanDeterminismTest, FusedDiffKernelMatchesStandaloneDiff) {
       << "unfused threads=7";
 }
 
+TEST_F(ScanDeterminismTest, FlatAggregationLayerOnAndOffMatch) {
+  // The flat aggregation layer (DESIGN.md §12) — dictionary-encoded
+  // extension group-by, FlatMap chunk states, radix-partitioned census
+  // merge — against the std::unordered_map reference path, byte-identical
+  // at every tested width, in both modes.
+  ThreadPool one(1);
+  StudyOptions ref_options;
+  ref_options.pool = &one;
+  ref_options.prefetch = false;
+  ref_options.flat_agg = false;  // legacy reference
+  const std::string reference = run_bundle(*series_, *resolver_, ref_options);
+  ASSERT_GT(reference.size(), 1000u);
+
+  for (const unsigned threads : {1u, 2u, 7u, 0u}) {  // 0 = hardware
+    for (const bool flat : {true, false}) {
+      ThreadPool pool(threads);
+      StudyOptions options;
+      options.pool = &pool;
+      options.prefetch = true;
+      options.flat_agg = flat;
+      EXPECT_EQ(run_bundle(*series_, *resolver_, options), reference)
+          << "threads=" << threads << " flat_agg=" << flat;
+    }
+  }
+}
+
 TEST_F(ScanDeterminismTest, SmallGrainsForceManyChunks) {
   // A tiny grain makes every table span hundreds of chunks, exercising the
   // ordered merge far beyond what kScanGrainRows does at test scale.
