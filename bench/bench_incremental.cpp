@@ -1,0 +1,194 @@
+// Incremental-vs-scan harness: on fixed-churn synthetic series, compare
+// the full-scan pipeline (every analyzer re-reads every row every week)
+// against the incremental engine (delta-capable analyzers consume the
+// week's diff; only the scan-only analyzers walk the snapshot). The point
+// of DESIGN.md §13 is that week N+1 should cost proportional to churn,
+// not snapshot size — this harness traces the churn-vs-cost curve and
+// self-checks that both modes render byte-identical bundles at every
+// point.
+//
+// Emits BENCH_incremental.json (the curve plus the 5%-churn headline
+// ratio) so the speedup is machine-diffable across PRs.
+//
+// Flags: --scale / --weeks / --seed (bench_common), --churn=<frac> to
+// pin a single churn level instead of the default {1%, 5%, 20%, 50%}
+// sweep, --reps=<n> best-of-n timing (default 3), --out=<path>.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "snapshot/series.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace spider;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string render_bundle(const FullStudy& study) {
+  std::string out;
+  out += study.render_table1();
+  out += study.render_data_quality();
+  out += study.user_profile.render();
+  out += study.participation.render();
+  out += study.census.render();
+  out += study.extensions.render();
+  out += study.languages.render();
+  out += study.access_patterns.render();
+  out += study.striping.render();
+  out += study.growth.render();
+  out += study.file_age.render();
+  out += study.burstiness.render();
+  out += study.network.render();
+  out += study.collaboration.render();
+  return out;
+}
+
+double run_study(SnapshotSource& series, const Resolver& resolver,
+                 std::size_t burst_min_files, ThreadPool& pool,
+                 bool incremental, std::string* bundle) {
+  FullStudy study(resolver, burst_min_files);
+  StudyOptions options;
+  options.pool = &pool;
+  options.incremental = incremental;
+  const auto start = std::chrono::steady_clock::now();
+  study.run(series, options);
+  const double elapsed = seconds_since(start);
+  if (bundle) *bundle = render_bundle(study);
+  return elapsed;
+}
+
+struct CurvePoint {
+  double churn = 0;
+  std::size_t rows_total = 0;
+  double scan_week_ms = 0;
+  double incremental_week_ms = 0;
+  double ratio = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  auto env = bench::BenchEnv::from_args(argc, argv, /*default_scale=*/2e-4);
+  env.config.weeks = static_cast<std::size_t>(args.get_int("weeks", 24));
+  env.config.maintenance_gaps = false;
+
+  std::vector<double> churns = {0.01, 0.05, 0.20, 0.50};
+  const double pinned = args.get_double("churn", -1.0);
+  if (pinned >= 0) churns = {pinned};
+
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 3)));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool pool(hw);
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) best = std::min(best, fn());
+    return best;
+  };
+
+  bool printed_header = false;
+  std::vector<CurvePoint> curve;
+  for (const double churn : churns) {
+    env.config.churn_create = churn;
+    env.config.churn_update = churn;
+    env.config.churn_delete = churn;
+    env.generator = std::make_unique<FacilityGenerator>(env.config);
+    env.resolver = std::make_unique<Resolver>(env.generator->plan());
+    if (!printed_header) {
+      env.print_header(
+          "Incremental study — delta-driven analyzers vs full scan",
+          "week N+1 cost proportional to churn, not snapshot size");
+      printed_header = true;
+    }
+
+    // Materialize the series so timings measure the study pass, not the
+    // simulation.
+    SnapshotSeries series;
+    std::size_t total_rows = 0;
+    env.generator->visit_move([&](std::size_t, Snapshot&& snap) {
+      total_rows += snap.table.size();
+      series.add(std::move(snap));
+    });
+    const double dweeks = static_cast<double>(series.count());
+    const std::size_t burst_min = env.burst_min_files();
+
+    std::string scan_bundle;
+    const double scan_s = best_of([&] {
+      return run_study(series, *env.resolver, burst_min, pool,
+                       /*incremental=*/false, &scan_bundle);
+    });
+    std::string inc_bundle;
+    const double inc_s = best_of([&] {
+      return run_study(series, *env.resolver, burst_min, pool,
+                       /*incremental=*/true, &inc_bundle);
+    });
+    if (scan_bundle != inc_bundle) {
+      std::fprintf(stderr,
+                   "FAIL: incremental render differs from the full-scan "
+                   "pipeline at churn=%g\n",
+                   churn);
+      return 1;
+    }
+    CurvePoint point;
+    point.churn = churn;
+    point.rows_total = total_rows;
+    point.scan_week_ms = 1000.0 * scan_s / dweeks;
+    point.incremental_week_ms = 1000.0 * inc_s / dweeks;
+    point.ratio = inc_s / scan_s;
+    curve.push_back(point);
+    std::printf("churn %4.1f%%: %s rows, scan %.1f ms/week, incremental "
+                "%.1f ms/week (%.0f%%)\n",
+                100.0 * churn, format_with_commas(total_rows).c_str(),
+                point.scan_week_ms, point.incremental_week_ms,
+                100.0 * point.ratio);
+  }
+
+  AsciiTable out({"churn", "scan ms/week", "incremental ms/week", "vs scan"});
+  for (const CurvePoint& p : curve) {
+    out.add_row({format_double(100.0 * p.churn, 1) + "%",
+                 format_double(p.scan_week_ms, 1),
+                 format_double(p.incremental_week_ms, 1),
+                 format_double(p.ratio, 2) + "x"});
+  }
+  std::printf("\n");
+  out.print(std::cout);
+  std::printf("\nbundles byte-identical at every churn level (%u threads, "
+              "%zu weeks)\n",
+              hw, static_cast<std::size_t>(env.config.weeks));
+
+  const std::string json_path = args.get("out", "BENCH_incremental.json");
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"scale\": " << env.config.scale << ",\n"
+       << "  \"weeks\": " << env.config.weeks << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"threads\": " << hw << ",\n"
+       << "  \"identical_bundles\": true,\n"
+       << "  \"curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const CurvePoint& p = curve[i];
+    json << "    {\"churn\": " << p.churn
+         << ", \"rows_total\": " << p.rows_total
+         << ", \"scan_week_ms\": " << p.scan_week_ms
+         << ", \"incremental_week_ms\": " << p.incremental_week_ms
+         << ", \"incremental_over_scan\": " << p.ratio << "}"
+         << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

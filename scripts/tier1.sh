@@ -42,7 +42,7 @@ cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
     util_parallel_test engine_scan_test engine_partition_test \
     engine_diff_parity_test engine_flat_map_test study_runner_test \
-    study_scan_determinism_test
+    study_scan_determinism_test study_incremental_test
 for t in util_parallel_test engine_scan_test engine_partition_test \
          engine_diff_parity_test engine_flat_map_test study_runner_test; do
   echo "--> ${t} (tsan)"
@@ -55,5 +55,12 @@ done
 echo "--> study_scan_determinism_test (tsan, gap+fault cases)"
 ./build-tsan/tests/study_scan_determinism_test \
     --gtest_filter='ScanDeterminismGapTest.*:ScanDeterminismFaultTest.*'
+# Incremental-vs-scan under TSan: the delta path shares the scan's thread
+# pool (fused diff kernel + scan-only analyzer roster), so the gap and
+# salvage re-baseline cases exercise the mode switch under contention. The
+# full churn sweep is skipped for the same big-fixture reason as above.
+echo "--> study_incremental_test (tsan, gap+salvage re-baseline cases)"
+./build-tsan/tests/study_incremental_test \
+    --gtest_filter='IncrementalStudyTest.GappedSeriesForcesRebaseline:IncrementalStudyTest.SalvagedWeekForcesRebaseline'
 
 echo "tier 1 OK"

@@ -32,14 +32,25 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-void classify_row(std::uint32_t row, bool atime_same, bool mtime_same,
-                  bool ctime_same, DiffChunkRows& out) {
-  if (mtime_same && ctime_same && atime_same) {
-    out.rows[DiffChunkRows::kUntouched].push_back(row);
-  } else if (mtime_same && ctime_same) {
-    out.rows[DiffChunkRows::kReadonly].push_back(row);
-  } else {
-    out.rows[DiffChunkRows::kUpdated].push_back(row);
+int classify(bool atime_same, bool mtime_same, bool ctime_same) {
+  if (mtime_same && ctime_same) {
+    return atime_same ? DiffChunkRows::kUntouched : DiffChunkRows::kReadonly;
+  }
+  return DiffChunkRows::kUpdated;
+}
+
+/// Classifies one matched directory row against its previous-week twin:
+/// appended to the changed lists when any timestamp differs, dropped
+/// (still counted as matched by the caller) otherwise.
+void classify_dir(const SnapshotTable& prev, const SnapshotTable& cur,
+                  std::uint32_t prev_row, std::uint32_t cur_row,
+                  std::vector<std::uint32_t>& changed,
+                  std::vector<std::uint32_t>& changed_prev) {
+  if (cur.atime(cur_row) != prev.atime(prev_row) ||
+      cur.mtime(cur_row) != prev.mtime(prev_row) ||
+      cur.ctime(cur_row) != prev.ctime(prev_row)) {
+    changed.push_back(cur_row);
+    changed_prev.push_back(prev_row);
   }
 }
 
@@ -66,6 +77,15 @@ std::unique_ptr<std::atomic<std::uint8_t>[]> make_matched(std::size_t files) {
 
 }  // namespace
 
+std::vector<std::uint32_t> dir_rows_of(const SnapshotTable& table) {
+  std::vector<std::uint32_t> rows;
+  rows.reserve(table.size() - table.file_count());
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (table.is_dir(row)) rows.push_back(static_cast<std::uint32_t>(row));
+  }
+  return rows;
+}
+
 double DiffResult::deleted_fraction() const {
   return fraction(deleted_rows.size(), prev_files);
 }
@@ -85,32 +105,48 @@ double DiffResult::new_fraction() const {
 void diff_probe_range(const PartitionedPathIndex& index,
                       const SnapshotTable& prev, const SnapshotTable& cur,
                       std::size_t begin, std::size_t end,
-                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out) {
+                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out,
+                      const DiffDirProbe* dirs) {
   // No prefetch-ahead here: the index's Bloom pre-filter answers the
   // dominant miss case from L2, so most rows never touch a slot line (and,
   // via lookup_lazy, never materialize the probe-side path either).
   for (std::size_t row = begin; row < end; ++row) {
-    if (cur.is_dir(row)) continue;
+    const std::uint32_t cur_row = static_cast<std::uint32_t>(row);
+    if (cur.is_dir(row)) {
+      if (dirs != nullptr) {
+        const std::uint32_t pos =
+            dirs->index->lookup(prev, cur.path_hash(row), cur.path(row));
+        if (pos == DetachedPathIndex::kNotFound) {
+          out->new_dirs.push_back(cur_row);
+        } else {
+          dirs->matched[pos].store(1, std::memory_order_relaxed);
+          classify_dir(prev, cur, dirs->index->row_of(pos), cur_row,
+                       out->changed_dirs, out->changed_dirs_prev);
+        }
+      }
+      continue;
+    }
     const std::uint32_t ordinal = index.lookup_lazy(
         prev, cur.path_hash(row), [&cur, row] { return cur.path(row); });
     if (ordinal == PartitionedPathIndex::kNotFound) {
-      out->rows[DiffChunkRows::kNew].push_back(
-          static_cast<std::uint32_t>(row));
+      out->rows[DiffChunkRows::kNew].push_back(cur_row);
       continue;
     }
     matched[ordinal].store(1, std::memory_order_relaxed);
     const PartitionedPathIndex::Payload& payload = index.payload(ordinal);
-    classify_row(static_cast<std::uint32_t>(row),
-                 cur.atime(row) == payload.atime,
-                 cur.mtime(row) == payload.mtime,
-                 cur.ctime(row) == payload.ctime, *out);
+    const int k = classify(cur.atime(row) == payload.atime,
+                           cur.mtime(row) == payload.mtime,
+                           cur.ctime(row) == payload.ctime);
+    out->rows[k].push_back(cur_row);
+    if (out->record_prev) out->prev_rows[k].push_back(index.row_of(ordinal));
   }
 }
 
 void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
                    const std::atomic<std::uint8_t>* matched,
                    std::span<const DiffChunkRows* const> chunks,
-                   ThreadPool* pool, DiffResult* out) {
+                   ThreadPool* pool, DiffResult* out,
+                   const DiffFinalizeExtras* extras) {
   std::size_t totals[4] = {0, 0, 0, 0};
   for (const DiffChunkRows* chunk : chunks) {
     for (int k = 0; k < 4; ++k) totals[k] += chunk->rows[k].size();
@@ -132,6 +168,48 @@ void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
     out->untouched_rows.insert(out->untouched_rows.end(),
                                chunk->rows[DiffChunkRows::kUntouched].begin(),
                                chunk->rows[DiffChunkRows::kUntouched].end());
+  }
+
+  if (extras != nullptr && extras->prev_rows) {
+    out->has_prev_rows = true;
+    out->readonly_prev_rows.reserve(totals[DiffChunkRows::kReadonly]);
+    out->updated_prev_rows.reserve(totals[DiffChunkRows::kUpdated]);
+    out->untouched_prev_rows.reserve(totals[DiffChunkRows::kUntouched]);
+    for (const DiffChunkRows* chunk : chunks) {
+      out->readonly_prev_rows.insert(
+          out->readonly_prev_rows.end(),
+          chunk->prev_rows[DiffChunkRows::kReadonly].begin(),
+          chunk->prev_rows[DiffChunkRows::kReadonly].end());
+      out->updated_prev_rows.insert(
+          out->updated_prev_rows.end(),
+          chunk->prev_rows[DiffChunkRows::kUpdated].begin(),
+          chunk->prev_rows[DiffChunkRows::kUpdated].end());
+      out->untouched_prev_rows.insert(
+          out->untouched_prev_rows.end(),
+          chunk->prev_rows[DiffChunkRows::kUntouched].begin(),
+          chunk->prev_rows[DiffChunkRows::kUntouched].end());
+    }
+  }
+
+  if (extras != nullptr && extras->dirs) {
+    out->has_dir_diff = true;
+    for (const DiffChunkRows* chunk : chunks) {
+      out->new_dir_rows.insert(out->new_dir_rows.end(),
+                               chunk->new_dirs.begin(), chunk->new_dirs.end());
+      out->changed_dir_rows.insert(out->changed_dir_rows.end(),
+                                   chunk->changed_dirs.begin(),
+                                   chunk->changed_dirs.end());
+      out->changed_dir_prev_rows.insert(out->changed_dir_prev_rows.end(),
+                                        chunk->changed_dirs_prev.begin(),
+                                        chunk->changed_dirs_prev.end());
+    }
+    // Deleted-directory sweep, serial: directories are a small minority of
+    // the snapshot, and prev_dir_rows ascends so the output does too.
+    for (std::size_t pos = 0; pos < extras->prev_dir_rows.size(); ++pos) {
+      if (extras->dir_matched[pos].load(std::memory_order_relaxed) == 0) {
+        out->deleted_dir_rows.push_back(extras->prev_dir_rows[pos]);
+      }
+    }
   }
 
   // Deleted sweep: everything never matched. The match counts are already
@@ -161,7 +239,8 @@ void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
 }
 
 DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
-                          ThreadPool* pool, DiffBreakdown* breakdown) {
+                          ThreadPool* pool, DiffBreakdown* breakdown,
+                          const DiffOptions& options) {
   DiffResult result;
   result.prev_files = prev.file_count();
   result.cur_files = cur.file_count();
@@ -173,6 +252,12 @@ DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
   const std::vector<std::uint32_t> file_rows = file_rows_of(prev);
   const PathIndex index(prev, file_rows);
   auto matched = make_matched(file_rows.size());
+  std::unique_ptr<DetachedPathIndex> dir_index;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dir_matched;
+  if (options.dirs) {
+    dir_index = std::make_unique<DetachedPathIndex>(prev, dir_rows_of(prev));
+    dir_matched = make_matched(dir_index->size());
+  }
   if (breakdown) {
     breakdown->build_s = seconds_since(mark);
     mark = std::chrono::steady_clock::now();
@@ -183,6 +268,9 @@ DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
   const std::size_t n = cur.size();
   const std::size_t chunks = n == 0 ? 0 : (n + kDiffGrain - 1) / kDiffGrain;
   std::vector<DiffChunkRows> partials(chunks);
+  for (DiffChunkRows& partial : partials) {
+    partial.record_prev = options.prev_rows;
+  }
   parallel_for_chunked(
       n, kDiffGrain,
       [&](std::size_t begin, std::size_t end) {
@@ -192,20 +280,34 @@ DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
           if (ahead < end && !cur.is_dir(ahead)) {
             index.prefetch(cur.path_hash(ahead));
           }
-          if (cur.is_dir(row)) continue;
+          const std::uint32_t cur_row = static_cast<std::uint32_t>(row);
+          if (cur.is_dir(row)) {
+            if (dir_index != nullptr) {
+              const std::uint32_t pos = dir_index->lookup(
+                  prev, cur.path_hash(row), cur.path(row));
+              if (pos == DetachedPathIndex::kNotFound) {
+                out.new_dirs.push_back(cur_row);
+              } else {
+                dir_matched[pos].store(1, std::memory_order_relaxed);
+                classify_dir(prev, cur, dir_index->row_of(pos), cur_row,
+                             out.changed_dirs, out.changed_dirs_prev);
+              }
+            }
+            continue;
+          }
           const std::uint32_t pos =
               index.lookup(cur.path_hash(row), cur.path(row));
           if (pos == PathIndex::kNotFound) {
-            out.rows[DiffChunkRows::kNew].push_back(
-                static_cast<std::uint32_t>(row));
+            out.rows[DiffChunkRows::kNew].push_back(cur_row);
             continue;
           }
           matched[pos].store(1, std::memory_order_relaxed);
           const std::uint32_t prev_row = file_rows[pos];
-          classify_row(static_cast<std::uint32_t>(row),
-                       cur.atime(row) == prev.atime(prev_row),
-                       cur.mtime(row) == prev.mtime(prev_row),
-                       cur.ctime(row) == prev.ctime(prev_row), out);
+          const int k = classify(cur.atime(row) == prev.atime(prev_row),
+                                 cur.mtime(row) == prev.mtime(prev_row),
+                                 cur.ctime(row) == prev.ctime(prev_row));
+          out.rows[k].push_back(cur_row);
+          if (out.record_prev) out.prev_rows[k].push_back(prev_row);
         }
       },
       pool);
@@ -217,7 +319,14 @@ DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
   std::vector<const DiffChunkRows*> chunk_ptrs;
   chunk_ptrs.reserve(partials.size());
   for (const DiffChunkRows& partial : partials) chunk_ptrs.push_back(&partial);
-  diff_finalize(file_rows, matched.get(), chunk_ptrs, pool, &result);
+  DiffFinalizeExtras extras;
+  extras.prev_rows = options.prev_rows;
+  extras.dirs = options.dirs;
+  if (dir_index != nullptr) {
+    extras.prev_dir_rows = dir_index->rows();
+    extras.dir_matched = dir_matched.get();
+  }
+  diff_finalize(file_rows, matched.get(), chunk_ptrs, pool, &result, &extras);
   if (breakdown) breakdown->sweep_s = seconds_since(mark);
   return result;
 }
@@ -225,7 +334,8 @@ DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
 DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
                                       const SnapshotTable& cur,
                                       ThreadPool* pool,
-                                      DiffBreakdown* breakdown) {
+                                      DiffBreakdown* breakdown,
+                                      const DiffOptions& options) {
   DiffResult result;
   result.prev_files = prev.file_count();
   result.cur_files = cur.file_count();
@@ -233,6 +343,15 @@ DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
   auto mark = std::chrono::steady_clock::now();
   const PartitionedPathIndex index(prev, pool);
   auto matched = make_matched(index.size());
+  std::unique_ptr<DetachedPathIndex> dir_index;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dir_matched;
+  DiffDirProbe dir_probe;
+  if (options.dirs) {
+    dir_index = std::make_unique<DetachedPathIndex>(prev, dir_rows_of(prev));
+    dir_matched = make_matched(dir_index->size());
+    dir_probe.index = dir_index.get();
+    dir_probe.matched = dir_matched.get();
+  }
   if (breakdown) {
     breakdown->build_s = seconds_since(mark);
     mark = std::chrono::steady_clock::now();
@@ -241,11 +360,15 @@ DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
   const std::size_t n = cur.size();
   const std::size_t chunks = n == 0 ? 0 : (n + kDiffGrain - 1) / kDiffGrain;
   std::vector<DiffChunkRows> partials(chunks);
+  for (DiffChunkRows& partial : partials) {
+    partial.record_prev = options.prev_rows;
+  }
   parallel_for_chunked(
       n, kDiffGrain,
       [&](std::size_t begin, std::size_t end) {
         diff_probe_range(index, prev, cur, begin, end, matched.get(),
-                         &partials[begin / kDiffGrain]);
+                         &partials[begin / kDiffGrain],
+                         options.dirs ? &dir_probe : nullptr);
       },
       pool);
   if (breakdown) {
@@ -256,16 +379,24 @@ DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
   std::vector<const DiffChunkRows*> chunk_ptrs;
   chunk_ptrs.reserve(partials.size());
   for (const DiffChunkRows& partial : partials) chunk_ptrs.push_back(&partial);
-  diff_finalize(index.file_rows(), matched.get(), chunk_ptrs, pool, &result);
+  DiffFinalizeExtras extras;
+  extras.prev_rows = options.prev_rows;
+  extras.dirs = options.dirs;
+  if (dir_index != nullptr) {
+    extras.prev_dir_rows = dir_index->rows();
+    extras.dir_matched = dir_matched.get();
+  }
+  diff_finalize(index.file_rows(), matched.get(), chunk_ptrs, pool, &result,
+                &extras);
   if (breakdown) breakdown->sweep_s = seconds_since(mark);
   return result;
 }
 
 namespace {
 
-/// Rows of one table's regular files, sorted by (path hash, row).
-std::vector<std::uint32_t> sorted_file_rows(const SnapshotTable& table) {
-  std::vector<std::uint32_t> rows = file_rows_of(table);
+/// Sorts `rows` of one table by (path hash, path).
+std::vector<std::uint32_t> sorted_by_path(const SnapshotTable& table,
+                                          std::vector<std::uint32_t> rows) {
   std::sort(rows.begin(), rows.end(),
             [&table](std::uint32_t a, std::uint32_t b) {
               if (table.path_hash(a) != table.path_hash(b)) {
@@ -278,16 +409,36 @@ std::vector<std::uint32_t> sorted_file_rows(const SnapshotTable& table) {
 
 void classify_pair(const SnapshotTable& prev, const SnapshotTable& cur,
                    std::uint32_t prev_row, std::uint32_t cur_row,
-                   DiffResult& result) {
+                   bool record_prev, DiffResult& result) {
   const bool atime_same = cur.atime(cur_row) == prev.atime(prev_row);
   const bool mtime_same = cur.mtime(cur_row) == prev.mtime(prev_row);
   const bool ctime_same = cur.ctime(cur_row) == prev.ctime(prev_row);
   if (mtime_same && ctime_same && atime_same) {
     result.untouched_rows.push_back(cur_row);
+    if (record_prev) result.untouched_prev_rows.push_back(prev_row);
   } else if (mtime_same && ctime_same) {
     result.readonly_rows.push_back(cur_row);
+    if (record_prev) result.readonly_prev_rows.push_back(prev_row);
   } else {
     result.updated_rows.push_back(cur_row);
+    if (record_prev) result.updated_prev_rows.push_back(prev_row);
+  }
+}
+
+/// Restores the hash join's ascending-cur-row contract for a matched class
+/// while keeping the prev list index-parallel. Cur rows are unique, so the
+/// pair sort is a sort by cur row.
+void co_sort_by_cur(std::vector<std::uint32_t>& cur_rows,
+                    std::vector<std::uint32_t>& prev_rows) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(cur_rows.size());
+  for (std::size_t i = 0; i < cur_rows.size(); ++i) {
+    pairs.emplace_back(cur_rows[i], prev_rows[i]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    cur_rows[i] = pairs[i].first;
+    prev_rows[i] = pairs[i].second;
   }
 }
 
@@ -295,14 +446,18 @@ void classify_pair(const SnapshotTable& prev, const SnapshotTable& cur,
 
 DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
                                     const SnapshotTable& cur,
-                                    DiffBreakdown* breakdown) {
+                                    DiffBreakdown* breakdown,
+                                    const DiffOptions& options) {
   DiffResult result;
   result.prev_files = prev.file_count();
   result.cur_files = cur.file_count();
+  result.has_prev_rows = options.prev_rows;
 
   auto mark = std::chrono::steady_clock::now();
-  const std::vector<std::uint32_t> lhs = sorted_file_rows(prev);
-  const std::vector<std::uint32_t> rhs = sorted_file_rows(cur);
+  const std::vector<std::uint32_t> lhs =
+      sorted_by_path(prev, file_rows_of(prev));
+  const std::vector<std::uint32_t> rhs =
+      sorted_by_path(cur, file_rows_of(cur));
   if (breakdown) {
     breakdown->build_s = seconds_since(mark);
     mark = std::chrono::steady_clock::now();
@@ -323,7 +478,7 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
       ++i;
     } else if (prev.path_hash(a) == cur.path_hash(b) &&
                prev.path(a) == cur.path(b)) {
-      classify_pair(prev, cur, a, b, result);
+      classify_pair(prev, cur, a, b, options.prev_rows, result);
       ++i;
       ++j;
     } else {
@@ -333,16 +488,56 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
   }
   for (; i < lhs.size(); ++i) result.deleted_rows.push_back(lhs[i]);
   for (; j < rhs.size(); ++j) result.new_rows.push_back(rhs[j]);
+
+  if (options.dirs) {
+    result.has_dir_diff = true;
+    const std::vector<std::uint32_t> dl =
+        sorted_by_path(prev, dir_rows_of(prev));
+    const std::vector<std::uint32_t> dr =
+        sorted_by_path(cur, dir_rows_of(cur));
+    std::size_t p = 0, q = 0;
+    while (p < dl.size() && q < dr.size()) {
+      const std::uint32_t a = dl[p];
+      const std::uint32_t b = dr[q];
+      if (key_less(a, b)) {
+        result.deleted_dir_rows.push_back(a);
+        ++p;
+      } else if (prev.path_hash(a) == cur.path_hash(b) &&
+                 prev.path(a) == cur.path(b)) {
+        classify_dir(prev, cur, a, b, result.changed_dir_rows,
+                     result.changed_dir_prev_rows);
+        ++p;
+        ++q;
+      } else {
+        result.new_dir_rows.push_back(b);
+        ++q;
+      }
+    }
+    for (; p < dl.size(); ++p) result.deleted_dir_rows.push_back(dl[p]);
+    for (; q < dr.size(); ++q) result.new_dir_rows.push_back(dr[q]);
+  }
   if (breakdown) {
     breakdown->probe_s = seconds_since(mark);
     mark = std::chrono::steady_clock::now();
   }
 
   // Restore the hash join's row-order contract.
-  for (auto* rows : {&result.new_rows, &result.readonly_rows,
-                     &result.updated_rows, &result.untouched_rows,
-                     &result.deleted_rows}) {
-    std::sort(rows->begin(), rows->end());
+  std::sort(result.new_rows.begin(), result.new_rows.end());
+  std::sort(result.deleted_rows.begin(), result.deleted_rows.end());
+  if (options.prev_rows) {
+    co_sort_by_cur(result.readonly_rows, result.readonly_prev_rows);
+    co_sort_by_cur(result.updated_rows, result.updated_prev_rows);
+    co_sort_by_cur(result.untouched_rows, result.untouched_prev_rows);
+  } else {
+    for (auto* rows : {&result.readonly_rows, &result.updated_rows,
+                       &result.untouched_rows}) {
+      std::sort(rows->begin(), rows->end());
+    }
+  }
+  if (options.dirs) {
+    std::sort(result.new_dir_rows.begin(), result.new_dir_rows.end());
+    std::sort(result.deleted_dir_rows.begin(), result.deleted_dir_rows.end());
+    co_sort_by_cur(result.changed_dir_rows, result.changed_dir_prev_rows);
   }
   if (breakdown) breakdown->sweep_s = seconds_since(mark);
   return result;
@@ -351,16 +546,17 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
 DiffResult diff_snapshots_with(DiffStrategy strategy,
                                const SnapshotTable& prev,
                                const SnapshotTable& cur, ThreadPool* pool,
-                               DiffBreakdown* breakdown) {
+                               DiffBreakdown* breakdown,
+                               const DiffOptions& options) {
   switch (strategy) {
     case DiffStrategy::kSortMerge:
-      return diff_snapshots_sortmerge(prev, cur, breakdown);
+      return diff_snapshots_sortmerge(prev, cur, breakdown, options);
     case DiffStrategy::kPartitioned:
-      return diff_snapshots_partitioned(prev, cur, pool, breakdown);
+      return diff_snapshots_partitioned(prev, cur, pool, breakdown, options);
     case DiffStrategy::kHash:
       break;
   }
-  return diff_snapshots(prev, cur, pool, breakdown);
+  return diff_snapshots(prev, cur, pool, breakdown, options);
 }
 
 }  // namespace spider

@@ -45,6 +45,26 @@ struct DiffResult {
   // Rows in the *previous* snapshot.
   std::vector<std::uint32_t> deleted_rows;
 
+  // Matched previous-week rows, index-parallel with readonly_rows /
+  // updated_rows / untouched_rows. Filled only when DiffOptions::prev_rows
+  // was requested — the incremental study (DESIGN.md §13) needs the
+  // prev-side twin of every matched row to retire last week's
+  // contribution.
+  bool has_prev_rows = false;
+  std::vector<std::uint32_t> readonly_prev_rows;
+  std::vector<std::uint32_t> updated_prev_rows;
+  std::vector<std::uint32_t> untouched_prev_rows;
+
+  // Directory diff (DiffOptions::dirs). Directories never enter the file
+  // classes or the fractions; "changed" means any of the three timestamps
+  // differs (a superset of ownership changes, which move ctime).
+  // changed_dir_prev_rows is index-parallel with changed_dir_rows.
+  bool has_dir_diff = false;
+  std::vector<std::uint32_t> new_dir_rows;          // cur rows
+  std::vector<std::uint32_t> changed_dir_rows;      // cur rows
+  std::vector<std::uint32_t> changed_dir_prev_rows; // prev rows
+  std::vector<std::uint32_t> deleted_dir_rows;      // prev rows
+
   std::size_t prev_files = 0;  // regular files in previous snapshot
   std::size_t cur_files = 0;   // regular files in current snapshot
 
@@ -53,6 +73,16 @@ struct DiffResult {
   double updated_fraction() const;
   double untouched_fraction() const;
   double new_fraction() const;
+};
+
+/// Optional diff outputs beyond the five file-row lists. Every strategy
+/// honors both flags with identical results.
+struct DiffOptions {
+  /// Record the matched previous-week row alongside each readonly /
+  /// updated / untouched current-week row.
+  bool prev_rows = false;
+  /// Also diff directory rows (new / changed / deleted directories).
+  bool dirs = false;
 };
 
 /// Which join implementation computes the diff (CLI: snapshot_tool diff
@@ -80,6 +110,17 @@ struct DiffChunkRows {
   static constexpr int kUpdated = 2;
   static constexpr int kUntouched = 3;
   std::vector<std::uint32_t> rows[4];
+
+  /// Set before probing to also record each matched row's previous-week
+  /// twin in prev_rows (index-parallel with rows; kNew stays empty).
+  bool record_prev = false;
+  std::vector<std::uint32_t> prev_rows[4];
+
+  // Directory classification, filled only when the probe is handed a
+  // DiffDirProbe. changed_dirs_prev is index-parallel with changed_dirs.
+  std::vector<std::uint32_t> new_dirs;          // cur rows
+  std::vector<std::uint32_t> changed_dirs;      // cur rows
+  std::vector<std::uint32_t> changed_dirs_prev; // prev rows
 };
 
 /// Classifies regular files between two adjacent snapshots with the single
@@ -87,14 +128,16 @@ struct DiffChunkRows {
 /// outputs are in ascending row order (deterministic).
 DiffResult diff_snapshots(const SnapshotTable& prev, const SnapshotTable& cur,
                           ThreadPool* pool = nullptr,
-                          DiffBreakdown* breakdown = nullptr);
+                          DiffBreakdown* breakdown = nullptr,
+                          const DiffOptions& options = {});
 
 /// Sort-merge alternative to the hash join: both sides are sorted by
 /// (path hash, path) and merged. Same result contract as diff_snapshots;
 /// exists for the join-strategy ablation benchmark. Serial.
 DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
                                     const SnapshotTable& cur,
-                                    DiffBreakdown* breakdown = nullptr);
+                                    DiffBreakdown* breakdown = nullptr,
+                                    const DiffOptions& options = {});
 
 /// The radix-partitioned join (DESIGN.md §11): build side partitioned once
 /// by the top bits of the path hash, per-partition shards built fully in
@@ -103,14 +146,16 @@ DiffResult diff_snapshots_sortmerge(const SnapshotTable& prev,
 DiffResult diff_snapshots_partitioned(const SnapshotTable& prev,
                                       const SnapshotTable& cur,
                                       ThreadPool* pool = nullptr,
-                                      DiffBreakdown* breakdown = nullptr);
+                                      DiffBreakdown* breakdown = nullptr,
+                                      const DiffOptions& options = {});
 
 /// Dispatches on `strategy` (kSortMerge ignores the pool).
 DiffResult diff_snapshots_with(DiffStrategy strategy,
                                const SnapshotTable& prev,
                                const SnapshotTable& cur,
                                ThreadPool* pool = nullptr,
-                               DiffBreakdown* breakdown = nullptr);
+                               DiffBreakdown* breakdown = nullptr,
+                               const DiffOptions& options = {});
 
 // --- Fused-kernel building blocks -----------------------------------------
 // The study runner computes the diff as a kernel on the shared weekly scan
@@ -119,23 +164,49 @@ DiffResult diff_snapshots_with(DiffStrategy strategy,
 // DiffResult via diff_finalize. Exposed here so the kernel, the standalone
 // strategies, and the tests share one implementation.
 
+/// Directory side of the probe (DiffOptions::dirs): an index over the
+/// previous week's directory rows plus its match flags, one per indexed
+/// directory (0 -> 1 transitions only; relaxed atomics suffice).
+struct DiffDirProbe {
+  const DetachedPathIndex* index = nullptr;
+  std::atomic<std::uint8_t>* matched = nullptr;
+};
+
 /// Probes rows [begin, end) of `cur` against the partitioned index over
 /// `prev`, appending each file row to the matching class list of `out` and
 /// flagging matched build-side ordinals in `matched` (0 -> 1 transitions
-/// only; relaxed atomics suffice). Safe to run concurrently over disjoint
-/// ranges with distinct `out` states.
+/// only; relaxed atomics suffice). With out->record_prev set, the matched
+/// classes also record the previous-week row; with `dirs`, directory rows
+/// are classified against its index instead of being skipped. Safe to run
+/// concurrently over disjoint ranges with distinct `out` states.
 void diff_probe_range(const PartitionedPathIndex& index,
                       const SnapshotTable& prev, const SnapshotTable& cur,
                       std::size_t begin, std::size_t end,
-                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out);
+                      std::atomic<std::uint8_t>* matched, DiffChunkRows* out,
+                      const DiffDirProbe* dirs = nullptr);
+
+/// Optional diff_finalize outputs matching DiffOptions: prev-row splicing
+/// (the probes ran with record_prev) and the directory lists plus the
+/// deleted-directory sweep of `prev_dir_rows` against `dir_matched`.
+struct DiffFinalizeExtras {
+  bool prev_rows = false;
+  bool dirs = false;
+  std::span<const std::uint32_t> prev_dir_rows;
+  const std::atomic<std::uint8_t>* dir_matched = nullptr;
+};
 
 /// Splices per-chunk classifications (chunk order) into `out` and sweeps
 /// the unmatched positions of `prev_file_rows` into deleted_rows, in
-/// parallel. Fills the five row lists only; the caller sets
+/// parallel. Fills the row lists only; the caller sets
 /// prev_files/cur_files.
 void diff_finalize(std::span<const std::uint32_t> prev_file_rows,
                    const std::atomic<std::uint8_t>* matched,
                    std::span<const DiffChunkRows* const> chunks,
-                   ThreadPool* pool, DiffResult* out);
+                   ThreadPool* pool, DiffResult* out,
+                   const DiffFinalizeExtras* extras = nullptr);
+
+/// Ascending directory rows of `table` — the build side of the directory
+/// diff, fed to DetachedPathIndex.
+std::vector<std::uint32_t> dir_rows_of(const SnapshotTable& table);
 
 }  // namespace spider

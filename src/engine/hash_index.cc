@@ -76,6 +76,37 @@ PathIndex::PathIndex(const SnapshotTable& table,
   }
 }
 
+DetachedPathIndex::DetachedPathIndex(const SnapshotTable& table,
+                                     std::vector<std::uint32_t> rows)
+    : rows_(std::move(rows)) {
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(rows_.size() * 2, 16));
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+
+  for (std::size_t pos = 0; pos < rows_.size(); ++pos) {
+    const std::uint32_t row = rows_[pos];
+    const std::uint64_t hash = table.path_hash(row);
+    const std::uint32_t fp = static_cast<std::uint32_t>(hash >> 32);
+    std::uint64_t slot = hash & mask_;
+    for (;;) {
+      const std::uint64_t stored = slots_[slot];
+      if ((stored & kSlotLowMask) == 0) {
+        slots_[slot] = (static_cast<std::uint64_t>(fp) << 32) |
+                       (static_cast<std::uint64_t>(pos) + 1);
+        break;
+      }
+      const std::uint32_t other =
+          rows_[static_cast<std::uint32_t>(stored) - 1];
+      if (static_cast<std::uint32_t>(stored >> 32) == fp &&
+          table.path(other) == table.path(row)) {
+        break;  // duplicate path: keep the first position
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+}
+
 PartitionedPathIndex::PartitionedPathIndex(const SnapshotTable& table,
                                            ThreadPool* pool) {
   // Ascending file-row gather, fused with the payload gather and written

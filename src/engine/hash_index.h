@@ -100,6 +100,56 @@ class PathIndex {
   std::size_t size_ = 0;
 };
 
+/// Subset index that, like PartitionedPathIndex below, survives table
+/// moves: it owns its row list and stores no table reference, so the study
+/// runner can build it once per week and keep it attached to the Snapshot
+/// as it moves between pipeline slots. Serial build — it indexes the
+/// directory rows for the diff's directory side, a small minority of the
+/// snapshot.
+class DetachedPathIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffff'ffffu;
+
+  DetachedPathIndex() = default;
+
+  /// Indexes the subset `rows` of `table` (row indices, any order;
+  /// duplicate paths keep the first position). The table is only read
+  /// during the build.
+  DetachedPathIndex(const SnapshotTable& table,
+                    std::vector<std::uint32_t> rows);
+
+  /// Position in rows() of `path`, or kNotFound. `table` must be the
+  /// indexed table (possibly relocated by a move since the build).
+  /// Thread-safe.
+  std::uint32_t lookup(const SnapshotTable& table, std::uint64_t hash,
+                       std::string_view path) const {
+    if (slots_.empty()) return kNotFound;
+    const std::uint32_t fp = static_cast<std::uint32_t>(hash >> 32);
+    std::uint64_t slot = hash & mask_;
+    for (;;) {
+      const std::uint64_t stored = slots_[slot];
+      if (static_cast<std::uint32_t>(stored) == 0) return kNotFound;
+      if (static_cast<std::uint32_t>(stored >> 32) == fp) {
+        const std::uint32_t pos = static_cast<std::uint32_t>(stored) - 1;
+        if (table.path(rows_[pos]) == path) return pos;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Indexed rows in insertion order; lookup() returns positions in it.
+  std::span<const std::uint32_t> rows() const { return rows_; }
+  std::uint32_t row_of(std::uint32_t pos) const { return rows_[pos]; }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::uint32_t> rows_;
+  // Same slot packing as PathIndex: fingerprint << 32 | (position + 1),
+  // 0 in the low half = empty.
+  std::vector<std::uint64_t> slots_;
+  std::uint64_t mask_ = 0;
+};
+
 /// Radix-partitioned build side of the diff join. Deliberately does NOT
 /// retain a pointer to the indexed table: the study runner moves Snapshot
 /// objects between pipeline slots (retain-by-move), which would dangle a

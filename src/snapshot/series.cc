@@ -165,6 +165,7 @@ void SnapshotSource::visit_move(const SnapshotMoveVisitor& visitor) {
     Snapshot copy;
     copy.taken_at = snap.taken_at;
     copy.table = snap.table.clone();
+    copy.degraded = snap.degraded;
     visitor(week, std::move(copy));
   });
 }
@@ -181,12 +182,14 @@ void DirectorySeries::visit_move(const SnapshotMoveVisitor& visitor) {
   for (std::size_t i = 0; i < files_.size(); ++i) {
     Snapshot snap;
     snap.taken_at = taken_at_[i];
+    SalvageReport report;
     const Status s =
-        read_scol_file(files_[i], &snap.table, scol_options_);
+        read_scol_file(files_[i], &snap.table, scol_options_, &report);
     if (!s.ok()) {
       gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
       continue;
     }
+    snap.degraded = !report.clean();
     visitor(slots_[i], std::move(snap));
   }
   std::sort(gaps_.begin(), gaps_.end(),

@@ -30,6 +30,11 @@ namespace spider {
 struct Snapshot {
   std::int64_t taken_at = 0;  // epoch seconds of collection
   SnapshotTable table;
+  /// True when the snapshot was decoded under a salvage policy and lost
+  /// rows (SalvageReport not clean). The incremental study treats such a
+  /// week — and the diff against it — as untrustworthy for delta purposes
+  /// and re-baselines with a full scan (DESIGN.md §13).
+  bool degraded = false;
 };
 
 /// One unusable week slot in a series: a snapshot that was never collected

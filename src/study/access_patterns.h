@@ -37,6 +37,13 @@ class AccessPatternsAnalyzer : public StudyAnalyzer {
   /// obs.diff before this analyzer's merge sees it.
   ColumnMask columns_needed() const override { return kColMaskNone; }
   void observe(const WeekObservation& obs) override;
+  /// Consumes only the week's DiffResult — already O(1) in snapshot size —
+  /// so the delta port is observe() itself; on delta weeks obs.diff is
+  /// final by the time apply_delta runs.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs, const WeekDelta&) override {
+    observe(obs);
+  }
   void finish() override;
 
   const AccessPatternsResult& result() const { return result_; }

@@ -135,6 +135,7 @@ void CensusAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
     result_.final_empty_dirs = empty;
     result_.final_dirs = dirs;
   }
+  if (obs.incremental) rebuild_live_maps(obs.snap->table);
 
   // Unique-entry census: first-seen resolution in chunk (= row) order,
   // byte-identical to the serial scan.
@@ -192,6 +193,7 @@ void CensusAnalyzer::observe(const WeekObservation& obs) {
     result_.final_empty_dirs = empty;
     result_.final_dirs = dirs;
   }
+  if (obs.incremental) rebuild_live_maps(table);
 
   for (std::size_t i = 0; i < table.size(); ++i) {
     if (!distinct_.insert(table.path_hash(i))) continue;  // seen before
@@ -223,6 +225,89 @@ void CensusAnalyzer::observe(const WeekObservation& obs) {
         ++files_by_project_[static_cast<std::size_t>(project)];
       }
       const int user = resolver_.user_of_uid(table.uid(i));
+      if (user >= 0) ++files_by_user_[static_cast<std::size_t>(user)];
+    }
+  }
+}
+
+void CensusAnalyzer::rebuild_live_maps(const SnapshotTable& table) {
+  parent_live_.clear();
+  dirs_live_.clear();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    ++parent_live_.slot(hash_bytes(path_parent(table.path(i))));
+    if (table.is_dir(i)) ++dirs_live_.slot(table.path_hash(i));
+  }
+}
+
+void CensusAnalyzer::apply_delta(const WeekObservation&,
+                                 const WeekDelta& delta) {
+  const SnapshotTable& cur = *delta.cur;
+  const SnapshotTable& prev = *delta.prev;
+  const DiffResult& diff = *delta.diff;
+
+  // Empty-directory census: adjust the retained reference counts by the
+  // rows that entered and left the namespace, then recount live dirs with
+  // no live children. Updated/changed rows keep their paths, so only
+  // created and deleted rows move the counts.
+  for (const std::uint32_t row : delta.added_rows) {
+    ++parent_live_.slot(hash_bytes(path_parent(cur.path(row))));
+  }
+  for (const std::uint32_t row : diff.deleted_rows) {
+    --parent_live_.slot(hash_bytes(path_parent(prev.path(row))));
+  }
+  for (const std::uint32_t row : diff.deleted_dir_rows) {
+    --parent_live_.slot(hash_bytes(path_parent(prev.path(row))));
+  }
+  for (const std::uint32_t row : diff.new_dir_rows) {
+    ++dirs_live_.slot(cur.path_hash(row));
+  }
+  for (const std::uint32_t row : diff.deleted_dir_rows) {
+    --dirs_live_.slot(prev.path_hash(row));
+  }
+  std::uint64_t dirs = 0, empty = 0;
+  dirs_live_.for_each([&](std::uint64_t hash, std::int64_t count) {
+    if (count <= 0) return;
+    dirs += static_cast<std::uint64_t>(count);
+    const std::int64_t* parents = parent_live_.find(hash);
+    if (parents == nullptr || *parents <= 0) {
+      empty += static_cast<std::uint64_t>(count);
+    }
+  });
+  result_.final_empty_dirs = empty;
+  result_.final_dirs = dirs;
+
+  // Unique-entry census: only new rows can be first-seen, in the same
+  // ascending order the scan path resolves candidates.
+  for (const std::uint32_t row : delta.added_rows) {
+    if (!distinct_.insert(cur.path_hash(row))) continue;
+    const int project = resolver_.project_of_gid(cur.gid(row));
+    const int domain = project < 0
+                           ? -1
+                           : resolver_.plan()
+                                 .projects[static_cast<std::size_t>(project)]
+                                 .domain;
+    const std::uint16_t depth = cur.depth(row);
+    result_.max_depth = std::max<std::uint64_t>(result_.max_depth, depth);
+    if (cur.is_dir(row)) {
+      ++result_.total_dirs;
+      if (domain >= 0) {
+        ++result_.dirs_by_domain[static_cast<std::size_t>(domain)];
+        dir_depths_by_domain_[static_cast<std::size_t>(domain)].push_back(
+            depth);
+      }
+      if (project >= 0) {
+        auto& best = max_depth_by_project_[static_cast<std::size_t>(project)];
+        best = std::max(best, depth);
+      }
+    } else {
+      ++result_.total_files;
+      if (domain >= 0) {
+        ++result_.files_by_domain[static_cast<std::size_t>(domain)];
+      }
+      if (project >= 0) {
+        ++files_by_project_[static_cast<std::size_t>(project)];
+      }
+      const int user = resolver_.user_of_uid(cur.uid(row));
       if (user >= 0) ++files_by_user_[static_cast<std::size_t>(user)];
     }
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/flat_map.h"
 #include "engine/u64set.h"
 #include "study/resolve.h"
 #include "study/runner.h"
@@ -65,18 +66,35 @@ class CensusAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: the unique-entry census consumes only new rows (a matched
+  /// row kept its path, so its hash was already claimed), and the per-week
+  /// empty-directory census rolls forward two retained reference-count
+  /// maps — parent hash -> rows naming it as parent, and live dir hashes —
+  /// adjusted only by created and deleted rows (renames don't exist;
+  /// updated rows keep their paths).
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const CensusResult& result() const { return result_; }
   std::string render() const;
 
  private:
+  void rebuild_live_maps(const SnapshotTable& table);
+
   const Resolver& resolver_;
   U64Set distinct_;
   std::vector<std::uint64_t> files_by_user_;     // dense user index
   std::vector<std::uint64_t> files_by_project_;  // dense project index
   std::vector<std::uint16_t> max_depth_by_project_;
   std::vector<std::vector<double>> dir_depths_by_domain_;
+  /// Retained live-population state for the delta path, rebuilt on every
+  /// full-scan week of an incremental run (baseline and re-baseline):
+  /// reference counts of parent-path hashes over all rows, and of dir-path
+  /// hashes. Signed so transient decrement-then-increment orders are safe.
+  FlatMap<std::int64_t> parent_live_;
+  FlatMap<std::int64_t> dirs_live_;
   CensusResult result_;
 };
 

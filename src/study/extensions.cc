@@ -183,6 +183,59 @@ void ExtensionsAnalyzer::observe(const WeekObservation& obs) {
   weekly_none_.push_back(none);
 }
 
+void ExtensionsAnalyzer::apply_delta(const WeekObservation& obs,
+                                     const WeekDelta& delta) {
+  const SnapshotTable& cur = *delta.cur;
+  const SnapshotTable& prev = *delta.prev;
+  // Roll the previous week's per-extension counts forward. Deleted files
+  // existed last week, so their extensions are already interned and their
+  // ids are covered by last week's count vector.
+  std::vector<std::uint64_t> weekly = weekly_counts_.back();
+  std::uint64_t files = weekly_files_.back();
+  std::uint64_t none = weekly_none_.back();
+  for (const std::uint32_t row : delta.diff->deleted_rows) {
+    const std::string_view ext = path_extension(prev.path(row));
+    --files;
+    if (ext.empty()) {
+      --none;
+    } else {
+      --weekly[dict_.intern(ext)];
+    }
+  }
+  for (const std::uint32_t row : delta.added_rows) {
+    if (cur.is_dir(row)) continue;
+    const std::string_view ext = path_extension(cur.path(row));
+    ++files;
+    std::int64_t id = -1;
+    if (ext.empty()) {
+      ++none;
+    } else {
+      id = dict_.intern(ext);
+      bump(weekly, static_cast<std::uint32_t>(id), 1);
+    }
+    // insert() can fail here: a deleted-then-recreated path was first seen
+    // in an earlier week (same behavior as the scan path's candidate
+    // filter).
+    if (distinct_.insert(cur.path_hash(row))) {
+      ++result_.unique_files;
+      if (id < 0) {
+        ++result_.unique_no_extension;
+      } else {
+        bump(unique_global_, static_cast<std::uint32_t>(id), 1);
+        const int domain = resolver_.domain_of_gid(cur.gid(row));
+        if (domain >= 0) {
+          bump(unique_by_domain_[static_cast<std::size_t>(domain)],
+               static_cast<std::uint32_t>(id), 1);
+        }
+      }
+    }
+  }
+  result_.snapshot_dates.push_back(obs.snap->taken_at);
+  weekly_counts_.push_back(std::move(weekly));
+  weekly_files_.push_back(files);
+  weekly_none_.push_back(none);
+}
+
 void ExtensionsAnalyzer::finish() {
   const auto top = top_k_dict(unique_global_, dict_, top_k_);
   result_.global_top.reserve(top.size());

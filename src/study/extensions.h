@@ -49,6 +49,15 @@ class ExtensionsAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: matched rows keep their paths (hence extensions), so the
+  /// week's counts are the previous week's counts minus deleted files plus
+  /// new files, and first-seen/intern work touches only new rows. New
+  /// dictionary ids can only come from new rows — any extension on a
+  /// matched or deleted row already existed last week — so the intern
+  /// order (ascending new rows) matches the scan path's chunk-fold order.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const ExtensionsResult& result() const { return result_; }

@@ -10,10 +10,40 @@
 namespace spider {
 
 namespace {
+
+std::int64_t age_seconds(const SnapshotTable& table, std::size_t row) {
+  return std::max<std::int64_t>(0, table.atime(row) - table.mtime(row));
+}
+
+/// Exact-integer mean: both scan and delta paths feed the same formula, so
+/// the average never depends on accumulation order.
+double mean_age_days(std::int64_t sum_seconds, std::size_t count) {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum_seconds) /
+         (static_cast<double>(count) * static_cast<double>(kSecondsPerDay));
+}
+
+/// percentile_sorted(days, 50) over the converted multiset, without
+/// materializing the double vector: seconds -> days is strictly monotonic
+/// (and injective for any realistic age), so converting the two
+/// interpolation endpoints reproduces the double-path result exactly.
+double median_age_days(std::span<const std::int64_t> sorted) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return seconds_to_days(sorted[0]);
+  const double pos = 0.5 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double a = seconds_to_days(sorted[lo]);
+  const double b = seconds_to_days(sorted[hi]);
+  return a + frac * (b - a);
+}
+
 struct FileAgeChunk : ScanChunkState {
-  StreamingStats stats;
-  std::vector<double> ages;
+  std::int64_t sum = 0;
+  std::vector<std::int64_t> ages;  // row order
 };
+
 }  // namespace
 
 std::unique_ptr<ScanChunkState> FileAgeAnalyzer::make_chunk_state() const {
@@ -27,46 +57,117 @@ void FileAgeAnalyzer::observe_chunk(ScanChunkState* state,
   const SnapshotTable& table = obs.snap->table;
   for (std::size_t i = begin; i < end; ++i) {
     if (table.is_dir(i)) continue;
-    const double age = seconds_to_days(
-        std::max<std::int64_t>(0, table.atime(i) - table.mtime(i)));
-    chunk->stats.add(age);
+    const std::int64_t age = age_seconds(table, i);
+    chunk->sum += age;
     chunk->ages.push_back(age);
   }
 }
 
 void FileAgeAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
-  StreamingStats stats;
-  std::vector<double> ages;
+  std::int64_t sum = 0;
+  std::vector<std::int64_t> ages;
   ages.reserve(obs.snap->table.file_count());
   for (const auto& state : states) {
     const auto* chunk = static_cast<const FileAgeChunk*>(state.get());
-    stats.merge(chunk->stats);
+    sum += chunk->sum;
     ages.insert(ages.end(), chunk->ages.begin(), chunk->ages.end());
   }
+  std::sort(ages.begin(), ages.end());
   FileAgePoint point;
   point.date = obs.snap->taken_at;
-  point.avg_age_days = stats.mean();
-  point.median_age_days = percentile(ages, 50.0);
+  point.avg_age_days = mean_age_days(sum, ages.size());
+  point.median_age_days = median_age_days(ages);
   result_.points.push_back(point);
+  if (obs.incremental) {
+    live_sum_ = sum;
+    live_ages_ = std::move(ages);
+  }
 }
 
 void FileAgeAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
-  StreamingStats stats;
-  std::vector<double> ages;
+  std::int64_t sum = 0;
+  std::vector<std::int64_t> ages;
   ages.reserve(table.file_count());
   for (std::size_t i = 0; i < table.size(); ++i) {
     if (table.is_dir(i)) continue;
-    const double age = seconds_to_days(
-        std::max<std::int64_t>(0, table.atime(i) - table.mtime(i)));
-    stats.add(age);
+    const std::int64_t age = age_seconds(table, i);
+    sum += age;
     ages.push_back(age);
   }
+  std::sort(ages.begin(), ages.end());
   FileAgePoint point;
   point.date = obs.snap->taken_at;
-  point.avg_age_days = stats.mean();
-  point.median_age_days = percentile(ages, 50.0);
+  point.avg_age_days = mean_age_days(sum, ages.size());
+  point.median_age_days = median_age_days(ages);
   result_.points.push_back(point);
+  if (obs.incremental) {
+    live_sum_ = sum;
+    live_ages_ = std::move(ages);
+  }
+}
+
+void FileAgeAnalyzer::apply_delta(const WeekObservation& obs,
+                                  const WeekDelta& delta) {
+  const SnapshotTable& cur = *delta.cur;
+  const SnapshotTable& prev = *delta.prev;
+  const DiffResult& diff = *delta.diff;
+
+  // Ages leaving the population: deleted files, plus the stale prev-side
+  // ages of files whose atime or mtime moved this week.
+  std::vector<std::int64_t> removed;
+  removed.reserve(diff.deleted_rows.size() + diff.readonly_prev_rows.size() +
+                  diff.updated_prev_rows.size());
+  for (const std::uint32_t row : diff.deleted_rows) {
+    removed.push_back(age_seconds(prev, row));
+  }
+  for (const std::uint32_t row : diff.readonly_prev_rows) {
+    removed.push_back(age_seconds(prev, row));
+  }
+  for (const std::uint32_t row : diff.updated_prev_rows) {
+    removed.push_back(age_seconds(prev, row));
+  }
+  std::sort(removed.begin(), removed.end());
+
+  std::vector<std::int64_t> added;
+  added.reserve(diff.new_rows.size() + diff.readonly_rows.size() +
+                diff.updated_rows.size());
+  for (const std::uint32_t row : diff.new_rows) {
+    added.push_back(age_seconds(cur, row));
+  }
+  for (const std::uint32_t row : diff.readonly_rows) {
+    added.push_back(age_seconds(cur, row));
+  }
+  for (const std::uint32_t row : diff.updated_rows) {
+    added.push_back(age_seconds(cur, row));
+  }
+  std::sort(added.begin(), added.end());
+
+  for (const std::int64_t age : removed) live_sum_ -= age;
+  for (const std::int64_t age : added) live_sum_ += age;
+
+  // Multiset difference then merge; every removed age is present by
+  // construction (it was in the previous snapshot's population).
+  std::vector<std::int64_t> kept;
+  kept.reserve(live_ages_.size() - removed.size());
+  std::size_t r = 0;
+  for (const std::int64_t age : live_ages_) {
+    if (r < removed.size() && removed[r] == age) {
+      ++r;
+      continue;
+    }
+    kept.push_back(age);
+  }
+  std::vector<std::int64_t> next(kept.size() + added.size());
+  std::merge(kept.begin(), kept.end(), added.begin(), added.end(),
+             next.begin());
+
+  FileAgePoint point;
+  point.date = obs.snap->taken_at;
+  point.avg_age_days = mean_age_days(live_sum_, next.size());
+  point.median_age_days = median_age_days(next);
+  result_.points.push_back(point);
+  live_ages_ = std::move(next);
 }
 
 void FileAgeAnalyzer::finish() {

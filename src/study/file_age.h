@@ -39,12 +39,26 @@ class FileAgeAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: age (atime - mtime) is frozen for untouched rows, so the
+  /// week's age population is last week's sorted multiset minus the ages
+  /// of deleted/readonly/updated prev rows plus the ages of new/readonly/
+  /// updated cur rows. All paths compute the mean from an exact int64
+  /// second sum and the median from the sorted multiset, so the delta and
+  /// scan paths agree bit-for-bit.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const FileAgeResult& result() const { return result_; }
   std::string render() const;
 
  private:
+  /// Retained live-population state for the delta path (maintained only
+  /// when the study runs incrementally): exact age-second sum and the
+  /// sorted age multiset of the previous snapshot's files.
+  std::int64_t live_sum_ = 0;
+  std::vector<std::int64_t> live_ages_;
   FileAgeResult result_;
 };
 

@@ -34,6 +34,13 @@ class GrowthAnalyzer : public StudyAnalyzer {
   /// default merge() forwards to observe() once a week.
   ColumnMask columns_needed() const override { return kColMaskMode; }
   void observe(const WeekObservation& obs) override;
+  /// Already O(1) per week with no retained row state, so the delta port
+  /// is observe() itself — declaring support keeps the analyzer out of
+  /// the shared scan on delta weeks.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs, const WeekDelta&) override {
+    observe(obs);
+  }
   void finish() override;
 
   const GrowthResult& result() const { return result_; }

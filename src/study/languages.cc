@@ -105,6 +105,23 @@ void LanguagesAnalyzer::observe(const WeekObservation& obs) {
   }
 }
 
+void LanguagesAnalyzer::apply_delta(const WeekObservation&,
+                                    const WeekDelta& delta) {
+  const SnapshotTable& table = *delta.cur;
+  for (const std::uint32_t row : delta.added_rows) {
+    if (table.is_dir(row)) continue;
+    if (!distinct_.insert(table.path_hash(row))) continue;
+    const int lang = language_for_extension(path_extension(table.path(row)));
+    if (lang < 0) continue;
+    ++global_[static_cast<std::size_t>(lang)];
+    const int domain = resolver_.domain_of_gid(table.gid(row));
+    if (domain >= 0) {
+      ++result_.by_domain[static_cast<std::size_t>(domain)]
+                         [static_cast<std::size_t>(lang)];
+    }
+  }
+}
+
 void LanguagesAnalyzer::finish() {
   const auto langs = languages();
   std::vector<std::size_t> order;

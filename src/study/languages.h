@@ -44,6 +44,12 @@ class LanguagesAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: a matched row kept its path, so its hash is already in
+  /// the first-seen set — only the week's new rows can contribute, and
+  /// they arrive in the same ascending order the scan path inserts them.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const LanguagesResult& result() const { return result_; }

@@ -73,6 +73,23 @@ void ParticipationAnalyzer::observe(const WeekObservation& obs) {
   }
 }
 
+void ParticipationAnalyzer::apply_delta(const WeekObservation&,
+                                        const WeekDelta& delta) {
+  const SnapshotTable& table = *delta.cur;
+  for (const std::uint32_t row : delta.touched_rows) {
+    const int user = resolver_.user_of_uid(table.uid(row));
+    const int project = resolver_.project_of_gid(table.gid(row));
+    if (user < 0 || project < 0) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(user) << 32) |
+                              static_cast<std::uint32_t>(project);
+    if (pairs_.insert(key)) {
+      result_.observed.push_back(
+          MembershipEdge{static_cast<std::uint32_t>(user),
+                         static_cast<std::uint32_t>(project)});
+    }
+  }
+}
+
 void ParticipationAnalyzer::finish() {
   const auto& plan = resolver_.plan();
   std::vector<std::uint32_t> per_user(plan.users.size(), 0);

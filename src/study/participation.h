@@ -47,6 +47,13 @@ class ParticipationAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: a (user, project) pair new to the study can only ride on
+  /// a row whose uid/gid differ from last week, and POSIX moves ctime on
+  /// chown/chgrp — so readonly and untouched rows cannot carry new pairs
+  /// and only the week's touched rows need probing.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const ParticipationResult& result() const { return result_; }

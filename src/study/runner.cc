@@ -1,7 +1,9 @@
 #include "study/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -66,9 +68,27 @@ struct PendingWeek {
   Snapshot owned;
   const Snapshot* view = nullptr;
   std::unique_ptr<PartitionedPathIndex> index;
+  /// Incremental mode only: the week's directory rows, indexed for the
+  /// diff's directory side. Like `index`, detached from the table so the
+  /// struct stays movable.
+  std::unique_ptr<DetachedPathIndex> dir_index;
 
   const Snapshot& snap() const { return view ? *view : owned; }
 };
+
+/// Ascending union of disjoint, already-ascending row lists.
+std::vector<std::uint32_t> merged_union(
+    std::initializer_list<std::span<const std::uint32_t>> lists) {
+  std::size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  std::vector<std::uint32_t> out;
+  out.reserve(total);
+  for (const auto& list : lists) {
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 /// The diff as a scan kernel (DESIGN.md §11): registered FIRST, so within
 /// every chunk its probe runs before any analyzer observes the same rows,
@@ -80,12 +100,17 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
  public:
   /// Arms the kernel for one week (null index = inactive week: no diff).
   /// Must be called before every scan — it also resets the chunk registry.
+  /// On delta weeks (StudyOptions::incremental) `record_prev` turns on the
+  /// prev-row mapping and `dir_index` the directory diff.
   void set_week(const PartitionedPathIndex* index, const SnapshotTable* prev,
-                DiffResult* out, std::size_t grain) {
+                DiffResult* out, std::size_t grain, bool record_prev = false,
+                const DetachedPathIndex* dir_index = nullptr) {
     index_ = index;
     prev_ = prev;
     out_ = out;
     grain_ = grain == 0 ? kScanGrainRows : grain;
+    record_prev_ = record_prev;
+    dir_index_ = dir_index;
     chunk_rows_.clear();
     if (index_ != nullptr && index_->size() > 0) {
       // Value-initialization zeroes the atomics (C++20).
@@ -93,11 +118,18 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
     } else {
       matched_.reset();
     }
+    if (dir_index_ != nullptr && dir_index_->size() > 0) {
+      dir_matched_.reset(
+          new std::atomic<std::uint8_t>[dir_index_->size()]());
+    } else {
+      dir_matched_.reset();
+    }
   }
 
   std::unique_ptr<ScanChunkState> make_chunk_state() const override {
     if (index_ == nullptr) return nullptr;
     auto state = std::make_unique<DiffKernelChunk>();
+    state->rows.record_prev = record_prev_;
     // make_chunk_state runs serially in chunk order before the scan, so
     // the registry index equals the chunk index.
     chunk_rows_.push_back(&state->rows);
@@ -107,16 +139,25 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   void observe_chunk(ScanChunkState* state, const SnapshotTable& cur,
                      std::size_t begin, std::size_t end) override {
     if (index_ == nullptr) return;
+    const DiffDirProbe dirs{dir_index_, dir_matched_.get()};
     diff_probe_range(*index_, *prev_, cur, begin, end, matched_.get(),
-                     &static_cast<DiffKernelChunk*>(state)->rows);
+                     &static_cast<DiffKernelChunk*>(state)->rows,
+                     dir_index_ != nullptr ? &dirs : nullptr);
   }
 
   void merge_chunks(const SnapshotTable& cur, ScanStateList,
                     ThreadPool* pool) override {
     if (index_ == nullptr) return;
+    DiffFinalizeExtras extras;
+    extras.prev_rows = record_prev_;
+    extras.dirs = dir_index_ != nullptr;
+    if (dir_index_ != nullptr) {
+      extras.prev_dir_rows = dir_index_->rows();
+      extras.dir_matched = dir_matched_.get();
+    }
     diff_finalize(index_->file_rows(), matched_.get(),
                   std::span<const DiffChunkRows* const>(chunk_rows_), pool,
-                  out_);
+                  out_, &extras);
     out_->prev_files = index_->size();
     out_->cur_files = cur.file_count();
   }
@@ -135,8 +176,11 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   const SnapshotTable* prev_ = nullptr;
   DiffResult* out_ = nullptr;
   std::size_t grain_ = kScanGrainRows;
+  bool record_prev_ = false;
+  const DetachedPathIndex* dir_index_ = nullptr;
   mutable std::vector<const DiffChunkRows*> chunk_rows_;
   std::unique_ptr<std::atomic<std::uint8_t>[]> matched_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dir_matched_;
 };
 
 }  // namespace
@@ -145,11 +189,17 @@ void run_study(SnapshotSource& source,
                std::span<StudyAnalyzer* const> analyzers,
                const StudyOptions& options) {
   bool need_diff = false;
+  bool any_delta = false;
   ColumnMask columns = kColMaskNone;
   for (StudyAnalyzer* analyzer : analyzers) {
     need_diff = need_diff || analyzer->wants_diff();
+    any_delta = any_delta || analyzer->supports_delta();
     columns |= analyzer->columns_needed();
   }
+  // Incremental mode is diff-driven: the WeekDelta is built from the
+  // classification even for analyzers that never asked for the diff.
+  const bool incremental = options.incremental && any_delta;
+  if (incremental) need_diff = true;
   if (need_diff) columns |= kDiffColumns;
   source.set_columns(columns);
 
@@ -159,12 +209,24 @@ void run_study(SnapshotSource& source,
   kernels.reserve(analyzers.size());
   for (StudyAnalyzer* analyzer : analyzers) kernels.emplace_back(analyzer);
   DiffScanKernel diff_kernel;
-  std::vector<ScanKernel*> kernel_ptrs;
-  kernel_ptrs.reserve(kernels.size() + 1);
-  // The diff kernel must be first: sibling kernels read its per-chunk
+  // Two kernel rosters: the full one for scan (re-baseline) weeks, and —
+  // in incremental mode — a reduced one for delta weeks that leaves the
+  // delta-capable analyzers out of the shared scan entirely. The diff
+  // kernel must be first in both: sibling kernels read its per-chunk
   // output during the scan (see DiffChunkProvider).
-  if (fuse) kernel_ptrs.push_back(&diff_kernel);
-  for (AnalyzerKernel& kernel : kernels) kernel_ptrs.push_back(&kernel);
+  std::vector<ScanKernel*> kernel_ptrs;
+  std::vector<ScanKernel*> scan_only_kernel_ptrs;
+  kernel_ptrs.reserve(kernels.size() + 1);
+  if (fuse) {
+    kernel_ptrs.push_back(&diff_kernel);
+    scan_only_kernel_ptrs.push_back(&diff_kernel);
+  }
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    kernel_ptrs.push_back(&kernels[i]);
+    if (!analyzers[i]->supports_delta()) {
+      scan_only_kernel_ptrs.push_back(&kernels[i]);
+    }
+  }
 
   ScanOptions scan_options;
   scan_options.grain = options.grain;
@@ -184,24 +246,53 @@ void run_study(SnapshotSource& source,
     obs.gap_before = have_prev && cur.week != last_week + 1;
     obs.pool = options.pool;
     obs.flat_agg = options.flat_agg;
+    obs.incremental = incremental;
 
     DiffResult diff;
     const bool diff_active = need_diff && have_prev && !obs.gap_before;
+    // A salvage-damaged snapshot (on either side of the diff) forces a
+    // full-scan re-baseline: the diff still runs — the scan-path access
+    // accounting is unchanged — but the delta consumers fall back to their
+    // kernels and rebuild retained state.
+    const bool delta_active =
+        incremental && diff_active && !cur.snap().degraded &&
+        !prev.snap().degraded;
     if (fuse) {
       diff_kernel.set_week(diff_active ? prev.index.get() : nullptr,
                            diff_active ? &prev.snap().table : nullptr,
-                           diff_active ? &diff : nullptr, options.grain);
+                           diff_active ? &diff : nullptr, options.grain,
+                           /*record_prev=*/delta_active,
+                           delta_active ? prev.dir_index.get() : nullptr);
       if (diff_active) {
         obs.diff = &diff;
         obs.diff_chunks = &diff_kernel;
       }
     } else if (diff_active) {
-      diff = diff_snapshots(prev.snap().table, cur.snap().table, options.pool);
+      DiffOptions diff_options;
+      diff_options.prev_rows = delta_active;
+      diff_options.dirs = delta_active;
+      diff = diff_snapshots(prev.snap().table, cur.snap().table, options.pool,
+                            /*breakdown=*/nullptr, diff_options);
       obs.diff = &diff;
     }
 
     for (AnalyzerKernel& kernel : kernels) kernel.set_observation(&obs);
-    scan_table(cur.snap().table, kernel_ptrs, scan_options);
+    scan_table(cur.snap().table,
+               delta_active ? scan_only_kernel_ptrs : kernel_ptrs,
+               scan_options);
+
+    if (delta_active) {
+      WeekDelta delta;
+      delta.diff = &diff;
+      delta.prev = &prev.snap().table;
+      delta.cur = &cur.snap().table;
+      delta.added_rows = merged_union({diff.new_rows, diff.new_dir_rows});
+      delta.touched_rows = merged_union(
+          {delta.added_rows, diff.updated_rows, diff.changed_dir_rows});
+      for (StudyAnalyzer* analyzer : analyzers) {
+        if (analyzer->supports_delta()) analyzer->apply_delta(obs, delta);
+      }
+    }
 
     prev = std::move(cur);
     have_prev = true;
@@ -218,6 +309,10 @@ void run_study(SnapshotSource& source,
     if (fuse) {
       pending.index = std::make_unique<PartitionedPathIndex>(
           pending.snap().table, options.pool);
+      if (incremental) {
+        pending.dir_index = std::make_unique<DetachedPathIndex>(
+            pending.snap().table, dir_rows_of(pending.snap().table));
+      }
     }
   };
   auto make_pending_const = [&](std::size_t week, const Snapshot& snap) {

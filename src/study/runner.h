@@ -39,6 +39,27 @@ class DiffChunkProvider {
   ~DiffChunkProvider() = default;
 };
 
+/// One week's change set, assembled by the runner on delta weeks
+/// (StudyOptions::incremental) from a diff carrying the prev-row mapping
+/// and the directory diff. Delta-capable analyzers consume this instead of
+/// scanning the snapshot; DESIGN.md §13 spells out the contract.
+struct WeekDelta {
+  /// The week's full classification, with has_prev_rows and has_dir_diff.
+  const DiffResult* diff = nullptr;
+  const SnapshotTable* prev = nullptr;
+  const SnapshotTable* cur = nullptr;
+  /// New file rows ∪ new directory rows of cur, ascending — the only rows
+  /// a first-seen tracker must consider: a matched row kept its path, so
+  /// its identity was already seen in an earlier week.
+  std::vector<std::uint32_t> added_rows;
+  /// added_rows ∪ updated file rows ∪ changed directory rows, ascending —
+  /// the rows whose non-path attributes may differ from last week.
+  /// Readonly and untouched rows are excluded by POSIX semantics: chmod
+  /// and chown move ctime, so a row classified readonly or untouched kept
+  /// its uid, gid, and mode.
+  std::vector<std::uint32_t> touched_rows;
+};
+
 struct WeekObservation {
   std::size_t week = 0;  // slot index in the series timeline (may skip)
   const Snapshot* snap = nullptr;
@@ -62,6 +83,11 @@ struct WeekObservation {
   ThreadPool* pool = nullptr;
   /// Mirror of StudyOptions::flat_agg for analyzers that keep both paths.
   bool flat_agg = true;
+  /// Mirror of StudyOptions::incremental. On scan weeks (re-baselines
+  /// included) delta-capable analyzers use it to decide whether to also
+  /// (re)build the retained cross-week state their apply_delta needs —
+  /// pure scan runs skip that upkeep.
+  bool incremental = false;
 };
 
 /// A study analyzer is a scan kernel plus per-week bookkeeping. The runner
@@ -122,6 +148,25 @@ class StudyAnalyzer {
   /// Legacy serial hook, called by the default merge() once per week.
   virtual void observe(const WeekObservation& obs) { (void)obs; }
 
+  /// Analyzers returning true maintain retained cross-week state and can
+  /// consume a WeekDelta through apply_delta() instead of scanning the
+  /// snapshot. The runner decides per week: on delta weeks the analyzer is
+  /// left out of the shared scan entirely; on re-baseline weeks (the first
+  /// snapshot, a week after a gap, a salvage-damaged week or its
+  /// successor) it runs its normal scan kernel and must rebuild the
+  /// retained state from scratch (obs.incremental signals that upkeep is
+  /// needed). Results must be byte-identical either way.
+  virtual bool supports_delta() const { return false; }
+
+  /// Apply one week's delta against the retained state. Runs serially, in
+  /// registration order, after the week's shared scan completed — obs.diff
+  /// is final. Called only when supports_delta() is true.
+  virtual void apply_delta(const WeekObservation& obs,
+                           const WeekDelta& delta) {
+    (void)obs;
+    (void)delta;
+  }
+
   /// Called once after the last snapshot.
   virtual void finish() {}
 };
@@ -150,6 +195,15 @@ struct StudyOptions {
   /// byte-identical either way; off preserves the std::unordered_map
   /// reference path the determinism suite diffs against.
   bool flat_agg = true;
+  /// Incremental mode (DESIGN.md §13): drive delta-capable analyzers
+  /// (supports_delta) off a WeekDelta built from the diff — which then
+  /// also carries the prev-row mapping and the directory diff — so their
+  /// per-week cost is proportional to churn, not snapshot size. Weeks
+  /// without a trustworthy delta (the first snapshot, after a gap, a
+  /// salvage-damaged snapshot on either side of the diff) re-baseline with
+  /// the full scan. Rendered results are byte-identical either way; off
+  /// preserves the pure scan path.
+  bool incremental = false;
 };
 
 /// Streams `source` through all analyzers. The diff (when any analyzer

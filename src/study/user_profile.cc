@@ -55,24 +55,61 @@ void UserProfileAnalyzer::observe_chunk(ScanChunkState* state,
 }
 
 void UserProfileAnalyzer::merge(const WeekObservation&, ScanStateList states) {
+  std::size_t week_unknown = 0;
   for (const auto& state : states) {
     const auto* chunk = static_cast<const UserProfileChunk*>(state.get());
-    result_.unknown_uids += chunk->unknown;
+    week_unknown += chunk->unknown;
     if (chunk->seen.empty()) continue;
     for (std::size_t u = 0; u < seen_.size(); ++u) seen_[u] |= chunk->seen[u];
   }
+  result_.unknown_uids += week_unknown;
+  live_unknown_ = week_unknown;
 }
 
 void UserProfileAnalyzer::observe(const WeekObservation& obs) {
   const SnapshotTable& table = obs.snap->table;
+  std::size_t week_unknown = 0;
   for (const std::uint32_t uid : table.uids()) {
     const int user = resolver_.user_of_uid(uid);
     if (user >= 0) {
       seen_[static_cast<std::size_t>(user)] = 1;
     } else {
-      ++result_.unknown_uids;
+      ++week_unknown;
     }
   }
+  result_.unknown_uids += week_unknown;
+  live_unknown_ = week_unknown;
+}
+
+void UserProfileAnalyzer::apply_delta(const WeekObservation&,
+                                      const WeekDelta& delta) {
+  const SnapshotTable& cur = *delta.cur;
+  const SnapshotTable& prev = *delta.prev;
+  const DiffResult& diff = *delta.diff;
+  for (const std::uint32_t row : delta.touched_rows) {
+    const int user = resolver_.user_of_uid(cur.uid(row));
+    if (user >= 0) seen_[static_cast<std::size_t>(user)] = 1;
+  }
+  const auto unknown_in = [&](const SnapshotTable& table,
+                              std::span<const std::uint32_t> rows) {
+    std::size_t n = 0;
+    for (const std::uint32_t row : rows) {
+      n += resolver_.user_of_uid(table.uid(row)) < 0 ? 1 : 0;
+    }
+    return n;
+  };
+  // Readonly and untouched rows kept their uid (chown moves ctime), so the
+  // week's unknown total moves only with created, deleted, and rewritten
+  // rows.
+  live_unknown_ -= unknown_in(prev, diff.deleted_rows);
+  live_unknown_ -= unknown_in(prev, diff.deleted_dir_rows);
+  live_unknown_ -= unknown_in(prev, diff.updated_prev_rows);
+  live_unknown_ -= unknown_in(prev, diff.changed_dir_prev_rows);
+  live_unknown_ += unknown_in(cur, diff.new_rows);
+  live_unknown_ += unknown_in(cur, diff.new_dir_rows);
+  live_unknown_ += unknown_in(cur, diff.updated_rows);
+  live_unknown_ += unknown_in(cur, diff.changed_dir_rows);
+  result_.unknown_uids += live_unknown_;
 }
 
 void UserProfileAnalyzer::finish() {

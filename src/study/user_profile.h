@@ -31,6 +31,14 @@ class UserProfileAnalyzer : public StudyAnalyzer {
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).
   void observe(const WeekObservation& obs) override;
+  /// Delta port: a dense user seen for the first time must ride on a row
+  /// whose uid differs from last week, and chown moves ctime — so only
+  /// touched rows can flip seen_ bits. The per-week unknown-uid total is
+  /// rolled forward from the retained previous-week total by removing
+  /// deleted/rewritten prev rows and adding new/rewritten cur rows.
+  bool supports_delta() const override { return true; }
+  void apply_delta(const WeekObservation& obs,
+                   const WeekDelta& delta) override;
   void finish() override;
 
   const UserProfileResult& result() const { return result_; }
@@ -39,6 +47,9 @@ class UserProfileAnalyzer : public StudyAnalyzer {
  private:
   const Resolver& resolver_;
   std::vector<std::uint8_t> seen_;  // by dense user index
+  /// Previous snapshot's unknown-uid row count (the week's contribution to
+  /// result_.unknown_uids); the base the delta path rolls forward from.
+  std::size_t live_unknown_ = 0;
   UserProfileResult result_;
 };
 

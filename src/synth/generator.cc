@@ -497,6 +497,10 @@ class Simulation {
   }
 
   void simulate_week(std::size_t week) {
+    if (config_.churn_mode()) {
+      simulate_week_churn(week);
+      return;
+    }
     const std::int64_t start = week_start(week);
     const double target_next = population_target(week + 1);
     const double deficit =
@@ -521,6 +525,51 @@ class Simulation {
       net_losses += static_cast<double>(purge_project(state, cutoff));
     }
     deletes_last_week_ = static_cast<std::uint64_t>(net_losses);
+  }
+
+  /// Deterministic churn mode: fixed-rate Bernoulli rewrite/delete over
+  /// the pre-week population plus a proportional creation wave, with the
+  /// organic machinery (purge, population controller, read campaigns)
+  /// switched off so the per-week churn is exactly what the config dials.
+  void simulate_week_churn(std::size_t week) {
+    const std::int64_t start = week_start(week);
+    for (ProjectState& state : projects_) {
+      Rng& rng = state.rng;
+      const std::int64_t mid = start + kWeekMid;
+      if (config_.churn_update > 0) {
+        for (LiveFile& file : state.files) {
+          if (file.ctime < start && rng.chance(config_.churn_update)) {
+            file.mtime = file.ctime =
+                mid + static_cast<std::int64_t>(rng.uniform_u64(600));
+            file.atime = file.mtime;
+          }
+        }
+      }
+      std::uint64_t deleted = 0;
+      if (config_.churn_delete > 0) {
+        for (std::size_t i = 0; i < state.files.size();) {
+          if (state.files[i].ctime < start &&
+              rng.chance(config_.churn_delete)) {
+            state.files[i] = std::move(state.files.back());
+            state.files.pop_back();
+            ++deleted;
+          } else {
+            ++i;
+          }
+        }
+      }
+      live_files_ -= deleted;
+      auto creates = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(state.files.size()) * config_.churn_create));
+      while (creates > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(creates, 60 + rng.uniform_u64(120));
+        create_batch(state, chunk,
+                     mid + static_cast<std::int64_t>(rng.uniform_u64(3600)),
+                     /*dataset=*/false, week);
+        creates -= chunk;
+      }
+    }
   }
 
   void simulate_project_week(ProjectState& state, std::size_t week,

@@ -74,6 +74,23 @@ struct FacilityConfig {
   /// remain visible at small scales.
   std::uint64_t min_project_files = 30;
 
+  // ---- deterministic churn mode -------------------------------------------
+  /// When all three are >= 0, the organic weekly dynamics (write sessions,
+  /// read campaigns, checkpoint rewrites, purge sweep, population
+  /// controller) are replaced by a fixed churn process: each file created
+  /// before the week is rewritten in place with probability churn_update
+  /// and deleted with probability churn_delete, and round(live *
+  /// churn_create) files are created per project. Deterministic in `seed`,
+  /// so two generators with the same config emit identical series — the
+  /// knob the incremental-study churn sweep and bench_incremental turn.
+  /// Setting all three to 0 produces byte-identical adjacent snapshots.
+  double churn_create = -1;
+  double churn_update = -1;
+  double churn_delete = -1;
+  bool churn_mode() const {
+    return churn_create >= 0 && churn_update >= 0 && churn_delete >= 0;
+  }
+
   std::int64_t start_epoch() const;  // Monday 2015-01-05
 };
 

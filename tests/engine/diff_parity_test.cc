@@ -6,6 +6,7 @@
 // fingerprint's neighborhood, the worst case for the partitioned probe.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -31,9 +32,10 @@ RawRecord file_record(const std::string& path, std::int64_t atime,
   return rec;
 }
 
-RawRecord dir_record(const std::string& path) {
+RawRecord dir_record(const std::string& path, std::int64_t atime = 0) {
   RawRecord rec;
   rec.path = path;
+  rec.atime = atime;
   rec.mode = kModeDirectory | 0775;
   return rec;
 }
@@ -54,9 +56,11 @@ SnapshotPair random_pair(std::uint64_t seed, std::size_t n) {
         "/lustre/atlas2/prj" + std::to_string(i % 37) + "/u/f" +
         std::to_string(i);
     if (i % 29 == 0) {
+      // A mix of untouched (same timestamps) and changed (atime moved)
+      // directories, so the directory diff sees both matched classes.
       const std::string dir = "/lustre/atlas2/prj" + std::to_string(i);
       pair.prev.add(dir_record(dir));
-      pair.cur.add(dir_record(dir));
+      pair.cur.add(dir_record(dir, i % 58 == 0 ? 0 : 99));
       continue;
     }
     const std::int64_t atime = 1000 + static_cast<std::int64_t>(
@@ -173,6 +177,98 @@ void expect_equal(const DiffResult& got, const DiffResult& want,
   EXPECT_EQ(got.deleted_rows, want.deleted_rows) << label;
   EXPECT_EQ(got.prev_files, want.prev_files) << label;
   EXPECT_EQ(got.cur_files, want.cur_files) << label;
+  EXPECT_EQ(got.has_prev_rows, want.has_prev_rows) << label;
+  EXPECT_EQ(got.readonly_prev_rows, want.readonly_prev_rows) << label;
+  EXPECT_EQ(got.updated_prev_rows, want.updated_prev_rows) << label;
+  EXPECT_EQ(got.untouched_prev_rows, want.untouched_prev_rows) << label;
+  EXPECT_EQ(got.has_dir_diff, want.has_dir_diff) << label;
+  EXPECT_EQ(got.new_dir_rows, want.new_dir_rows) << label;
+  EXPECT_EQ(got.changed_dir_rows, want.changed_dir_rows) << label;
+  EXPECT_EQ(got.changed_dir_prev_rows, want.changed_dir_prev_rows) << label;
+  EXPECT_EQ(got.deleted_dir_rows, want.deleted_dir_rows) << label;
+}
+
+/// Semantic checks of the prev-row mapping: index-parallel lengths, path
+/// agreement row by row (the real guarantee the incremental study leans
+/// on), and class membership re-derived from the two tables' timestamps.
+void expect_mapping_semantics(const SnapshotPair& pair,
+                              const DiffResult& result,
+                              const std::string& label) {
+  ASSERT_TRUE(result.has_prev_rows) << label;
+  ASSERT_EQ(result.readonly_prev_rows.size(), result.readonly_rows.size())
+      << label;
+  ASSERT_EQ(result.updated_prev_rows.size(), result.updated_rows.size())
+      << label;
+  ASSERT_EQ(result.untouched_prev_rows.size(), result.untouched_rows.size())
+      << label;
+  const SnapshotTable& prev = pair.prev;
+  const SnapshotTable& cur = pair.cur;
+  for (std::size_t i = 0; i < result.readonly_rows.size(); ++i) {
+    const std::uint32_t c = result.readonly_rows[i];
+    const std::uint32_t p = result.readonly_prev_rows[i];
+    ASSERT_EQ(cur.path(c), prev.path(p)) << label;
+    EXPECT_NE(cur.atime(c), prev.atime(p)) << label;
+    EXPECT_EQ(cur.mtime(c), prev.mtime(p)) << label;
+    EXPECT_EQ(cur.ctime(c), prev.ctime(p)) << label;
+  }
+  for (std::size_t i = 0; i < result.updated_rows.size(); ++i) {
+    const std::uint32_t c = result.updated_rows[i];
+    const std::uint32_t p = result.updated_prev_rows[i];
+    ASSERT_EQ(cur.path(c), prev.path(p)) << label;
+    EXPECT_TRUE(cur.mtime(c) != prev.mtime(p) ||
+                cur.ctime(c) != prev.ctime(p))
+        << label;
+  }
+  for (std::size_t i = 0; i < result.untouched_rows.size(); ++i) {
+    const std::uint32_t c = result.untouched_rows[i];
+    const std::uint32_t p = result.untouched_prev_rows[i];
+    ASSERT_EQ(cur.path(c), prev.path(p)) << label;
+    EXPECT_EQ(cur.atime(c), prev.atime(p)) << label;
+    EXPECT_EQ(cur.mtime(c), prev.mtime(p)) << label;
+    EXPECT_EQ(cur.ctime(c), prev.ctime(p)) << label;
+  }
+}
+
+/// Semantic checks of the directory diff against a brute-force path-set
+/// recomputation over both tables.
+void expect_dir_semantics(const SnapshotPair& pair, const DiffResult& result,
+                          const std::string& label) {
+  ASSERT_TRUE(result.has_dir_diff) << label;
+  const SnapshotTable& prev = pair.prev;
+  const SnapshotTable& cur = pair.cur;
+  std::unordered_map<std::string, std::uint32_t> prev_dirs;
+  for (std::size_t row = 0; row < prev.size(); ++row) {
+    if (prev.is_dir(row)) {
+      prev_dirs.emplace(std::string(prev.path(row)),
+                        static_cast<std::uint32_t>(row));
+    }
+  }
+  std::vector<std::uint32_t> want_new, want_changed, want_changed_prev;
+  std::unordered_map<std::string, std::uint32_t> matched;
+  for (std::size_t row = 0; row < cur.size(); ++row) {
+    if (!cur.is_dir(row)) continue;
+    const auto it = prev_dirs.find(std::string(cur.path(row)));
+    if (it == prev_dirs.end()) {
+      want_new.push_back(static_cast<std::uint32_t>(row));
+      continue;
+    }
+    matched.insert(*it);
+    const std::uint32_t p = it->second;
+    if (cur.atime(row) != prev.atime(p) || cur.mtime(row) != prev.mtime(p) ||
+        cur.ctime(row) != prev.ctime(p)) {
+      want_changed.push_back(static_cast<std::uint32_t>(row));
+      want_changed_prev.push_back(p);
+    }
+  }
+  std::vector<std::uint32_t> want_deleted;
+  for (const auto& [path, row] : prev_dirs) {
+    if (!matched.contains(path)) want_deleted.push_back(row);
+  }
+  std::sort(want_deleted.begin(), want_deleted.end());
+  EXPECT_EQ(result.new_dir_rows, want_new) << label;
+  EXPECT_EQ(result.changed_dir_rows, want_changed) << label;
+  EXPECT_EQ(result.changed_dir_prev_rows, want_changed_prev) << label;
+  EXPECT_EQ(result.deleted_dir_rows, want_deleted) << label;
 }
 
 class DiffParityTest : public testing::TestWithParam<const char*> {};
@@ -197,6 +293,48 @@ TEST_P(DiffParityTest, StrategiesAgreeAtEveryThreadCount) {
       expect_equal(diff_snapshots_partitioned(pair.prev, pair.cur, &pool),
                    reference, "partitioned " + label);
     }
+  }
+}
+
+TEST_P(DiffParityTest, PrevRowMappingAndDirDiffAgree) {
+  const std::string profile = GetParam();
+  const DiffOptions options{.prev_rows = true, .dirs = true};
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    const SnapshotPair pair = make_profile(profile, seed);
+    ThreadPool reference_pool(1);
+    const DiffResult reference = diff_snapshots(pair.prev, pair.cur,
+                                                &reference_pool,
+                                                /*breakdown=*/nullptr, options);
+    const std::string base = profile + " seed=" + std::to_string(seed);
+    expect_mapping_semantics(pair, reference, base + "/reference");
+    expect_dir_semantics(pair, reference, base + "/reference");
+
+    expect_equal(
+        diff_snapshots_sortmerge(pair.prev, pair.cur, nullptr, options),
+        reference, base + "/sortmerge");
+    for (const unsigned threads : {1u, 2u, 7u, 0u}) {  // 0 = hardware
+      ThreadPool pool(threads);
+      const std::string label = base + " threads=" + std::to_string(threads);
+      expect_equal(
+          diff_snapshots(pair.prev, pair.cur, &pool, nullptr, options),
+          reference, "hash " + label);
+      expect_equal(diff_snapshots_partitioned(pair.prev, pair.cur, &pool,
+                                              nullptr, options),
+                   reference, "partitioned " + label);
+    }
+  }
+
+  // Default options must leave the optional outputs untouched.
+  const SnapshotPair pair = make_profile(profile, 11);
+  for (const DiffResult& plain :
+       {diff_snapshots(pair.prev, pair.cur),
+        diff_snapshots_sortmerge(pair.prev, pair.cur),
+        diff_snapshots_partitioned(pair.prev, pair.cur)}) {
+    EXPECT_FALSE(plain.has_prev_rows) << profile;
+    EXPECT_FALSE(plain.has_dir_diff) << profile;
+    EXPECT_TRUE(plain.readonly_prev_rows.empty()) << profile;
+    EXPECT_TRUE(plain.new_dir_rows.empty()) << profile;
+    EXPECT_TRUE(plain.deleted_dir_rows.empty()) << profile;
   }
 }
 
