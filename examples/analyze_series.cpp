@@ -10,6 +10,12 @@
 //        --report=<all|table1|users|census|access|age|network|collab>
 //        --salvage=<skip|quarantine>  (decode damaged weeks' surviving
 //        row groups instead of turning the whole week into a gap)
+//        --incremental  (delta-driven analyzers; see DESIGN.md §13)
+//        --checkpoint=<path>  (write a .sckpt after each analyzed week;
+//        implies --incremental; inspect with `snapshot_tool checkpoint`)
+//        --retry=<n>  (retry transient snapshot read errors up to n
+//        attempts with jittered exponential backoff before recording
+//        the week as a gap)
 //
 // A damaged series (missing or corrupt weeks) does not abort the study:
 // the affected weeks become gaps, diff-based figures skip the gap-adjacent
@@ -48,6 +54,12 @@ int main(int argc, char** argv) {
     std::cerr << "bad --salvage value (want skip|quarantine)\n";
     return 1;
   }
+  const long retry_attempts = args.get_int("retry", 1);
+  if (retry_attempts > 1) {
+    RetryPolicy policy;
+    policy.max_attempts = static_cast<std::size_t>(retry_attempts);
+    series.set_retry_policy(policy);
+  }
   std::cout << "found " << series.count() << " snapshots in " << dir;
   if (!series.gaps().empty()) {
     std::cout << " (" << series.gaps().size()
@@ -65,7 +77,23 @@ int main(int argc, char** argv) {
   Resolver resolver(plan);
   FullStudy study(resolver, static_cast<std::size_t>(
                                 args.get_int("min-burst-files", 10)));
-  study.run(series);
+  StudyOptions options;
+  options.checkpoint.path = args.get("checkpoint", "");
+  options.incremental =
+      args.get_bool("incremental", false) || !options.checkpoint.path.empty();
+  CheckpointReport ckpt_report;
+  options.checkpoint_report = &ckpt_report;
+  study.run(series, options);
+  if (!options.checkpoint.path.empty()) {
+    std::cout << "checkpoint: " << ckpt_report.checkpoints_written
+              << " written to " << options.checkpoint.path;
+    if (ckpt_report.resumed) {
+      std::cout << " (resumed after week " << ckpt_report.resumed_week << ")";
+    } else if (!ckpt_report.rebaseline_reason.empty()) {
+      std::cout << " (full run: " << ckpt_report.rebaseline_reason << ")";
+    }
+    std::cout << "\n\n";
+  }
 
   const std::string report = args.get("report", "all");
   const bool all = report == "all";

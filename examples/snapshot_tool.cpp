@@ -9,6 +9,7 @@
 //   snapshot_tool purgelist --in=snap.scol [--age=90] [--exempt=cli104,...]
 //                 [--out=purge.list] [--now=<epoch>]
 //   snapshot_tool verify --dir=/tmp/series   (or --in=snap.scol)
+//   snapshot_tool checkpoint --in=study.sckpt
 //   snapshot_tool diff <prev.scol> <cur.scol>
 //                 [--strategy=hash|sortmerge|partitioned]
 //
@@ -17,7 +18,9 @@
 // --max-bad-lines=<n> lets PSV ingest skip up to n malformed lines.
 // `verify` walks a series directory, re-validates every row group
 // checksum, prints a per-file OK/damage summary, and exits nonzero when
-// any file is damaged.
+// any file is damaged. `checkpoint` does the same for a study runner
+// .sckpt checkpoint (DESIGN.md §14): one OK/CORRUPT/VERSION-SKEW line per
+// section, nonzero exit when any section is damaged.
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -31,6 +34,7 @@
 #include "snapshot/psv.h"
 #include "snapshot/scol.h"
 #include "snapshot/series.h"
+#include "study/checkpoint.h"
 #include "synth/generator.h"
 #include "util/cli.h"
 #include "util/io.h"
@@ -375,13 +379,71 @@ int cmd_verify(const CliArgs& args) {
   return damaged == 0 ? 0 : 1;
 }
 
+/// Inspects a study-runner checkpoint section by section, mirroring
+/// `verify`'s per-file discipline: every line names a section and its
+/// state, and a damaged or version-skewed file exits nonzero. The runner
+/// itself never fails on a bad checkpoint — it re-baselines — so this is
+/// the operator's way to learn WHY a resume fell back to the full run.
+int cmd_checkpoint(const CliArgs& args) {
+  std::string in = args.get("in", "");
+  if (in.empty() && args.positional().size() > 1) in = args.positional()[1];
+  if (in.empty()) {
+    std::cerr << "checkpoint requires --in=<study.sckpt>\n";
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes;
+  const Status read = read_file(in, &bytes);
+  if (!read.ok()) {
+    std::cerr << "read failed: " << read.to_string() << "\n";
+    return 1;
+  }
+  const CheckpointInspection inspection = inspect_checkpoint_bytes(bytes);
+  for (const CheckpointSection& section : inspection.sections) {
+    const char* tag = "OK          ";
+    if (section.state == CheckpointSection::State::kVersionSkew) {
+      tag = "VERSION-SKEW";
+    } else if (section.state == CheckpointSection::State::kCorrupt) {
+      tag = "CORRUPT     ";
+    }
+    std::cout << tag << " " << section.name;
+    if (!section.detail.empty()) std::cout << ": " << section.detail;
+    std::cout << "\n";
+  }
+  if (inspection.ok) {
+    std::size_t markers = 0;
+    for (const CheckpointSection& section : inspection.sections) {
+      if (section.detail == "re-baseline marker") ++markers;
+    }
+    std::cout << in << ": checkpoint intact (" << inspection.sections.size()
+              << " sections)";
+    if (markers > 0) {
+      // A marker means a scan-only analyzer with no serialized state:
+      // the checkpoint verifies clean but a resume re-runs in full.
+      std::cout << "; holds " << markers
+                << " re-baseline marker(s), so a study pointed at it "
+                   "re-runs in full";
+    } else {
+      std::cout << "; a study pointed at it will resume";
+    }
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << in << ": checkpoint "
+            << (inspection.version_skew ? "from another format version"
+                                        : "damaged")
+            << "; a study pointed at it will re-baseline with a full run\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const spider::CliArgs args(argc, argv);
   if (args.positional().empty()) {
-    std::cerr << "usage: snapshot_tool "
-                 "<generate|convert|inspect|purgelist|verify|diff> [flags]\n";
+    std::cerr
+        << "usage: snapshot_tool "
+           "<generate|convert|inspect|purgelist|verify|checkpoint|diff> "
+           "[flags]\n";
     return 1;
   }
   const std::string& command = args.positional()[0];
@@ -390,6 +452,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return cmd_inspect(args);
   if (command == "purgelist") return cmd_purgelist(args);
   if (command == "verify") return cmd_verify(args);
+  if (command == "checkpoint") return cmd_checkpoint(args);
   if (command == "diff") return cmd_diff(args);
   std::cerr << "unknown command: " << command << "\n";
   return 1;

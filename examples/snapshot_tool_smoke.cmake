@@ -32,4 +32,11 @@ if(count GREATER 1)
 endif()
 run(${ANALYZE} --dir=${WORKDIR}/series --report=census)
 
+# Checkpointed run, then offline checkpoint inspection (OK sections,
+# exit 0). FullStudy never resumes (scan-only analyzers record
+# re-baseline markers) but the .sckpt must still verify clean.
+run(${ANALYZE} --dir=${WORKDIR}/series --report=census
+    --checkpoint=${WORKDIR}/study.sckpt)
+run(${TOOL} checkpoint --in=${WORKDIR}/study.sckpt)
+
 file(REMOVE_RECURSE ${WORKDIR})

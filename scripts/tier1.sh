@@ -28,21 +28,30 @@ cmake -B build-asan -S . -DSPIDER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}" --target \
     snapshot_fault_injection_test snapshot_scol_test snapshot_scol_v2_test \
     snapshot_psv_test snapshot_psv_fuzz_test snapshot_series_test \
-    util_io_test util_status_test engine_agg_test engine_flat_map_test
+    util_io_test util_retry_test util_status_test engine_agg_test \
+    engine_flat_map_test study_checkpoint_test
 for t in snapshot_fault_injection_test snapshot_scol_test \
          snapshot_scol_v2_test snapshot_psv_test snapshot_psv_fuzz_test \
-         snapshot_series_test util_io_test util_status_test \
-         engine_agg_test engine_flat_map_test; do
+         snapshot_series_test util_io_test util_retry_test \
+         util_status_test engine_agg_test engine_flat_map_test; do
   echo "--> ${t} (sanitized)"
   ./build-asan/tests/"${t}"
 done
+# Crash-recovery under ASan: the codec, the resume validation paths, and
+# the corruption/gap cases chew through every deserializer with hostile
+# inputs — exactly where ASan earns its keep. The exhaustive kill sweep is
+# skipped here (big fixture, hundreds of study runs); the resume cases
+# drive the same save/load code on every analyzer.
+echo "--> study_checkpoint_test (sanitized, codec+resume cases)"
+./build-asan/tests/study_checkpoint_test \
+    --gtest_filter='CheckpointCodecTest.*:CheckpointResumeTest.*'
 
 echo "==> tier 1: TSan build + parallel scan/runner suites"
 cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
     util_parallel_test engine_scan_test engine_partition_test \
     engine_diff_parity_test engine_flat_map_test study_runner_test \
-    study_scan_determinism_test study_incremental_test
+    study_scan_determinism_test study_incremental_test study_checkpoint_test
 for t in util_parallel_test engine_scan_test engine_partition_test \
          engine_diff_parity_test engine_flat_map_test study_runner_test; do
   echo "--> ${t} (tsan)"
@@ -62,5 +71,13 @@ echo "--> study_scan_determinism_test (tsan, gap+fault cases)"
 echo "--> study_incremental_test (tsan, gap+salvage re-baseline cases)"
 ./build-tsan/tests/study_incremental_test \
     --gtest_filter='IncrementalStudyTest.GappedSeriesForcesRebaseline:IncrementalStudyTest.SalvagedWeekForcesRebaseline'
+# Checkpoint/resume under TSan: checkpoint writes interleave with the
+# prefetch pipeline and the resume path hands restored state to the
+# parallel scan — the gap-resume case crosses both boundaries on a
+# multi-thread pool. The exhaustive kill sweep stays in the plain build
+# (same big-fixture reasoning as above).
+echo "--> study_checkpoint_test (tsan, resume cases)"
+./build-tsan/tests/study_checkpoint_test \
+    --gtest_filter='CheckpointResumeTest.ResumeAcrossGapPreservesDataQuality:CheckpointResumeTest.ScanOnlyMarkersForceFullRun'
 
 echo "tier 1 OK"

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace spider {
 
@@ -80,6 +81,28 @@ class StringDict {
   }
   bool empty() const { return names_.empty(); }
   std::size_t capacity() const { return slots_.size(); }
+
+  /// Checkpoint image: the interned strings in id order. The probe table
+  /// is a pure function of the intern sequence, so load_state re-interns
+  /// in order and reproduces every id (and the layout) exactly.
+  void save_state(StateWriter& w) const {
+    w.u64(names_.size());
+    for (const std::string& s : names_) w.str(s);
+  }
+  bool load_state(StateReader& r) {
+    slots_.clear();
+    mask_ = 0;
+    names_.clear();
+    const std::uint64_t n = r.u64();
+    if (!r.ok()) return false;
+    if (n > 0) allocate(capacity_for(static_cast<std::size_t>(n)));
+    std::string s;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!r.str(&s)) return false;
+      intern(s);
+    }
+    return names_.size() == n;
+  }
 
  private:
   static constexpr std::uint32_t kEmptySlot = 0xffff'ffffu;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace spider {
 
@@ -121,6 +122,35 @@ class FlatMap {
     size_ = 0;
     has_empty_key_ = false;
     empty_value_ = V{};
+  }
+
+  /// Checkpoint image: the raw key/value arrays verbatim. Iteration order
+  /// is slot order and therefore layout-dependent, so preserving the
+  /// layout byte-for-byte is what keeps a resumed study's ordered folds —
+  /// and hence its rendered output — identical to the uninterrupted run.
+  /// Requires a trivially-copyable V (all checkpointed maps qualify).
+  void save_state(StateWriter& w) const {
+    w.vec(keys_);
+    w.vec(values_);
+    w.u64(size_);
+    w.u8(has_empty_key_ ? 1 : 0);
+    w.pod(empty_value_);
+  }
+  bool load_state(StateReader& r) {
+    if (!r.vec(&keys_) || !r.vec(&values_)) return false;
+    size_ = static_cast<std::size_t>(r.u64());
+    has_empty_key_ = r.u8() != 0;
+    if (!r.pod(&empty_value_) || !r.ok()) return false;
+    if (keys_.size() != values_.size()) return false;
+    if (keys_.empty()) {
+      mask_ = 0;
+      return size_ == 0;
+    }
+    if ((keys_.size() & (keys_.size() - 1)) != 0 || size_ * 2 > keys_.size()) {
+      return false;
+    }
+    mask_ = keys_.size() - 1;
+    return true;
   }
 
  private:

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace spider {
 
 class U64Set {
@@ -57,6 +59,28 @@ class U64Set {
 
   std::size_t size() const { return size_ + (has_empty_key_ ? 1 : 0); }
   std::size_t capacity() const { return slots_.size(); }
+
+  /// Checkpoint image: the raw slot array verbatim, so a restored set is
+  /// structurally indistinguishable from the original (DESIGN.md §14).
+  void save_state(StateWriter& w) const {
+    w.vec(slots_);
+    w.u64(size_);
+    w.u8(has_empty_key_ ? 1 : 0);
+  }
+  /// Restores a save_state image; false (set unusable until reassigned)
+  /// when the payload is short or violates the structural invariants.
+  bool load_state(StateReader& r) {
+    if (!r.vec(&slots_)) return false;
+    size_ = static_cast<std::size_t>(r.u64());
+    has_empty_key_ = r.u8() != 0;
+    if (!r.ok()) return false;
+    if (slots_.empty() || (slots_.size() & (slots_.size() - 1)) != 0 ||
+        size_ * 2 > slots_.size()) {
+      return false;
+    }
+    mask_ = slots_.size() - 1;
+    return true;
+  }
 
  private:
   static constexpr std::uint64_t kEmpty = 0;

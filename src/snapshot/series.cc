@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "snapshot/scol.h"
+#include "util/io.h"
 #include "util/timeutil.h"
 
 namespace spider {
@@ -170,21 +171,57 @@ void SnapshotSource::visit_move(const SnapshotMoveVisitor& visitor) {
   });
 }
 
+void SnapshotSource::visit_from(std::size_t first_slot,
+                                const SnapshotVisitor& visitor) {
+  visit([&](std::size_t week, const Snapshot& snap) {
+    if (week >= first_slot) visitor(week, snap);
+  });
+}
+
+void SnapshotSource::visit_move_from(std::size_t first_slot,
+                                     const SnapshotMoveVisitor& visitor) {
+  visit_move([&](std::size_t week, Snapshot&& snap) {
+    if (week >= first_slot) visitor(week, std::move(snap));
+  });
+}
+
 void DirectorySeries::visit(const SnapshotVisitor& visitor) {
   visit_move([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
 }
 
 void DirectorySeries::visit_move(const SnapshotMoveVisitor& visitor) {
+  visit_move_from(0, visitor);
+}
+
+void DirectorySeries::visit_move_from(std::size_t first_slot,
+                                      const SnapshotMoveVisitor& visitor) {
   // Each traversal rediscovers decode damage from scratch (a file may have
   // been repaired or replaced between visits), on top of the structural
-  // gaps open() found.
+  // gaps open() found. When resuming (first_slot > 0) the skipped weeks
+  // keep whatever damage accounting the checkpoint restored; re-reading
+  // them here would defeat the point of resuming.
   gaps_ = open_gaps_;
+  std::vector<std::uint8_t> bytes;
   for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (slots_[i] < first_slot) continue;
     Snapshot snap;
     snap.taken_at = taken_at_[i];
     SalvageReport report;
-    const Status s =
-        read_scol_file(files_[i], &snap.table, scol_options_, &report);
+    // Read bytes (with retry for transient faults), then decode. Matches
+    // read_scol_file's error shape: the Status carries the file context.
+    const auto read_once = [&]() {
+      bytes.clear();
+      return read_fn_ ? read_fn_(files_[i], &bytes)
+                      : read_file(files_[i], &bytes);
+    };
+    Status s = retry_policy_.enabled()
+                   ? retry_with_backoff(retry_policy_, &retry_stats_,
+                                        read_once)
+                   : read_once();
+    if (s.ok()) {
+      s = decode_scol(bytes, &snap.table, scol_options_, &report)
+              .with_context(files_[i]);
+    }
     if (!s.ok()) {
       gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
       continue;

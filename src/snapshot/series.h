@@ -23,6 +23,7 @@
 
 #include "snapshot/scol.h"
 #include "snapshot/table.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace spider {
@@ -78,6 +79,18 @@ class SnapshotSource {
   /// simulation) override this to move it out; the default falls back to
   /// a deep copy, so overriding is a pure optimization.
   virtual void visit_move(const SnapshotMoveVisitor& visitor);
+
+  /// Like visit()/visit_move(), but delivers only the snapshots whose slot
+  /// index is >= `first_slot` — the entry point for a checkpointed study
+  /// resuming mid-series. The defaults traverse everything and filter;
+  /// sources that pay per-week materialization cost (DirectorySeries
+  /// decode) override visit_move_from to skip the work entirely. gaps()
+  /// still describes the whole timeline, including slots before
+  /// `first_slot`.
+  virtual void visit_from(std::size_t first_slot,
+                          const SnapshotVisitor& visitor);
+  virtual void visit_move_from(std::size_t first_slot,
+                               const SnapshotMoveVisitor& visitor);
 
   /// True when the Snapshot references passed to visit() stay valid for
   /// the source's whole lifetime (fully materialized series). Consumers
@@ -156,9 +169,30 @@ class DirectorySeries : public SnapshotSource {
   /// becoming a gap. Default: strict decode.
   void set_scol_options(const ScolOptions& options) { scol_options_ = options; }
 
+  /// Retry policy for the byte-reading half of each decode (transient
+  /// shared-storage faults; util/retry.h). Only kIoError reads retry —
+  /// corruption and truncation are properties of the bytes, and a missing
+  /// file is a real state, so those become gaps on the first attempt.
+  /// Default: single attempt, no retries.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  /// Retry accounting accumulated across traversals.
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
+  /// Test seam: replaces the byte-reading step of each decode (default:
+  /// util/io read_file), so tests can script transient failures and
+  /// verify the retry behavior without real storage faults.
+  using ReadFileFn =
+      std::function<Status(const std::string& file,
+                           std::vector<std::uint8_t>* bytes)>;
+  void set_read_fn(ReadFileFn fn) { read_fn_ = std::move(fn); }
+
   std::size_t count() const override { return files_.size(); }
   void visit(const SnapshotVisitor& visitor) override;
   void visit_move(const SnapshotMoveVisitor& visitor) override;
+  /// Skips both the decode and the read for slots before `first_slot` —
+  /// resuming a checkpointed study pays I/O only for the remaining weeks.
+  void visit_move_from(std::size_t first_slot,
+                       const SnapshotMoveVisitor& visitor) override;
   /// Pushes the projection into the .scol decoder: unrequested column
   /// blocks are checksum-verified but not materialized.
   void set_columns(ColumnMask columns) override {
@@ -176,6 +210,9 @@ class DirectorySeries : public SnapshotSource {
   std::vector<SeriesGap> open_gaps_;  // gaps found by open(); visit()
                                       // restarts from them each traversal
   ScolOptions scol_options_;
+  RetryPolicy retry_policy_;
+  RetryStats retry_stats_;
+  ReadFileFn read_fn_;
 };
 
 /// Adapter delivering every `stride`-th snapshot of a base source with

@@ -1,6 +1,7 @@
 #include "study/access_patterns.h"
 
 #include <sstream>
+#include <utility>
 
 #include "util/table.h"
 #include "util/timeutil.h"
@@ -18,6 +19,22 @@ void AccessPatternsAnalyzer::observe(const WeekObservation& obs) {
   week.updated_frac = obs.diff->updated_fraction();
   week.untouched_frac = obs.diff->untouched_fraction();
   result_.weeks.push_back(week);
+}
+
+bool AccessPatternsAnalyzer::save_state(StateWriter& w) const {
+  w.vec(result_.weeks);
+  w.u64(result_.gap_pairs_skipped);
+  return true;
+}
+
+bool AccessPatternsAnalyzer::load_state(StateReader& r) {
+  std::vector<AccessPatternWeek> weeks;
+  if (!r.vec(&weeks)) return false;
+  const std::uint64_t gap_pairs_skipped = r.u64();
+  if (!r.ok()) return false;
+  result_.weeks = std::move(weeks);
+  result_.gap_pairs_skipped = static_cast<std::size_t>(gap_pairs_skipped);
+  return true;
 }
 
 void AccessPatternsAnalyzer::finish() {

@@ -46,6 +46,10 @@ class AccessPatternsAnalyzer : public StudyAnalyzer {
   }
   void finish() override;
 
+  std::string_view state_id() const override { return "access-patterns"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const AccessPatternsResult& result() const { return result_; }
   std::string render() const;
 

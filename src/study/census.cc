@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 #include <sstream>
+#include <utility>
 
 #include "engine/agg.h"
 #include "util/table.h"
@@ -311,6 +312,70 @@ void CensusAnalyzer::apply_delta(const WeekObservation&,
       if (user >= 0) ++files_by_user_[static_cast<std::size_t>(user)];
     }
   }
+}
+
+bool CensusAnalyzer::save_state(StateWriter& w) const {
+  distinct_.save_state(w);
+  w.vec(files_by_user_);
+  w.vec(files_by_project_);
+  w.vec(max_depth_by_project_);
+  w.vec2(dir_depths_by_domain_);
+  parent_live_.save_state(w);
+  dirs_live_.save_state(w);
+  w.vec(result_.files_by_domain);
+  w.vec(result_.dirs_by_domain);
+  w.u64(result_.total_files);
+  w.u64(result_.total_dirs);
+  w.u64(result_.max_depth);
+  w.u64(result_.final_empty_dirs);
+  w.u64(result_.final_dirs);
+  return true;
+}
+
+bool CensusAnalyzer::load_state(StateReader& r) {
+  U64Set distinct;
+  std::vector<std::uint64_t> files_by_user, files_by_project;
+  std::vector<std::uint16_t> max_depth_by_project;
+  std::vector<std::vector<double>> dir_depths;
+  FlatMap<std::int64_t> parent_live, dirs_live;
+  std::vector<std::uint64_t> files_by_domain, dirs_by_domain;
+  if (!distinct.load_state(r) || !r.vec(&files_by_user) ||
+      !r.vec(&files_by_project) || !r.vec(&max_depth_by_project) ||
+      !r.vec2(&dir_depths) || !parent_live.load_state(r) ||
+      !dirs_live.load_state(r) || !r.vec(&files_by_domain) ||
+      !r.vec(&dirs_by_domain)) {
+    return false;
+  }
+  const std::uint64_t total_files = r.u64();
+  const std::uint64_t total_dirs = r.u64();
+  const std::uint64_t max_depth = r.u64();
+  const std::uint64_t final_empty_dirs = r.u64();
+  const std::uint64_t final_dirs = r.u64();
+  // Per-user/project/domain vectors are sized by the resolver's plan; a
+  // mismatch means the checkpoint came from a different configuration.
+  if (!r.ok() || files_by_user.size() != files_by_user_.size() ||
+      files_by_project.size() != files_by_project_.size() ||
+      max_depth_by_project.size() != max_depth_by_project_.size() ||
+      dir_depths.size() != dir_depths_by_domain_.size() ||
+      files_by_domain.size() != result_.files_by_domain.size() ||
+      dirs_by_domain.size() != result_.dirs_by_domain.size()) {
+    return false;
+  }
+  distinct_ = std::move(distinct);
+  files_by_user_ = std::move(files_by_user);
+  files_by_project_ = std::move(files_by_project);
+  max_depth_by_project_ = std::move(max_depth_by_project);
+  dir_depths_by_domain_ = std::move(dir_depths);
+  parent_live_ = std::move(parent_live);
+  dirs_live_ = std::move(dirs_live);
+  result_.files_by_domain = std::move(files_by_domain);
+  result_.dirs_by_domain = std::move(dirs_by_domain);
+  result_.total_files = total_files;
+  result_.total_dirs = total_dirs;
+  result_.max_depth = max_depth;
+  result_.final_empty_dirs = final_empty_dirs;
+  result_.final_dirs = final_dirs;
+  return true;
 }
 
 void CensusAnalyzer::finish() {

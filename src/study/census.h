@@ -77,6 +77,10 @@ class CensusAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "census"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const CensusResult& result() const { return result_; }
   std::string render() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "snapshot/record.h"
 #include "util/table.h"
@@ -234,6 +235,57 @@ void ExtensionsAnalyzer::apply_delta(const WeekObservation& obs,
   weekly_counts_.push_back(std::move(weekly));
   weekly_files_.push_back(files);
   weekly_none_.push_back(none);
+}
+
+bool ExtensionsAnalyzer::save_state(StateWriter& w) const {
+  distinct_.save_state(w);
+  dict_.save_state(w);
+  w.vec(unique_global_);
+  w.vec2(unique_by_domain_);
+  w.vec2(weekly_counts_);
+  w.vec(weekly_files_);
+  w.vec(weekly_none_);
+  w.u64(result_.unique_files);
+  w.u64(result_.unique_no_extension);
+  w.vec(result_.snapshot_dates);
+  return true;
+}
+
+bool ExtensionsAnalyzer::load_state(StateReader& r) {
+  U64Set distinct;
+  StringDict dict;
+  std::vector<std::uint64_t> unique_global;
+  std::vector<std::vector<std::uint64_t>> unique_by_domain, weekly_counts;
+  std::vector<std::uint64_t> weekly_files, weekly_none;
+  std::vector<std::int64_t> snapshot_dates;
+  if (!distinct.load_state(r) || !dict.load_state(r) ||
+      !r.vec(&unique_global) || !r.vec2(&unique_by_domain) ||
+      !r.vec2(&weekly_counts) || !r.vec(&weekly_files) ||
+      !r.vec(&weekly_none)) {
+    return false;
+  }
+  const std::uint64_t unique_files = r.u64();
+  const std::uint64_t unique_no_extension = r.u64();
+  if (!r.vec(&snapshot_dates) || !r.ok()) return false;
+  // One weekly row of each kind per analyzed snapshot, and one per-domain
+  // counter vector per domain in the plan.
+  if (unique_by_domain.size() != unique_by_domain_.size() ||
+      weekly_counts.size() != weekly_files.size() ||
+      weekly_none.size() != weekly_files.size() ||
+      snapshot_dates.size() != weekly_files.size()) {
+    return false;
+  }
+  distinct_ = std::move(distinct);
+  dict_ = std::move(dict);
+  unique_global_ = std::move(unique_global);
+  unique_by_domain_ = std::move(unique_by_domain);
+  weekly_counts_ = std::move(weekly_counts);
+  weekly_files_ = std::move(weekly_files);
+  weekly_none_ = std::move(weekly_none);
+  result_.unique_files = unique_files;
+  result_.unique_no_extension = unique_no_extension;
+  result_.snapshot_dates = std::move(snapshot_dates);
+  return true;
 }
 
 void ExtensionsAnalyzer::finish() {

@@ -60,6 +60,10 @@ class ExtensionsAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "extensions"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const ExtensionsResult& result() const { return result_; }
   std::string render() const;
 

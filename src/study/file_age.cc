@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/stats.h"
 #include "util/table.h"
@@ -168,6 +169,24 @@ void FileAgeAnalyzer::apply_delta(const WeekObservation& obs,
   point.median_age_days = median_age_days(next);
   result_.points.push_back(point);
   live_ages_ = std::move(next);
+}
+
+bool FileAgeAnalyzer::save_state(StateWriter& w) const {
+  w.i64(live_sum_);
+  w.vec(live_ages_);
+  w.vec(result_.points);
+  return true;
+}
+
+bool FileAgeAnalyzer::load_state(StateReader& r) {
+  const std::int64_t live_sum = r.i64();
+  std::vector<std::int64_t> live_ages;
+  std::vector<FileAgePoint> points;
+  if (!r.vec(&live_ages) || !r.vec(&points) || !r.ok()) return false;
+  live_sum_ = live_sum;
+  live_ages_ = std::move(live_ages);
+  result_.points = std::move(points);
+  return true;
 }
 
 void FileAgeAnalyzer::finish() {

@@ -50,6 +50,10 @@ class FileAgeAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "file-age"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const FileAgeResult& result() const { return result_; }
   std::string render() const;
 

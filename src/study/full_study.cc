@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "study/checkpoint.h"
 #include "synth/langmap.h"
 #include "util/table.h"
 
@@ -27,11 +28,25 @@ void FullStudy::run(SnapshotSource& source, const StudyOptions& options) {
       &languages,    &access_patterns, &striping, &growth,
       &file_age,     &burstiness,    &network,   &collaboration,
   };
-  run_study(source, analyzers, options);
+  // Surface the checkpoint layer's outcome even when the caller did not
+  // ask for a report: a resumed run must merge the restored gap timeline
+  // below (the source never re-read the pre-resume weeks).
+  CheckpointReport local_report;
+  StudyOptions run_options = options;
+  if (run_options.checkpoint_report == nullptr) {
+    run_options.checkpoint_report = &local_report;
+  }
+  run_study(source, analyzers, run_options);
   // Snapshot the source's damage accounting (DirectorySeries discovers
-  // decode failures during the traversal itself).
+  // decode failures during the traversal itself), unioned with any gaps
+  // restored from a resumed checkpoint.
   const auto gaps = source.gaps();
-  gaps_.assign(gaps.begin(), gaps.end());
+  if (run_options.checkpoint_report->restored_gaps.empty()) {
+    gaps_.assign(gaps.begin(), gaps.end());
+  } else {
+    gaps_ = merge_gap_timelines(run_options.checkpoint_report->restored_gaps,
+                                gaps);
+  }
 }
 
 std::string FullStudy::render_data_quality() const {

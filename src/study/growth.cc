@@ -1,6 +1,7 @@
 #include "study/growth.h"
 
 #include <sstream>
+#include <utility>
 
 #include "util/table.h"
 #include "util/timeutil.h"
@@ -15,6 +16,22 @@ void GrowthAnalyzer::observe(const WeekObservation& obs) {
   point.after_gap = obs.gap_before;
   if (obs.gap_before) ++result_.gap_weeks;
   result_.points.push_back(point);
+}
+
+bool GrowthAnalyzer::save_state(StateWriter& w) const {
+  w.vec(result_.points);
+  w.u64(result_.gap_weeks);
+  return true;
+}
+
+bool GrowthAnalyzer::load_state(StateReader& r) {
+  std::vector<GrowthPoint> points;
+  if (!r.vec(&points)) return false;
+  const std::uint64_t gap_weeks = r.u64();
+  if (!r.ok()) return false;
+  result_.points = std::move(points);
+  result_.gap_weeks = static_cast<std::size_t>(gap_weeks);
+  return true;
 }
 
 void GrowthAnalyzer::finish() {

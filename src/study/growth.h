@@ -43,6 +43,10 @@ class GrowthAnalyzer : public StudyAnalyzer {
   }
   void finish() override;
 
+  std::string_view state_id() const override { return "growth"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const GrowthResult& result() const { return result_; }
   std::string render() const;
 

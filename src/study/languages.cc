@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "snapshot/record.h"
 #include "synth/langmap.h"
@@ -120,6 +121,35 @@ void LanguagesAnalyzer::apply_delta(const WeekObservation&,
                          [static_cast<std::size_t>(lang)];
     }
   }
+}
+
+bool LanguagesAnalyzer::save_state(StateWriter& w) const {
+  distinct_.save_state(w);
+  w.vec(global_);
+  w.vec2(result_.by_domain);
+  return true;
+}
+
+bool LanguagesAnalyzer::load_state(StateReader& r) {
+  U64Set distinct;
+  std::vector<std::uint64_t> global;
+  std::vector<std::vector<std::uint64_t>> by_domain;
+  if (!distinct.load_state(r) || !r.vec(&global) || !r.vec2(&by_domain) ||
+      !r.ok()) {
+    return false;
+  }
+  // Fixed shape: one counter per known language, one row per domain.
+  if (global.size() != global_.size() ||
+      by_domain.size() != result_.by_domain.size()) {
+    return false;
+  }
+  for (const auto& row : by_domain) {
+    if (row.size() != global_.size()) return false;
+  }
+  distinct_ = std::move(distinct);
+  global_ = std::move(global);
+  result_.by_domain = std::move(by_domain);
+  return true;
 }
 
 void LanguagesAnalyzer::finish() {

@@ -52,6 +52,10 @@ class LanguagesAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "languages"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const LanguagesResult& result() const { return result_; }
   std::string render() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/table.h"
 
@@ -88,6 +89,21 @@ void ParticipationAnalyzer::apply_delta(const WeekObservation&,
                          static_cast<std::uint32_t>(project)});
     }
   }
+}
+
+bool ParticipationAnalyzer::save_state(StateWriter& w) const {
+  pairs_.save_state(w);
+  w.vec(result_.observed);
+  return true;
+}
+
+bool ParticipationAnalyzer::load_state(StateReader& r) {
+  U64Set pairs;
+  std::vector<MembershipEdge> observed;
+  if (!pairs.load_state(r) || !r.vec(&observed)) return false;
+  pairs_ = std::move(pairs);
+  result_.observed = std::move(observed);
+  return true;
 }
 
 void ParticipationAnalyzer::finish() {

@@ -56,6 +56,10 @@ class ParticipationAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "participation"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const ParticipationResult& result() const { return result_; }
   std::string render() const;
 

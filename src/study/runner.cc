@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/hash_index.h"
+#include "study/checkpoint.h"
 
 namespace spider {
 
@@ -72,6 +73,10 @@ struct PendingWeek {
   /// diff's directory side. Like `index`, detached from the table so the
   /// struct stays movable.
   std::unique_ptr<DetachedPathIndex> dir_index;
+  /// Checkpointing only: the source's gap timeline up to (not including)
+  /// this week, captured on the visiting thread — the source mutates its
+  /// gap list during traversal, so the analyst thread must not read it.
+  std::vector<SeriesGap> gaps_so_far;
 
   const Snapshot& snap() const { return view ? *view : owned; }
 };
@@ -88,6 +93,59 @@ std::vector<std::uint32_t> merged_union(
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+/// Structural validation of a loaded checkpoint against THIS run's
+/// configuration: same hash function, same projection, same grain, and an
+/// analyzer roster that lines up id-for-id with resumable state for every
+/// entry. Content validation (does the checkpointed week still match the
+/// source?) happens later, against the re-decoded snapshot.
+Status validate_checkpoint(const StudyCheckpoint& ckpt,
+                           std::span<StudyAnalyzer* const> analyzers,
+                           ColumnMask columns, std::size_t grain) {
+  if (ckpt.hash_probe != checkpoint_hash_probe()) {
+    return Status::failed_precondition(
+        "hash-function drift: the checkpoint's probe fingerprint does not "
+        "match this build");
+  }
+  if (ckpt.columns_mask != columns) {
+    return Status::failed_precondition(
+        "column projection changed: checkpoint mask " +
+        std::to_string(ckpt.columns_mask) + ", this run " +
+        std::to_string(columns));
+  }
+  if (ckpt.grain != grain) {
+    return Status::failed_precondition(
+        "scan grain changed: checkpoint " + std::to_string(ckpt.grain) +
+        ", this run " + std::to_string(grain));
+  }
+  if (ckpt.analyzers.size() != analyzers.size()) {
+    return Status::failed_precondition(
+        "analyzer roster changed: checkpoint has " +
+        std::to_string(ckpt.analyzers.size()) + " analyzers, this run " +
+        std::to_string(analyzers.size()));
+  }
+  for (std::size_t i = 0; i < analyzers.size(); ++i) {
+    const AnalyzerCheckpoint& a = ckpt.analyzers[i];
+    if (a.id != analyzers[i]->state_id()) {
+      return Status::failed_precondition(
+          "analyzer roster changed at position " + std::to_string(i) +
+          ": checkpoint '" + a.id + "', this run '" +
+          std::string(analyzers[i]->state_id()) + "'");
+    }
+    if (!a.has_state) {
+      return Status::failed_precondition(
+          "analyzer '" + a.id +
+          "' recorded a re-baseline marker (no serializable state)");
+    }
+    if (a.version != analyzers[i]->state_version()) {
+      return Status::failed_precondition(
+          "analyzer '" + a.id + "' state version skew: checkpoint v" +
+          std::to_string(a.version) + ", this build v" +
+          std::to_string(analyzers[i]->state_version()));
+    }
+  }
+  return Status();
 }
 
 /// The diff as a scan kernel (DESIGN.md §11): registered FIRST, so within
@@ -232,13 +290,130 @@ void run_study(SnapshotSource& source,
   scan_options.grain = options.grain;
   scan_options.pool = options.pool;
 
+  // --- Checkpoint setup (DESIGN.md §14) ---
+  CheckpointReport scratch_report;
+  CheckpointReport* report =
+      options.checkpoint_report != nullptr ? options.checkpoint_report
+                                           : &scratch_report;
+  *report = CheckpointReport{};
+  const bool ckpt_wanted = !options.checkpoint.path.empty();
+  // The checkpoint serializes the incremental engine's retained state; a
+  // pure scan run has nothing worth saving, so checkpointing rides on
+  // incremental mode only.
+  const bool ckpt_enabled = ckpt_wanted && incremental;
+  if (ckpt_wanted && !incremental) {
+    report->rebaseline_reason =
+        "checkpointing requires incremental mode; running without";
+  }
+  const std::size_t ckpt_every =
+      options.checkpoint.every == 0 ? 1 : options.checkpoint.every;
+
+  StudyCheckpoint restored;
+  bool resume_pending = false;
+  if (ckpt_enabled && options.checkpoint.resume) {
+    Status s = load_checkpoint(options.checkpoint.path, &restored);
+    if (s.ok()) {
+      s = validate_checkpoint(restored, analyzers, columns, options.grain);
+    }
+    if (s.ok()) {
+      resume_pending = true;
+    } else if (s.code() != StatusCode::kNotFound) {
+      // A missing checkpoint is an ordinary fresh run; anything else —
+      // corruption, truncation, version skew, roster drift — is a
+      // re-baseline worth reporting.
+      report->rebaseline_reason = s.to_string();
+    }
+  }
+
   // Analysis state. Touched only by whichever thread runs analyze() —
   // the caller without prefetch, the pipeline thread with it.
   PendingWeek prev;
   bool have_prev = false;
   std::size_t last_week = 0;
+  bool resume_failed = false;
+  std::size_t weeks_since_ckpt = 0;
+
+  auto write_checkpoint = [&]() {
+    StudyCheckpoint ckpt;
+    ckpt.week = prev.week;
+    ckpt.taken_at = prev.snap().taken_at;
+    ckpt.degraded = prev.snap().degraded;
+    ckpt.table_fingerprint = table_fingerprint(prev.snap().table, columns);
+    ckpt.columns_mask = columns;
+    ckpt.grain = options.grain;
+    ckpt.hash_probe = checkpoint_hash_probe();
+    // Keep pre-resume damage alive across checkpoint generations: the
+    // source never re-read those weeks, so its own gap list cannot
+    // contain them.
+    ckpt.gaps = report->restored_gaps.empty()
+                    ? prev.gaps_so_far
+                    : merge_gap_timelines(report->restored_gaps,
+                                          prev.gaps_so_far);
+    ckpt.analyzers.reserve(analyzers.size());
+    for (StudyAnalyzer* analyzer : analyzers) {
+      AnalyzerCheckpoint a;
+      a.id = std::string(analyzer->state_id());
+      a.version = analyzer->state_version();
+      StateWriter w(&a.blob);
+      a.has_state = analyzer->save_state(w);
+      if (!a.has_state) a.blob.clear();
+      ckpt.analyzers.push_back(std::move(a));
+    }
+    // Best-effort: a failed write leaves the previous checkpoint on disk
+    // intact (atomic replace), and the study itself continues.
+    if (save_checkpoint(options.checkpoint.path, ckpt).ok()) {
+      ++report->checkpoints_written;
+    } else {
+      ++report->write_failures;
+    }
+  };
+
+  // Content validation + state restore against the re-decoded
+  // checkpointed week. On success the week becomes `prev` without being
+  // analyzed (it already was, before the crash). Any mismatch abandons
+  // the resume with analyzer state untouched.
+  auto try_resume = [&](const PendingWeek& cur) -> bool {
+    if (cur.week != restored.week ||
+        cur.snap().taken_at != restored.taken_at ||
+        cur.snap().degraded != restored.degraded ||
+        table_fingerprint(cur.snap().table, columns) !=
+            restored.table_fingerprint) {
+      report->rebaseline_reason =
+          "checkpointed week " + std::to_string(restored.week) +
+          " no longer matches the source (position or content changed)";
+      return false;
+    }
+    for (std::size_t i = 0; i < analyzers.size(); ++i) {
+      StateReader r(restored.analyzers[i].blob);
+      if (!analyzers[i]->load_state(r) || !r.exhausted()) {
+        // Unreachable short of a bug: the blob passed its section
+        // checksum and its version check. load_state is atomic per
+        // analyzer, so falling back to the full run is the best effort.
+        report->rebaseline_reason = "analyzer '" +
+                                    restored.analyzers[i].id +
+                                    "' failed to restore its state";
+        return false;
+      }
+    }
+    report->resumed = true;
+    report->resumed_week = static_cast<std::size_t>(restored.week);
+    report->restored_gaps = std::move(restored.gaps);
+    return true;
+  };
 
   auto analyze = [&](PendingWeek&& cur) {
+    if (resume_failed) return;  // draining an abandoned resume traversal
+    if (resume_pending) {
+      resume_pending = false;
+      if (try_resume(cur)) {
+        prev = std::move(cur);
+        have_prev = true;
+        last_week = prev.week;
+        return;
+      }
+      resume_failed = true;
+      return;
+    }
     WeekObservation obs;
     obs.week = cur.week;
     obs.snap = &cur.snap();
@@ -297,6 +472,11 @@ void run_study(SnapshotSource& source,
     prev = std::move(cur);
     have_prev = true;
     last_week = prev.week;
+
+    if (ckpt_enabled && ++weeks_since_ckpt >= ckpt_every) {
+      weeks_since_ckpt = 0;
+      write_checkpoint();
+    }
   };
 
   const bool stable = source.stable_snapshots();
@@ -315,11 +495,21 @@ void run_study(SnapshotSource& source,
       }
     }
   };
+  // Checkpointing only: snapshot the source's gap list (the visiting
+  // thread is the one mutating it, so reading it here is race-free) up to
+  // this week, for the analyst thread's checkpoint writes.
+  auto capture_gaps = [&](PendingWeek& pending) {
+    if (!ckpt_enabled) return;
+    for (const SeriesGap& gap : source.gaps()) {
+      if (gap.week < pending.week) pending.gaps_so_far.push_back(gap);
+    }
+  };
   auto make_pending_const = [&](std::size_t week, const Snapshot& snap) {
     PendingWeek pending;
     pending.week = week;
     pending.view = &snap;
     attach_index(pending);
+    capture_gaps(pending);
     return pending;
   };
   auto make_pending_move = [&](std::size_t week, Snapshot&& snap) {
@@ -327,20 +517,26 @@ void run_study(SnapshotSource& source,
     pending.week = week;
     pending.owned = std::move(snap);
     attach_index(pending);
+    capture_gaps(pending);
     return pending;
   };
 
-  if (!options.prefetch) {
-    if (stable) {
-      source.visit([&](std::size_t week, const Snapshot& snap) {
-        analyze(make_pending_const(week, snap));
-      });
-    } else {
-      source.visit_move([&](std::size_t week, Snapshot&& snap) {
-        analyze(make_pending_move(week, std::move(snap)));
-      });
+  auto run_pass = [&](std::size_t first_slot) {
+    if (!options.prefetch) {
+      if (stable) {
+        source.visit_from(first_slot,
+                          [&](std::size_t week, const Snapshot& snap) {
+                            analyze(make_pending_const(week, snap));
+                          });
+      } else {
+        source.visit_move_from(first_slot,
+                               [&](std::size_t week, Snapshot&& snap) {
+                                 analyze(
+                                     make_pending_move(week, std::move(snap)));
+                               });
+      }
+      return;
     }
-  } else {
     // Depth-1 double buffer: the caller keeps visiting (decoding) while a
     // pipeline thread analyzes, one week in flight. Analysis still runs
     // strictly in arrival order on a single thread, so results are
@@ -371,13 +567,16 @@ void run_study(SnapshotSource& source,
     };
 
     if (stable) {
-      source.visit([&](std::size_t week, const Snapshot& snap) {
-        enqueue(make_pending_const(week, snap));
-      });
+      source.visit_from(first_slot,
+                        [&](std::size_t week, const Snapshot& snap) {
+                          enqueue(make_pending_const(week, snap));
+                        });
     } else {
-      source.visit_move([&](std::size_t week, Snapshot&& snap) {
-        enqueue(make_pending_move(week, std::move(snap)));
-      });
+      source.visit_move_from(first_slot,
+                             [&](std::size_t week, Snapshot&& snap) {
+                               enqueue(
+                                   make_pending_move(week, std::move(snap)));
+                             });
     }
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -385,6 +584,26 @@ void run_study(SnapshotSource& source,
       slot_filled.notify_one();
     }
     analyst.join();
+  };
+
+  run_pass(resume_pending ? static_cast<std::size_t>(restored.week) : 0);
+  if (resume_pending || resume_failed) {
+    // The resume never materialized: either validation failed at the
+    // first arriving week, or no week at or past the checkpointed slot
+    // arrived at all (the file vanished or decayed into a gap). Analyzer
+    // state is untouched in both cases, so the full run is correct.
+    if (resume_pending && report->rebaseline_reason.empty()) {
+      report->rebaseline_reason =
+          "checkpointed week " + std::to_string(restored.week) +
+          " never arrived from the source";
+    }
+    resume_pending = false;
+    resume_failed = false;
+    prev = PendingWeek{};
+    have_prev = false;
+    last_week = 0;
+    weeks_since_ckpt = 0;
+    run_pass(0);
   }
 
   for (StudyAnalyzer* analyzer : analyzers) analyzer->finish();

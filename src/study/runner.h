@@ -17,10 +17,12 @@
 
 #include <memory>
 #include <span>
+#include <string>
 
 #include "engine/diff.h"
 #include "engine/scan.h"
 #include "snapshot/series.h"
+#include "util/serialize.h"
 
 namespace spider {
 
@@ -169,6 +171,69 @@ class StudyAnalyzer {
 
   /// Called once after the last snapshot.
   virtual void finish() {}
+
+  /// --- Checkpoint contract (DESIGN.md §14) ---
+  ///
+  /// Analyzers that can serialize their accumulated state implement all
+  /// four hooks; the runner then includes them in .sckpt checkpoints and
+  /// can resume a crashed study without replaying the analyzed weeks.
+  /// The defaults record a re-baseline marker instead: a checkpoint
+  /// containing any marker is not resumable and the study re-runs in
+  /// full, which is always correct — just slower.
+
+  /// Stable identifier written into the checkpoint and matched on resume
+  /// (a roster change means the blobs do not line up). Empty = no state.
+  virtual std::string_view state_id() const { return {}; }
+  /// Bumped whenever save_state's layout changes; a version mismatch
+  /// re-baselines instead of misparsing an old blob.
+  virtual std::uint32_t state_version() const { return 1; }
+  /// Serializes everything accumulated so far (retained delta state AND
+  /// cumulative results). Returns false (the default) to record a
+  /// re-baseline marker.
+  virtual bool save_state(StateWriter& w) const {
+    (void)w;
+    return false;
+  }
+  /// Restores a save_state image. Implementations must be atomic: either
+  /// every member is overwritten from the blob, or false is returned with
+  /// the analyzer untouched (deserialize into locals, then commit).
+  virtual bool load_state(StateReader& r) {
+    (void)r;
+    return false;
+  }
+};
+
+/// Crash-safety knobs for run_study (active only in incremental mode —
+/// the checkpoint is the incremental engine's warm state).
+struct CheckpointOptions {
+  /// Where to write/read the .sckpt file; empty disables checkpointing.
+  std::string path;
+  /// Write a checkpoint every N analyzed weeks (1 = every week).
+  std::size_t every = 1;
+  /// Attempt to resume from an existing checkpoint at `path`. Off forces
+  /// a fresh run even when a valid checkpoint exists.
+  bool resume = true;
+};
+
+/// What the checkpoint layer did during one run_study call.
+struct CheckpointReport {
+  /// True when the run resumed from a checkpoint instead of starting at
+  /// the first week.
+  bool resumed = false;
+  /// The checkpointed week the resume continued after (valid iff resumed).
+  std::size_t resumed_week = 0;
+  /// Why a present checkpoint was NOT resumed (validation failure,
+  /// corruption, version skew, re-baseline marker...). Empty when resumed
+  /// or when no checkpoint existed.
+  std::string rebaseline_reason;
+  std::size_t checkpoints_written = 0;
+  /// Checkpoint writes that failed (the study continues; the previous
+  /// checkpoint on disk stays valid thanks to the atomic write).
+  std::size_t write_failures = 0;
+  /// Timeline damage restored from the checkpoint — gaps in weeks the
+  /// resumed run never revisited. Callers rendering data quality union
+  /// these with the source's own gaps() (dedup by week).
+  std::vector<SeriesGap> restored_gaps;
 };
 
 struct StudyOptions {
@@ -204,6 +269,11 @@ struct StudyOptions {
   /// the full scan. Rendered results are byte-identical either way; off
   /// preserves the pure scan path.
   bool incremental = false;
+  /// Durable checkpoint/resume (DESIGN.md §14). Requires `incremental`;
+  /// ignored (with the reason recorded in the report) otherwise.
+  CheckpointOptions checkpoint;
+  /// When non-null, filled with what the checkpoint layer did.
+  CheckpointReport* checkpoint_report = nullptr;
 };
 
 /// Streams `source` through all analyzers. The diff (when any analyzer

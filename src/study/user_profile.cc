@@ -1,6 +1,7 @@
 #include "study/user_profile.h"
 
 #include <sstream>
+#include <utility>
 
 #include "util/table.h"
 
@@ -110,6 +111,27 @@ void UserProfileAnalyzer::apply_delta(const WeekObservation&,
   live_unknown_ += unknown_in(cur, diff.updated_rows);
   live_unknown_ += unknown_in(cur, diff.changed_dir_rows);
   result_.unknown_uids += live_unknown_;
+}
+
+bool UserProfileAnalyzer::save_state(StateWriter& w) const {
+  w.vec(seen_);
+  w.u64(live_unknown_);
+  w.u64(result_.unknown_uids);
+  return true;
+}
+
+bool UserProfileAnalyzer::load_state(StateReader& r) {
+  std::vector<std::uint8_t> seen;
+  if (!r.vec(&seen)) return false;
+  const std::uint64_t live_unknown = r.u64();
+  const std::uint64_t unknown_uids = r.u64();
+  // The seen bitmap is sized by the resolver's user plan; a size mismatch
+  // means the checkpoint came from a differently-configured study.
+  if (!r.ok() || seen.size() != seen_.size()) return false;
+  seen_ = std::move(seen);
+  live_unknown_ = static_cast<std::size_t>(live_unknown);
+  result_.unknown_uids = static_cast<std::size_t>(unknown_uids);
+  return true;
 }
 
 void UserProfileAnalyzer::finish() {

@@ -41,6 +41,10 @@ class UserProfileAnalyzer : public StudyAnalyzer {
                    const WeekDelta& delta) override;
   void finish() override;
 
+  std::string_view state_id() const override { return "user-profile"; }
+  bool save_state(StateWriter& w) const override;
+  bool load_state(StateReader& r) override;
+
   const UserProfileResult& result() const { return result_; }
   std::string render() const;
 

@@ -92,6 +92,45 @@ FaultyFile::FaultyFile(std::span<const std::uint8_t> bytes, std::uint64_t seed,
       eintr_probability_(eintr_probability),
       max_chunk_(max_chunk) {}
 
+WriteInterceptor::Decision WriteFaultInjector::on_op(WriteOp op,
+                                                     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.push_back(OpRecord{op, path});
+  const std::size_t index = ops_++;
+  if (dead_) {
+    // A dead process issues no writes: every later stage fails outright.
+    Decision d;
+    d.fail = true;
+    return d;
+  }
+  if (index != kill_at_) return {};
+  dead_ = true;
+  Decision d;
+  d.crash = true;
+  // Surviving prefix of a torn write: usually a short, sector-ish amount,
+  // sometimes large enough to cover the whole payload (io.cc clamps).
+  d.keep_bytes = rng_.chance(0.5)
+                     ? static_cast<std::size_t>(rng_.uniform_u64(4097))
+                     : static_cast<std::size_t>(rng_.uniform_u64(1u << 20));
+  d.complete_rename = rng_.chance(0.5);
+  return d;
+}
+
+std::size_t WriteFaultInjector::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool WriteFaultInjector::killed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+std::vector<WriteFaultInjector::OpRecord> WriteFaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
 long FaultyFile::read(void* buf, std::size_t count) {
   if (count == 0) return 0;
   if (rng_.chance(eintr_probability_)) {

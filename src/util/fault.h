@@ -15,14 +15,26 @@
 //     at a chosen offset). It exercises the retry/short-read loops without
 //     interposing on real syscalls.
 //
-// Everything here is deterministic given the seed; there is no global state.
+//   * WriteFaultInjector drives util/io.h's WriteInterceptor seam from the
+//     write side: it counts every stage of every atomic write and, at a
+//     chosen op index, simulates the process dying there — torn temp
+//     files, a rename that may or may not have landed — after which every
+//     later write fails (a dead process writes nothing). Sweeping the kill
+//     index across a run crashes it at every write boundary exactly once,
+//     which is how the checkpoint recovery sweep (DESIGN.md §14) proves
+//     resume correctness for every possible crash state.
+//
+// Everything here is deterministic given the seed; the only global state is
+// the explicitly installed write interceptor.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "util/io.h"
 #include "util/prng.h"
 
 namespace spider {
@@ -102,6 +114,45 @@ class FaultyFile {
   std::size_t pos_ = 0;
   std::size_t interruptions_ = 0;
   std::size_t short_serves_ = 0;
+};
+
+/// Kill-at-write-N injector for write_file_atomic (install via
+/// set_write_interceptor). Stages are counted across all writes in
+/// program order; at op `kill_at_op` the process "dies": the stage leaves
+/// the partial state a real crash would (see io.cc) — a torn temp with a
+/// seeded-random surviving prefix, or a rename that landed or not by coin
+/// flip — and every subsequent stage of every subsequent write fails.
+/// The op log doubles as the fsync-ordering witness for the durability
+/// unit test.
+class WriteFaultInjector : public WriteInterceptor {
+ public:
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  explicit WriteFaultInjector(std::uint64_t seed,
+                              std::size_t kill_at_op = kNever)
+      : rng_(seed), kill_at_(kill_at_op) {}
+
+  Decision on_op(WriteOp op, const std::string& path) override;
+
+  struct OpRecord {
+    WriteOp op;
+    std::string path;
+  };
+
+  /// Stages seen so far (including the killing one and dead-mode ops).
+  std::size_t ops_seen() const;
+  /// True once the kill op was reached.
+  bool killed() const;
+  /// Every stage in arrival order.
+  std::vector<OpRecord> log() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::size_t kill_at_;
+  std::size_t ops_ = 0;
+  bool dead_ = false;
+  std::vector<OpRecord> log_;
 };
 
 }  // namespace spider

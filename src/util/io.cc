@@ -63,7 +63,49 @@ class TempFileGuard {
   bool armed_ = true;
 };
 
+WriteInterceptor* g_write_interceptor = nullptr;
+
+WriteInterceptor::Decision intercept(WriteOp op, const std::string& path) {
+  if (g_write_interceptor == nullptr) return {};
+  return g_write_interceptor->on_op(op, path);
+}
+
+/// fsync the directory containing `path`, making a completed rename in it
+/// durable. Filesystems that reject directory fsync (EINVAL on some
+/// network mounts) are treated as "nothing to do", not as failures.
+Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::io_error("open dir: " + errno_text()).with_context(dir);
+  }
+  Status s;
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    s = Status::io_error("fsync dir: " + errno_text()).with_context(dir);
+  }
+  close_quietly(fd);
+  return s;
+}
+
 }  // namespace
+
+std::string_view write_op_name(WriteOp op) {
+  switch (op) {
+    case WriteOp::kOpen: return "open";
+    case WriteOp::kWrite: return "write";
+    case WriteOp::kSyncFile: return "sync-file";
+    case WriteOp::kRename: return "rename";
+    case WriteOp::kSyncDir: return "sync-dir";
+  }
+  return "?";
+}
+
+void set_write_interceptor(WriteInterceptor* interceptor) {
+  g_write_interceptor = interceptor;
+}
 
 Status read_exactly(const RawReadFn& read_fn, void* buf, std::size_t count,
                     IoStats* stats) {
@@ -146,6 +188,15 @@ Status write_file_atomic(const std::string& path,
   // Same directory as the target so the rename cannot cross filesystems.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  const auto injected = [&path](WriteOp op) {
+    return Status::io_error(std::string("injected fault at ") +
+                            std::string(write_op_name(op)))
+        .with_context(path);
+  };
+
+  WriteInterceptor::Decision d = intercept(WriteOp::kOpen, path);
+  if (d.fail || d.crash) return injected(WriteOp::kOpen);
   const int fd =
       open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -153,18 +204,67 @@ Status write_file_atomic(const std::string& path,
   }
   TempFileGuard guard(tmp);
 
-  Status s = write_all(fd, bytes.data(), bytes.size(), stats);
-  if (s.ok() && ::fsync(fd) != 0) {
-    s = Status::io_error("fsync: " + errno_text());
+  d = intercept(WriteOp::kWrite, path);
+  if (d.crash) {
+    // Simulated process death mid-write: a prefix of the payload lands in
+    // the temp file and no destructor cleans it up — exactly the torn temp
+    // a killed writer leaves behind. The destination is untouched.
+    const std::size_t keep = std::min(d.keep_bytes, bytes.size());
+    (void)write_all(fd, bytes.data(), keep, stats);
+    close_quietly(fd);
+    guard.disarm();
+    return injected(WriteOp::kWrite);
+  }
+  Status s = d.fail ? Status::io_error("injected write fault")
+                    : write_all(fd, bytes.data(), bytes.size(), stats);
+
+  if (s.ok()) {
+    d = intercept(WriteOp::kSyncFile, path);
+    if (d.crash) {
+      // Death at fsync: the tail past the last durable sector is lost.
+      const std::size_t keep = std::min(d.keep_bytes, bytes.size());
+      (void)::ftruncate(fd, static_cast<off_t>(keep));
+      close_quietly(fd);
+      guard.disarm();
+      return injected(WriteOp::kSyncFile);
+    }
+    if (d.fail) {
+      s = Status::io_error("injected fsync fault");
+    } else if (::fsync(fd) != 0) {
+      s = Status::io_error("fsync: " + errno_text());
+    }
   }
   close_quietly(fd);
   if (!s.ok()) return s.with_context(path);
 
+  d = intercept(WriteOp::kRename, path);
+  if (d.crash) {
+    // Death at the rename boundary: power loss leaves either the old
+    // destination (rename never happened; temp orphaned) or the new one
+    // (it did). Both are legal crash states the resume path must handle.
+    if (d.complete_rename && ::rename(tmp.c_str(), path.c_str()) == 0) {
+      guard.disarm();
+    } else {
+      guard.disarm();  // temp left behind, as a dead process would
+    }
+    return injected(WriteOp::kRename);
+  }
+  if (d.fail) {
+    return Status::io_error("injected rename fault").with_context(path);
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::io_error("rename: " + errno_text()).with_context(path);
   }
   guard.disarm();
-  return Status();
+
+  // Make the rename itself durable: without the directory fsync a power
+  // loss can roll the dirent back even though the file data was synced.
+  d = intercept(WriteOp::kSyncDir, path);
+  if (d.crash) return injected(WriteOp::kSyncDir);
+  if (d.fail) {
+    return Status::io_error("injected dir-fsync fault").with_context(path);
+  }
+  return fsync_parent_dir(path);
 }
 
 Status write_file_atomic(const std::string& path, std::string_view text,

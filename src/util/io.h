@@ -3,14 +3,21 @@
 //
 //   * reads loop over short reads and retry EINTR (signals during a nightly
 //     collection run must not look like corrupt snapshots);
-//   * whole-file writes go to a same-directory temp file, fsync, then
-//     atomically rename into place — a crash mid-write leaves either the
-//     old file or the new one, never a torn .scol/PSV image;
+//   * whole-file writes go to a same-directory temp file, fsync the file,
+//     atomically rename into place, then fsync the parent directory — a
+//     crash mid-write leaves either the old file or the new one, never a
+//     torn .scol/PSV/.sckpt image, and the rename itself is durable across
+//     power loss (rename alone only updates the in-memory dirent);
 //   * every failure is a typed Status naming the file and the errno text.
 //
 // The low-level loops take an abstract RawReadFn so the fault-injection
 // harness (util/fault.h FaultyFile) can drive them with deliberately
-// awkward read schedules without interposing on real syscalls.
+// awkward read schedules without interposing on real syscalls. The write
+// path has the mirror-image seam: a WriteInterceptor consulted before each
+// stage of write_file_atomic, which lets util/fault.h's WriteFaultInjector
+// fail a stage, tear the bytes that land, or simulate the process dying
+// mid-write (temp file left behind, every later write dead) — the
+// kill-point sweep of the checkpoint layer (DESIGN.md §14) is built on it.
 #pragma once
 
 #include <cstdint>
@@ -51,9 +58,46 @@ Status read_file(const std::string& path, std::vector<std::uint8_t>* out,
 Status read_file(const std::string& path, std::string* out,
                  IoStats* stats = nullptr);
 
+/// The observable stages of write_file_atomic, in execution order.
+enum class WriteOp : std::uint8_t {
+  kOpen = 0,   // create the same-directory temp file
+  kWrite,      // write the payload into the temp file
+  kSyncFile,   // fsync the temp file (data durable before the rename)
+  kRename,     // atomic rename over the destination
+  kSyncDir,    // fsync the parent directory (rename durable)
+};
+std::string_view write_op_name(WriteOp op);
+
+/// Test seam consulted before every stage of write_file_atomic. The
+/// decision can fail the stage cleanly (temp removed, destination
+/// untouched) or simulate the process dying at that stage: partial effects
+/// land exactly as a crash would leave them and the temp file is NOT
+/// cleaned up (a dead process runs no destructors).
+class WriteInterceptor {
+ public:
+  virtual ~WriteInterceptor() = default;
+
+  struct Decision {
+    bool fail = false;   // stage fails with an injected io error
+    bool crash = false;  // simulated process death at this stage
+    /// Crash at kWrite/kSyncFile: how many payload bytes survive in the
+    /// temp file (clamped to the payload size).
+    std::size_t keep_bytes = static_cast<std::size_t>(-1);
+    /// Crash at kRename: whether the rename landed before the "death"
+    /// (both outcomes are real states a power loss can leave).
+    bool complete_rename = false;
+  };
+  /// `path` is the destination file. Called once per stage per write.
+  virtual Decision on_op(WriteOp op, const std::string& path) = 0;
+};
+
+/// Installs a process-wide interceptor for write_file_atomic (null to
+/// remove). Test-only: production writers never install one.
+void set_write_interceptor(WriteInterceptor* interceptor);
+
 /// Writes `bytes` to `path` via a same-directory temp file + fsync +
-/// atomic rename. On any failure the temp file is removed and the previous
-/// `path` contents (if any) are untouched.
+/// atomic rename + parent-directory fsync. On any failure the temp file is
+/// removed and the previous `path` contents (if any) are untouched.
 Status write_file_atomic(const std::string& path,
                          std::span<const std::uint8_t> bytes,
                          IoStats* stats = nullptr);

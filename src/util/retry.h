@@ -1,0 +1,98 @@
+// Jittered exponential retry/backoff for transient I/O faults.
+//
+// A multi-hour (or resident, per ROADMAP #1) study run reads thousands of
+// snapshot files off shared storage; a momentary NFS/Lustre hiccup must
+// cost one retry, not a permanent SeriesGap in the study timeline. The
+// policy here is deliberately narrow:
+//
+//   * only kIoError is retryable by default — kNotFound is a real state
+//     (the file is absent), kCorruption/kTruncated are properties of the
+//     bytes that rereading cannot fix, and retrying them would just
+//     triple the latency of every genuinely damaged week;
+//   * delays grow exponentially from `base_delay_us`, capped at
+//     `max_delay_us`, with a seeded-uniform jitter fraction so a fleet of
+//     readers hitting the same brownout doesn't re-stampede in lockstep;
+//   * the sleep is injectable, so tests run the full schedule with a fake
+//     clock and assert the exact delay sequence deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace spider {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying entirely.
+  int max_attempts = 1;
+  std::uint64_t base_delay_us = 1000;     // delay before the first retry
+  std::uint64_t max_delay_us = 200'000;   // exponential growth cap
+  /// Fraction of each delay drawn uniformly at random: the actual sleep is
+  /// delay * (1 - jitter + jitter * u) with u ~ U[0,1). 0 = deterministic.
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eed'0dd5ULL;
+  /// Test seam: called instead of sleeping when set.
+  std::function<void(std::uint64_t delay_us)> sleep_fn;
+  /// Which failures are worth retrying; null = kIoError only.
+  std::function<bool(const Status&)> retryable;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;   // operation invocations, first tries included
+  std::uint64_t retries = 0;    // invocations after a retryable failure
+  std::uint64_t exhausted = 0;  // operations that failed every attempt
+  std::uint64_t slept_us = 0;   // total backoff (as computed, fake or real)
+};
+
+inline bool default_retryable(const Status& s) {
+  return s.code() == StatusCode::kIoError;
+}
+
+/// Runs `op` (returning Status) under the policy: on a retryable failure,
+/// back off and reinvoke, up to max_attempts total. Returns the first
+/// non-retryable Status immediately, or the last failure when attempts are
+/// exhausted. `stats` (optional) accumulates across calls.
+template <typename Op>
+Status retry_with_backoff(const RetryPolicy& policy, RetryStats* stats,
+                          Op&& op) {
+  Rng rng(policy.seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (stats) {
+      ++stats->attempts;
+      if (attempt > 0) ++stats->retries;
+    }
+    last = op();
+    if (last.ok()) return last;
+    const bool retry = policy.retryable ? policy.retryable(last)
+                                        : default_retryable(last);
+    if (!retry) return last;
+    if (attempt + 1 >= attempts) break;
+    std::uint64_t delay = policy.base_delay_us;
+    for (int k = 0; k < attempt && delay < policy.max_delay_us; ++k) {
+      delay *= 2;
+    }
+    delay = std::min(delay, policy.max_delay_us);
+    if (policy.jitter > 0 && delay > 0) {
+      const double scale = 1.0 - policy.jitter + policy.jitter * rng.uniform();
+      delay = static_cast<std::uint64_t>(static_cast<double>(delay) * scale);
+    }
+    if (stats) stats->slept_us += delay;
+    if (policy.sleep_fn) {
+      policy.sleep_fn(delay);
+    } else if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
+  if (stats) ++stats->exhausted;
+  return last;
+}
+
+}  // namespace spider

@@ -128,5 +128,147 @@ TEST(FileErrorTest, UnwritableTargetFailsWithoutTrace) {
   EXPECT_EQ(s.code(), StatusCode::kIoError);
 }
 
+/// RAII install/remove for the process-wide write interceptor.
+class InterceptorScope {
+ public:
+  explicit InterceptorScope(WriteInterceptor* i) { set_write_interceptor(i); }
+  ~InterceptorScope() { set_write_interceptor(nullptr); }
+};
+
+// The durability contract, witnessed through the interceptor's op log:
+// payload bytes are fsynced BEFORE the rename makes them visible, and the
+// parent directory is fsynced AFTER — so a power loss can never expose a
+// destination whose bytes were not yet durable, and the rename itself
+// cannot roll back.
+TEST(AtomicWriteDurabilityTest, StagesRunInFsyncSafeOrder) {
+  const std::string path = temp_path("spider_io_fsync_order.bin");
+  WriteFaultInjector injector(/*seed=*/7);  // records ops, never kills
+  {
+    InterceptorScope scope(&injector);
+    ASSERT_TRUE(write_file_atomic(path, std::string_view("payload")).ok());
+  }
+  const auto log = injector.log();
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log[0].op, WriteOp::kOpen);
+  EXPECT_EQ(log[1].op, WriteOp::kWrite);
+  EXPECT_EQ(log[2].op, WriteOp::kSyncFile);
+  EXPECT_EQ(log[3].op, WriteOp::kRename);
+  EXPECT_EQ(log[4].op, WriteOp::kSyncDir);
+  for (const auto& record : log) EXPECT_EQ(record.path, path);
+  EXPECT_FALSE(injector.killed());
+  std::remove(path.c_str());
+}
+
+// Crash simulation at every stage: whatever the kill point, the
+// destination is never torn — it holds either the complete old content or
+// the complete new content.
+TEST(AtomicWriteDurabilityTest, CrashAtEveryStageLeavesOldOrNewNeverTorn) {
+  const std::string dir = temp_path("spider_io_crash_stages");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/target.bin";
+  const std::string old_content = "old-complete-content";
+  const std::string new_content = "NEW-complete-content-different-length!";
+
+  for (std::size_t kill_at = 0; kill_at < 5; ++kill_at) {
+    ASSERT_TRUE(write_file_atomic(path, std::string_view(old_content)).ok());
+    WriteFaultInjector injector(/*seed=*/1000 + kill_at, kill_at);
+    Status s;
+    {
+      InterceptorScope scope(&injector);
+      s = write_file_atomic(path, std::string_view(new_content));
+    }
+    EXPECT_TRUE(injector.killed()) << "kill_at=" << kill_at;
+    EXPECT_FALSE(s.ok()) << "kill_at=" << kill_at;
+    std::string after;
+    ASSERT_TRUE(read_file(path, &after).ok()) << "kill_at=" << kill_at;
+    EXPECT_TRUE(after == old_content || after == new_content)
+        << "kill_at=" << kill_at << " left torn destination: " << after;
+    if (kill_at < 3) {
+      // Stages before the rename can never expose the new content.
+      EXPECT_EQ(after, old_content) << "kill_at=" << kill_at;
+    }
+    if (kill_at == 4) {
+      // The sync-dir stage runs after the rename landed.
+      EXPECT_EQ(after, new_content);
+    }
+  }
+  // Crash mode deliberately leaves torn temp files behind (a dead process
+  // runs no destructors); clean the whole directory.
+  fs::remove_all(dir);
+}
+
+// Fail (not crash) decisions are clean errors: destination untouched and
+// the temp file removed by the writer's own error path.
+TEST(AtomicWriteDurabilityTest, InjectedFailureCleansUpTempFile) {
+  class FailAt : public WriteInterceptor {
+   public:
+    explicit FailAt(WriteOp op) : op_(op) {}
+    Decision on_op(WriteOp op, const std::string&) override {
+      Decision d;
+      d.fail = op == op_;
+      return d;
+    }
+
+   private:
+    WriteOp op_;
+  };
+
+  const std::string dir = temp_path("spider_io_fail_stages");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/target.bin";
+  const std::string old_content = "previous";
+
+  for (const WriteOp op : {WriteOp::kOpen, WriteOp::kWrite,
+                           WriteOp::kSyncFile, WriteOp::kRename}) {
+    ASSERT_TRUE(write_file_atomic(path, std::string_view(old_content)).ok());
+    FailAt fail(op);
+    Status s;
+    {
+      InterceptorScope scope(&fail);
+      s = write_file_atomic(path, std::string_view("never lands"));
+    }
+    EXPECT_FALSE(s.ok()) << write_op_name(op);
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << write_op_name(op);
+    std::string after;
+    ASSERT_TRUE(read_file(path, &after).ok()) << write_op_name(op);
+    EXPECT_EQ(after, old_content) << write_op_name(op);
+    // No temp litter: the directory holds exactly the destination.
+    std::size_t entries = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      (void)entry;
+      ++entries;
+    }
+    EXPECT_EQ(entries, 1u) << write_op_name(op);
+  }
+  fs::remove_all(dir);
+}
+
+// Kill-at-op counting spans writes: with one kill index per run, a sweep
+// visits every write boundary of a multi-write program exactly once, and
+// every write after the kill fails (a dead process writes nothing).
+TEST(AtomicWriteDurabilityTest, DeadModeFailsAllLaterWrites) {
+  const std::string dir = temp_path("spider_io_dead_mode");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  WriteFaultInjector injector(/*seed=*/3, /*kill_at_op=*/7);  // mid 2nd write
+  {
+    InterceptorScope scope(&injector);
+    EXPECT_TRUE(
+        write_file_atomic(dir + "/a.bin", std::string_view("aaa")).ok());
+    EXPECT_FALSE(
+        write_file_atomic(dir + "/b.bin", std::string_view("bbb")).ok());
+    EXPECT_FALSE(
+        write_file_atomic(dir + "/c.bin", std::string_view("ccc")).ok());
+  }
+  EXPECT_TRUE(injector.killed());
+  std::string a;
+  EXPECT_TRUE(read_file(dir + "/a.bin", &a).ok());
+  EXPECT_EQ(a, "aaa");
+  EXPECT_FALSE(fs::exists(dir + "/c.bin"));
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace spider
