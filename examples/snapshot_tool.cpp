@@ -6,6 +6,7 @@
 //   snapshot_tool generate --dir=/tmp/series [--scale=2e-5] [--weeks=12]
 //   snapshot_tool convert --in=snap.psv --out=snap.scol   (or the reverse)
 //   snapshot_tool inspect --in=snap.scol
+//   snapshot_tool stat --in=snap.scol     (v2 row-group directory)
 //   snapshot_tool purgelist --in=snap.scol [--age=90] [--exempt=cli104,...]
 //                 [--out=purge.list] [--now=<epoch>]
 //   snapshot_tool verify --dir=/tmp/series   (or --in=snap.scol)
@@ -104,9 +105,11 @@ int cmd_generate(const CliArgs& args) {
     return 1;
   }
   FacilityGenerator generator(config);
-  std::string error;
-  if (!save_series(generator, dir, &error)) {
-    std::cerr << "failed: " << error << "\n";
+  // Stream each week's rows straight into the encoder: peak memory is one
+  // row group plus simulator state, so large --scale values stay feasible.
+  const Status s = save_series_streamed(generator, dir);
+  if (!s.ok()) {
+    std::cerr << "failed: " << s.to_string() << "\n";
     return 1;
   }
   std::cout << "wrote " << generator.count() << " snapshots to " << dir
@@ -184,6 +187,88 @@ int cmd_inspect(const CliArgs& args) {
   }
   projects.print(std::cout);
   return 0;
+}
+
+/// Prints the v2 group directory without decoding any rows: per group the
+/// directory's row count and byte extent, plus the per-column block sizes
+/// read from the column-set framing. This is the out-of-core planning
+/// view — what the streaming study will touch group-at-a-time.
+int cmd_stat(const CliArgs& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::cerr << "stat requires --in=<.scol file>\n";
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes;
+  Status s = read_file(in, &bytes);
+  if (!s.ok()) {
+    std::cerr << "read failed: " << s.to_string() << "\n";
+    return 1;
+  }
+  ScolV2Layout layout;
+  s = parse_scol_v2_layout(bytes, &layout);
+  if (!s.ok()) {
+    std::cerr << in << ": not a readable v2 image: " << s.to_string() << "\n";
+    return 1;
+  }
+
+  std::uint64_t payload = 0;
+  for (const std::size_t len : layout.group_len) payload += len;
+  std::cout << in << ": " << format_with_commas(layout.rows) << " rows in "
+            << layout.group_rows.size() << " groups (group size "
+            << format_with_commas(layout.group_size) << "); "
+            << format_with_commas(layout.payload_start) << " header+directory"
+            << " bytes, " << format_with_commas(payload) << " payload bytes\n";
+
+  AsciiTable t({"group", "rows", "bytes", "paths", "atime", "ctime", "mtime",
+                "uid", "gid", "mode", "inode", "ost"});
+  ScolColumnSizes totals;
+  bool framing_ok = true;
+  for (std::size_t g = 0; g < layout.group_rows.size(); ++g) {
+    if (layout.group_truncated[g]) {
+      t.add_row({std::to_string(g), format_with_commas(layout.group_rows[g]),
+                 "(truncated)", "-", "-", "-", "-", "-", "-", "-", "-", "-"});
+      framing_ok = false;
+      continue;
+    }
+    ScolColumnSizes sizes;
+    const Status gs = scol_group_column_sizes(
+        std::span<const std::uint8_t>(bytes).subspan(layout.group_begin[g],
+                                                     layout.group_len[g]),
+        &sizes);
+    if (!gs.ok()) {
+      t.add_row({std::to_string(g), format_with_commas(layout.group_rows[g]),
+                 format_with_commas(layout.group_len[g]),
+                 "(bad framing)", "-", "-", "-", "-", "-", "-", "-", "-"});
+      framing_ok = false;
+      continue;
+    }
+    t.add_row({std::to_string(g), format_with_commas(layout.group_rows[g]),
+               format_with_commas(layout.group_len[g]),
+               format_with_commas(sizes.paths), format_with_commas(sizes.atime),
+               format_with_commas(sizes.ctime), format_with_commas(sizes.mtime),
+               format_with_commas(sizes.uid), format_with_commas(sizes.gid),
+               format_with_commas(sizes.mode), format_with_commas(sizes.inode),
+               format_with_commas(sizes.ost)});
+    totals.paths += sizes.paths;
+    totals.atime += sizes.atime;
+    totals.ctime += sizes.ctime;
+    totals.mtime += sizes.mtime;
+    totals.uid += sizes.uid;
+    totals.gid += sizes.gid;
+    totals.mode += sizes.mode;
+    totals.inode += sizes.inode;
+    totals.ost += sizes.ost;
+    totals.total += sizes.total;
+  }
+  t.add_row({"total", format_with_commas(layout.rows),
+             format_with_commas(payload), format_with_commas(totals.paths),
+             format_with_commas(totals.atime), format_with_commas(totals.ctime),
+             format_with_commas(totals.mtime), format_with_commas(totals.uid),
+             format_with_commas(totals.gid), format_with_commas(totals.mode),
+             format_with_commas(totals.inode), format_with_commas(totals.ost)});
+  t.print(std::cout);
+  return framing_ok ? 0 : 1;
 }
 
 int cmd_purgelist(const CliArgs& args) {
@@ -442,7 +527,7 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::cerr
         << "usage: snapshot_tool "
-           "<generate|convert|inspect|purgelist|verify|checkpoint|diff> "
+           "<generate|convert|inspect|stat|purgelist|verify|checkpoint|diff> "
            "[flags]\n";
     return 1;
   }
@@ -450,6 +535,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return cmd_generate(args);
   if (command == "convert") return cmd_convert(args);
   if (command == "inspect") return cmd_inspect(args);
+  if (command == "stat") return cmd_stat(args);
   if (command == "purgelist") return cmd_purgelist(args);
   if (command == "verify") return cmd_verify(args);
   if (command == "checkpoint") return cmd_checkpoint(args);

@@ -20,6 +20,7 @@ endif()
 list(GET snaps 0 first)
 
 run(${TOOL} inspect --in=${first})
+run(${TOOL} stat --in=${first})
 run(${TOOL} convert --in=${first} --out=${WORKDIR}/snap.psv)
 run(${TOOL} convert --in=${WORKDIR}/snap.psv --out=${WORKDIR}/snap.scol)
 run(${TOOL} purgelist --in=${first} --age=60 --out=${WORKDIR}/purge.list)

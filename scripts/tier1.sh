@@ -23,20 +23,43 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 echo "==> tier 1: bench smoke (tiny-scale harness run-through)"
 ctest --test-dir build --output-on-failure -L bench-smoke -j"${JOBS}"
 
+# Out-of-core regression guard: the mixed-residency streaming study must
+# fit (and pass, bit-identical to resident) under a 512 MB address-space
+# cap — a whole-series or whole-snapshot materialization sneaking back
+# into the streamed path blows straight through it. Guarded because some
+# environments forbid lowering RLIMIT_AS.
+echo "==> tier 1: streaming study under a 512 MB address-space cap"
+if bash -c 'ulimit -v 524288' 2>/dev/null; then
+  bash -c 'ulimit -v 524288 && exec ./build/tests/study_streaming_test \
+      --gtest_filter=StreamingStudyTest.MixedResidencyBudgetMatchesResident'
+else
+  echo "--> skipped: this environment does not permit ulimit -v"
+fi
+
 echo "==> tier 1: ASan+UBSan build + robustness suites"
 cmake -B build-asan -S . -DSPIDER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}" --target \
     snapshot_fault_injection_test snapshot_scol_test snapshot_scol_v2_test \
     snapshot_psv_test snapshot_psv_fuzz_test snapshot_series_test \
     util_io_test util_retry_test util_status_test engine_agg_test \
-    engine_flat_map_test study_checkpoint_test
+    engine_flat_map_test engine_spill_test study_streaming_test \
+    study_checkpoint_test
 for t in snapshot_fault_injection_test snapshot_scol_test \
          snapshot_scol_v2_test snapshot_psv_test snapshot_psv_fuzz_test \
          snapshot_series_test util_io_test util_retry_test \
-         util_status_test engine_agg_test engine_flat_map_test; do
+         util_status_test engine_agg_test engine_flat_map_test \
+         engine_spill_test; do
   echo "--> ${t} (sanitized)"
   ./build-asan/tests/"${t}"
 done
+# Streaming parity under ASan: the damaged/gapped case drives the mmap'd
+# group reader's salvage replay, partition-file regeneration, and the
+# spill join's checksummed record framing against corrupt inputs — the
+# out-of-core layer's hostile-input surface. The thread-width sweep stays
+# in the plain build (big fixture; widths don't change what ASan sees).
+echo "--> study_streaming_test (sanitized, damaged+gapped parity)"
+./build-asan/tests/study_streaming_test \
+    --gtest_filter='StreamingStudyFaultTest.*:StreamingStudyBoundaryTest.*'
 # Crash-recovery under ASan: the codec, the resume validation paths, and
 # the corruption/gap cases chew through every deserializer with hostile
 # inputs — exactly where ASan earns its keep. The exhaustive kill sweep is
@@ -51,7 +74,8 @@ cmake -B build-tsan -S . -DSPIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target \
     util_parallel_test engine_scan_test engine_partition_test \
     engine_diff_parity_test engine_flat_map_test study_runner_test \
-    study_scan_determinism_test study_incremental_test study_checkpoint_test
+    study_scan_determinism_test study_incremental_test \
+    study_streaming_test study_checkpoint_test
 for t in util_parallel_test engine_scan_test engine_partition_test \
          engine_diff_parity_test engine_flat_map_test study_runner_test; do
   echo "--> ${t} (tsan)"
@@ -79,5 +103,14 @@ echo "--> study_incremental_test (tsan, gap+salvage re-baseline cases)"
 echo "--> study_checkpoint_test (tsan, resume cases)"
 ./build-tsan/tests/study_checkpoint_test \
     --gtest_filter='CheckpointResumeTest.ResumeAcrossGapPreservesDataQuality:CheckpointResumeTest.ScanOnlyMarkersForceFullRun'
+# Streaming parity under TSan: the mixed-residency case runs the streamed
+# weeks' prefetch pipeline, the spill writers, and the resident weeks'
+# parallel scan on one multi-thread pool — the residency boundary is
+# where the out-of-core path shares state across threads. The full
+# thread-width sweep stays in the plain build (same big-fixture
+# reasoning as the determinism harness above).
+echo "--> study_streaming_test (tsan, mixed-residency + boundary cases)"
+./build-tsan/tests/study_streaming_test \
+    --gtest_filter='StreamingStudyTest.MixedResidencyBudgetMatchesResident:StreamingStudyBoundaryTest.*'
 
 echo "tier 1 OK"

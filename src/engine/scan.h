@@ -37,6 +37,7 @@
 
 #include "snapshot/table.h"
 #include "util/parallel.h"
+#include "util/status.h"
 
 namespace spider {
 
@@ -45,6 +46,23 @@ namespace spider {
 /// change the chunk layout with the thread count and break the bit-identity
 /// guarantee above.
 inline constexpr std::size_t kScanGrainRows = 8192;
+
+/// One unit of scan work: a GLOBAL row range [begin, end) backed by a
+/// table that may hold only a window of the full row space (out-of-core
+/// scans stage one .scol row group at a time). `base` is the global row
+/// index of the table's local row 0; kernels index the table at
+/// `i - base` and record global row numbers, so their outputs are
+/// independent of how the scan was staged. Resident scans have base == 0
+/// and the two coordinate systems coincide.
+struct ScanMorsel {
+  const SnapshotTable* table = nullptr;
+  std::size_t begin = 0;  // global row range [begin, end)
+  std::size_t end = 0;
+  std::size_t base = 0;  // global row index of table's local row 0
+
+  /// Local (table) row of a global row inside this morsel.
+  std::size_t local(std::size_t global_row) const { return global_row - base; }
+};
 
 /// Per-chunk partial state; kernels subclass this with their accumulators.
 struct ScanChunkState {
@@ -60,26 +78,30 @@ class ScanKernel {
   virtual ~ScanKernel() = default;
 
   /// Fresh partial state for one chunk. Called once per chunk before the
-  /// scan starts (serially, on the calling thread). May return null for
-  /// kernels with no per-row work.
+  /// chunk is scanned (serially, in chunk order, on the calling thread).
+  /// May return null for kernels with no per-row work.
   virtual std::unique_ptr<ScanChunkState> make_chunk_state() const = 0;
 
-  /// Accumulate rows [begin, end) into `state`. Runs concurrently with
+  /// Accumulate the morsel's rows into `state`. Runs concurrently with
   /// other chunks; must only mutate `state` (see determinism contract).
-  virtual void observe_chunk(ScanChunkState* state, const SnapshotTable& table,
-                             std::size_t begin, std::size_t end) = 0;
+  /// The morsel's table is valid only for the duration of the call —
+  /// streaming scans recycle staging tables between batches, so kernels
+  /// must not retain the pointer in their chunk state.
+  virtual void observe_chunk(ScanChunkState* state, const ScanMorsel& m) = 0;
 
   /// Fold the per-chunk states, delivered in chunk order. Runs serially on
   /// the calling thread after every observe_chunk has finished; this is
-  /// where order-dependent logic belongs. Called even for an empty table
-  /// (with an empty list), so per-scan bookkeeping always runs.
+  /// where order-dependent logic belongs. Called even for an empty scan
+  /// (with an empty list), so per-scan bookkeeping always runs. There is
+  /// deliberately no table parameter: by merge time a streaming scan has
+  /// already dropped the staged rows, so anything a merge needs must come
+  /// from the chunk states (or context captured at construction).
   ///
   /// `pool` is the scan's pool (null = process-global): order-INsensitive
   /// sub-steps of a merge (e.g. the radix-partitioned count-map merges of
   /// engine/agg.h) may fan back out on it, as long as the order-sensitive
   /// fold itself stays serial and chunk-ordered.
-  virtual void merge_chunks(const SnapshotTable& table, ScanStateList states,
-                            ThreadPool* pool) = 0;
+  virtual void merge_chunks(ScanStateList states, ThreadPool* pool) = 0;
 };
 
 struct ScanOptions {
@@ -96,5 +118,41 @@ struct ScanOptions {
 void scan_table(const SnapshotTable& table,
                 std::span<ScanKernel* const> kernels,
                 const ScanOptions& options = {});
+
+/// One batch pulled from a MorselSource: a staging table holding the
+/// global rows [base, base + table->size()).
+struct MorselBatch {
+  const SnapshotTable* table = nullptr;  // null signals end of stream
+  std::size_t base = 0;
+};
+
+/// Pull seam between the scan dispatcher and whatever stages the rows —
+/// a resident table served as one batch, or a streaming .scol reader
+/// decoding one row group at a time into recycled staging tables (with
+/// its own decode-ahead, see engine/stream.h). next() is called
+/// serially; each call invalidates the previous batch's table (the
+/// source may recycle it), and batches must arrive in ascending global
+/// row order with no overlap.
+class MorselSource {
+ public:
+  virtual ~MorselSource() = default;
+
+  /// Yields the next batch, or ok with batch->table == nullptr at end of
+  /// stream. A non-ok status aborts the scan (scan_stream returns it
+  /// without merging).
+  virtual Status next(MorselBatch* batch) = 0;
+};
+
+/// Streaming variant of scan_table: pulls batches from `source`, carves
+/// each batch into grain-sized chunks scanned in parallel, and merges
+/// every kernel's states in chunk order once the stream ends. Chunk
+/// numbering is continuous across batches, so when every batch size is a
+/// multiple of the grain (the .scol group size is by construction —
+/// except the final short group, which only ever precedes the stream
+/// end), the chunk layout — and therefore every merge fold — is
+/// IDENTICAL to scan_table over the materialized whole. On a non-ok pull
+/// the scan stops and the status is returned; no merges run.
+Status scan_stream(MorselSource& source, std::span<ScanKernel* const> kernels,
+                   const ScanOptions& options = {});
 
 }  // namespace spider

@@ -1,0 +1,113 @@
+#include "engine/stream.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace spider {
+
+struct ScolMorselSource::Impl {
+  const ScolGroupReader* reader = nullptr;
+  Options options;
+
+  SnapshotTable slots[2];
+  std::size_t next_group = 0;  // next group to hand out (skip-advanced)
+  std::size_t base = 0;        // global row of the next batch's first row
+  int next_slot = 0;           // slot the next batch will occupy
+
+  // Depth-1 decode-ahead. The in-flight task decodes `pending_group` into
+  // slots[pending_slot]; `done` flips under `mu` when it finishes.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool pending = false;
+  bool done = false;
+  std::size_t pending_group = 0;
+  int pending_slot = 0;
+  Status pending_status;
+
+  bool skipped(std::size_t g) const {
+    return g < options.skip.size() && options.skip[g] != 0;
+  }
+
+  /// First non-skipped group at or after `g`, or group_count() if none.
+  std::size_t advance(std::size_t g) const {
+    while (g < reader->group_count() && skipped(g)) ++g;
+    return g;
+  }
+
+  void wait_pending() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+  }
+
+  void submit_prefetch(std::size_t group, int slot) {
+    pending = true;
+    done = false;
+    pending_group = group;
+    pending_slot = slot;
+    ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
+    pool.submit([this, group, slot] {
+      slots[slot].clear();
+      Status s = reader->decode_group(group, &slots[slot]);
+      std::lock_guard<std::mutex> lock(mu);
+      pending_status = std::move(s);
+      done = true;
+      cv.notify_all();
+    });
+  }
+};
+
+ScolMorselSource::ScolMorselSource(const ScolGroupReader* reader,
+                                   Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->reader = reader;
+  impl_->options = std::move(options);
+  impl_->next_group = impl_->advance(0);
+}
+
+ScolMorselSource::~ScolMorselSource() {
+  if (impl_ && impl_->pending) impl_->wait_pending();
+}
+
+Status ScolMorselSource::next(MorselBatch* batch) {
+  Impl& im = *impl_;
+  batch->table = nullptr;
+  batch->base = 0;
+  if (im.next_group >= im.reader->group_count()) {
+    if (im.pending) {  // stream ended while a stale prefetch was in flight
+      im.wait_pending();
+      im.pending = false;
+    }
+    return Status();
+  }
+
+  const std::size_t group = im.next_group;
+  const int slot = im.next_slot;
+  Status s;
+  if (im.pending && im.pending_group == group && im.pending_slot == slot) {
+    im.wait_pending();
+    im.pending = false;
+    s = std::move(im.pending_status);
+  } else {
+    if (im.pending) {  // prefetch raced a skip-list change; drain it
+      im.wait_pending();
+      im.pending = false;
+    }
+    im.slots[slot].clear();
+    s = im.reader->decode_group(group, &im.slots[slot]);
+  }
+  if (!s.ok()) return s;
+
+  im.next_group = im.advance(group + 1);
+  im.next_slot = 1 - slot;
+  if (im.options.prefetch && im.next_group < im.reader->group_count()) {
+    im.submit_prefetch(im.next_group, im.next_slot);
+  }
+
+  batch->table = &im.slots[slot];
+  batch->base = im.base;
+  im.base += im.slots[slot].size();
+  return Status();
+}
+
+}  // namespace spider

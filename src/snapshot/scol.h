@@ -44,11 +44,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "snapshot/table.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace spider {
@@ -182,6 +184,14 @@ bool decode_scol(std::span<const std::uint8_t> bytes, SnapshotTable* table,
 ScolColumnSizes scol_column_sizes(const SnapshotTable& table,
                                   const ScolOptions& options = {});
 
+/// Per-column encoded payload sizes of one v2 group extent (as bounded by
+/// parse_scol_v2_layout), read straight from the column-set framing — no
+/// decode, no checksum verification. Total matches scol_column_sizes
+/// semantics: payload bytes only, excluding the block headers. Fails with
+/// kTruncated when the framing runs past the extent.
+Status scol_group_column_sizes(std::span<const std::uint8_t> group,
+                               ScolColumnSizes* sizes);
+
 /// Encodes and writes via a temp file + atomic rename (util/io.h): a crash
 /// mid-write leaves the previous file intact, never a torn image.
 Status write_scol_file(const SnapshotTable& table, const std::string& file,
@@ -198,5 +208,116 @@ bool write_scol_file(const SnapshotTable& table, const std::string& file,
                      const ScolOptions& options = {});
 bool read_scol_file(const std::string& file, SnapshotTable* table,
                     std::string* error = nullptr);
+
+/// Streaming group-at-a-time reader — the out-of-core half of the codec
+/// (DESIGN.md §15). open() maps the file (or borrows an in-memory image)
+/// and validates the header plus group directory exactly once; after that,
+/// decode_group() materializes any row group on demand into a caller-owned
+/// staging table, reading column payloads zero-copy out of the mapped
+/// bytes. A v1 image presents as a single group covering the whole table.
+///
+/// decode_group is const and carries no hidden state, so groups may be
+/// decoded concurrently (the scan dispatcher's depth-1 prefetch does) and
+/// re-decoded freely (the study's second pass over a streamed week does).
+/// Salvage accounting therefore lives in a caller-owned SalvageReport,
+/// driven through make_report / note_success / dispose_failure; visiting
+/// every group once in directory order reproduces the eager decoder's
+/// report — same damage entries, same order, same counters, same strict-
+/// mode failure (the lowest damaged group) — which is what keeps the
+/// streaming study's gap and data-quality output bit-identical.
+class ScolGroupReader {
+ public:
+  ScolGroupReader();
+  ~ScolGroupReader();
+  ScolGroupReader(ScolGroupReader&&) noexcept;
+  ScolGroupReader& operator=(ScolGroupReader&&) noexcept;
+  ScolGroupReader(const ScolGroupReader&) = delete;
+  ScolGroupReader& operator=(const ScolGroupReader&) = delete;
+
+  /// Maps `file` and parses the framing. Header/directory damage fails
+  /// here (there is nothing to stream against), with the file as context.
+  Status open(const std::string& file, const ScolOptions& options = {});
+
+  /// Borrows `bytes` (the caller keeps them alive) instead of mapping.
+  Status open_bytes(std::span<const std::uint8_t> bytes,
+                    const ScolOptions& options = {});
+
+  bool is_open() const;
+  std::uint64_t rows() const;
+  std::size_t group_count() const;
+  std::uint64_t group_rows(std::size_t g) const;
+  /// Encoded bytes of group g as promised by the directory.
+  std::size_t group_bytes(std::size_t g) const;
+  const ScolOptions& options() const;
+
+  /// Decodes group `g`, appending its rows to `table` under the open
+  /// options' projection mask. Returns the group's own verdict — the same
+  /// Status the eager decoder would assign this group (checksums verified
+  /// for every block regardless of projection; a directory extent past the
+  /// image is kTruncated) — without applying the salvage policy; on a
+  /// non-ok Status `table` is untouched.
+  Status decode_group(std::size_t g, SnapshotTable* table) const;
+
+  /// A report pre-filled with groups_total / rows_total, matching the
+  /// eager decoder's initialization.
+  SalvageReport make_report() const;
+
+  /// Accounts a successfully decoded group in `report`.
+  void note_success(std::size_t g, SalvageReport* report) const;
+
+  /// Applies the salvage policy to a failed group exactly as the eager
+  /// decoder does: kFail returns the error with "group N" context; kSkip /
+  /// kQuarantine record the damage (quarantining the group's raw bytes
+  /// when configured) in `report` and return ok.
+  Status dispose_failure(std::size_t g, Status s, SalvageReport* report) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Streaming v2 writer: accepts rows group-at-a-time and never holds more
+/// than one group in memory — the generator uses it to produce series at
+/// scales whose whole-table image could not exist in the container. Group
+/// payloads append to a same-directory temp file as they fill; finish()
+/// assembles header + directory + payload and renames atomically (crash
+/// leaves the old file or none, never a torn image). The output is
+/// byte-identical to write_scol_file of the same rows under the same
+/// options: group boundaries fall at the same multiples of
+/// options.group_size and every encoder restarts per group either way.
+class ScolStreamWriter {
+ public:
+  ScolStreamWriter();
+  ~ScolStreamWriter();  // abort()s if still open
+  ScolStreamWriter(const ScolStreamWriter&) = delete;
+  ScolStreamWriter& operator=(const ScolStreamWriter&) = delete;
+
+  /// Begins writing `file`. Requires options.format_version == 2 (the v1
+  /// layout cannot stream: its single column set spans the whole table).
+  Status open(const std::string& file, const ScolOptions& options = {});
+
+  /// Buffers one record, encoding and flushing a full group when
+  /// options.group_size rows are pending.
+  Status add(const RawRecord& rec);
+  Status add(std::string_view path, std::int64_t atime, std::int64_t ctime,
+             std::int64_t mtime, std::uint32_t uid, std::uint32_t gid,
+             std::uint32_t mode, std::uint64_t inode,
+             std::span<const std::uint32_t> osts);
+
+  /// Flushes the tail group, writes the final image, closes. The writer
+  /// cannot be reused after finish().
+  Status finish();
+
+  /// Drops all temp state without producing a file.
+  void abort();
+
+  std::uint64_t rows_added() const;
+
+ private:
+  Status flush_group();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace spider

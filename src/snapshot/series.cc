@@ -185,12 +185,50 @@ void SnapshotSource::visit_move_from(std::size_t first_slot,
   });
 }
 
+void SnapshotSource::visit_streaming(std::size_t first_slot,
+                                     const StreamChooser& chooser,
+                                     const SnapshotMoveVisitor& move_visitor,
+                                     const SnapshotStreamVisitor&) {
+  // Sources without group-structured storage have nothing to stream:
+  // every week is delivered resident regardless of the chooser.
+  (void)chooser;
+  visit_move_from(first_slot, move_visitor);
+}
+
 void DirectorySeries::visit(const SnapshotVisitor& visitor) {
   visit_move([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
 }
 
 void DirectorySeries::visit_move(const SnapshotMoveVisitor& visitor) {
   visit_move_from(0, visitor);
+}
+
+void DirectorySeries::deliver_eager(std::size_t i,
+                                    std::vector<std::uint8_t>& bytes,
+                                    const SnapshotMoveVisitor& visitor) {
+  Snapshot snap;
+  snap.taken_at = taken_at_[i];
+  SalvageReport report;
+  // Read bytes (with retry for transient faults), then decode. Matches
+  // read_scol_file's error shape: the Status carries the file context.
+  const auto read_once = [&]() {
+    bytes.clear();
+    return read_fn_ ? read_fn_(files_[i], &bytes)
+                    : read_file(files_[i], &bytes);
+  };
+  Status s = retry_policy_.enabled()
+                 ? retry_with_backoff(retry_policy_, &retry_stats_, read_once)
+                 : read_once();
+  if (s.ok()) {
+    s = decode_scol(bytes, &snap.table, scol_options_, &report)
+            .with_context(files_[i]);
+  }
+  if (!s.ok()) {
+    gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
+    return;
+  }
+  snap.degraded = !report.clean();
+  visitor(slots_[i], std::move(snap));
 }
 
 void DirectorySeries::visit_move_from(std::size_t first_slot,
@@ -204,30 +242,49 @@ void DirectorySeries::visit_move_from(std::size_t first_slot,
   std::vector<std::uint8_t> bytes;
   for (std::size_t i = 0; i < files_.size(); ++i) {
     if (slots_[i] < first_slot) continue;
-    Snapshot snap;
-    snap.taken_at = taken_at_[i];
-    SalvageReport report;
-    // Read bytes (with retry for transient faults), then decode. Matches
-    // read_scol_file's error shape: the Status carries the file context.
-    const auto read_once = [&]() {
-      bytes.clear();
-      return read_fn_ ? read_fn_(files_[i], &bytes)
-                      : read_file(files_[i], &bytes);
-    };
-    Status s = retry_policy_.enabled()
-                   ? retry_with_backoff(retry_policy_, &retry_stats_,
-                                        read_once)
-                   : read_once();
-    if (s.ok()) {
-      s = decode_scol(bytes, &snap.table, scol_options_, &report)
-              .with_context(files_[i]);
+    deliver_eager(i, bytes, visitor);
+  }
+  std::sort(gaps_.begin(), gaps_.end(),
+            [](const SeriesGap& a, const SeriesGap& b) {
+              return a.week < b.week;
+            });
+}
+
+void DirectorySeries::visit_streaming(
+    std::size_t first_slot, const StreamChooser& chooser,
+    const SnapshotMoveVisitor& move_visitor,
+    const SnapshotStreamVisitor& stream_visitor) {
+  gaps_ = open_gaps_;
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (slots_[i] < first_slot) continue;
+    // A scripted read_fn_ cannot feed the mapped reader, so its presence
+    // (tests exercising transient-fault retries) forces the eager path —
+    // the seam keeps seeing every read either way.
+    if (chooser && stream_visitor && !read_fn_) {
+      ScolGroupReader reader;
+      // Maps the file and parses header + directory only — a failure here
+      // is NOT recorded as a gap; the eager fallback below re-discovers
+      // the damage through the canonical path so the gap carries the
+      // byte-identical eager status (and retry accounting).
+      const Status opened = reader.open(files_[i], scol_options_);
+      if (opened.ok() && chooser(slots_[i], taken_at_[i], reader.rows())) {
+        WeekGroupStream stream;
+        stream.week = slots_[i];
+        stream.taken_at = taken_at_[i];
+        stream.file = files_[i];
+        stream.reader = &reader;
+        const Status s = stream_visitor(stream);
+        if (!s.ok()) {
+          // The visitor reports the raw decode verdict; the file context
+          // is prepended here, mirroring deliver_eager's decode_scol call.
+          gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i],
+                                    s.with_context(files_[i])});
+        }
+        continue;
+      }
     }
-    if (!s.ok()) {
-      gaps_.push_back(SeriesGap{slots_[i], taken_at_[i], files_[i], s});
-      continue;
-    }
-    snap.degraded = !report.clean();
-    visitor(slots_[i], std::move(snap));
+    deliver_eager(i, bytes, move_visitor);
   }
   std::sort(gaps_.begin(), gaps_.end(),
             [](const SeriesGap& a, const SeriesGap& b) {

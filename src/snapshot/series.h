@@ -63,6 +63,30 @@ using SnapshotVisitor =
 using SnapshotMoveVisitor =
     std::function<void(std::size_t week, Snapshot&& snap)>;
 
+/// One week offered for group-at-a-time consumption (DESIGN.md §15): an
+/// open reader over the week's .scol image instead of a decoded table.
+/// The reader is valid only for the duration of the visit.
+struct WeekGroupStream {
+  std::size_t week = 0;
+  std::int64_t taken_at = 0;
+  std::string file;
+  const ScolGroupReader* reader = nullptr;
+};
+
+/// Consulted once per deliverable week, before any decode work: return
+/// true to receive the week through the stream visitor, false to receive
+/// a resident Snapshot. `rows_hint` comes from the file header — the only
+/// bytes touched so far — so the budget decision costs no decode.
+using StreamChooser = std::function<bool(
+    std::size_t week, std::int64_t taken_at, std::uint64_t rows_hint)>;
+
+/// Consumes one streamed week. Returning a non-ok Status declares the
+/// week unusable — the source records it as a SeriesGap exactly as an
+/// eager decode failure would, so the visitor must return the same RAW
+/// decode Status the eager path would have produced (the source adds the
+/// file context itself).
+using SnapshotStreamVisitor = std::function<Status(const WeekGroupStream&)>;
+
 class SnapshotSource {
  public:
   virtual ~SnapshotSource() = default;
@@ -91,6 +115,17 @@ class SnapshotSource {
                           const SnapshotVisitor& visitor);
   virtual void visit_move_from(std::size_t first_slot,
                                const SnapshotMoveVisitor& visitor);
+
+  /// The out-of-core entry point: weeks the `chooser` accepts arrive as
+  /// open group readers through `stream_visitor`; everything else arrives
+  /// resident through `move_visitor`. The default ignores the chooser and
+  /// delivers every week resident — only sources that actually hold
+  /// group-structured bytes (DirectorySeries over .scol v2 files) can do
+  /// better, and callers must not assume streaming happened.
+  virtual void visit_streaming(std::size_t first_slot,
+                               const StreamChooser& chooser,
+                               const SnapshotMoveVisitor& move_visitor,
+                               const SnapshotStreamVisitor& stream_visitor);
 
   /// True when the Snapshot references passed to visit() stay valid for
   /// the source's whole lifetime (fully materialized series). Consumers
@@ -193,6 +228,15 @@ class DirectorySeries : public SnapshotSource {
   /// resuming a checkpointed study pays I/O only for the remaining weeks.
   void visit_move_from(std::size_t first_slot,
                        const SnapshotMoveVisitor& visitor) override;
+  /// Streams chooser-accepted weeks as mapped ScolGroupReaders. Weeks
+  /// whose image cannot even be opened for streaming (header/directory
+  /// damage, v1 quirks) fall back to the eager path so their gap
+  /// accounting — status text, retry behavior, read_fn_ seam — is
+  /// byte-identical to visit_move_from; for the same reason a configured
+  /// read_fn_ (test seam) disables streaming entirely.
+  void visit_streaming(std::size_t first_slot, const StreamChooser& chooser,
+                       const SnapshotMoveVisitor& move_visitor,
+                       const SnapshotStreamVisitor& stream_visitor) override;
   /// Pushes the projection into the .scol decoder: unrequested column
   /// blocks are checksum-verified but not materialized.
   void set_columns(ColumnMask columns) override {
@@ -203,6 +247,13 @@ class DirectorySeries : public SnapshotSource {
   const std::vector<std::string>& files() const { return files_; }
 
  private:
+  /// Reads and decodes files_[i] eagerly, delivering the snapshot to
+  /// `visitor` or recording a gap — the shared per-file body of
+  /// visit_move_from and visit_streaming's fallback. `bytes` is the
+  /// caller's reusable read buffer.
+  void deliver_eager(std::size_t i, std::vector<std::uint8_t>& bytes,
+                     const SnapshotMoveVisitor& visitor);
+
   std::vector<std::string> files_;      // absolute paths, sorted by date
   std::vector<std::int64_t> taken_at_;  // parallel to files_
   std::vector<std::size_t> slots_;      // parallel to files_; has holes

@@ -76,6 +76,24 @@ void SnapshotTable::append_table(SnapshotTable&& other) {
   other = SnapshotTable();
 }
 
+void SnapshotTable::clear() {
+  arena_ = StringArena();
+  paths_.clear();
+  path_hash_.clear();
+  depth_.clear();
+  atime_.clear();
+  ctime_.clear();
+  mtime_.clear();
+  uid_.clear();
+  gid_.clear();
+  mode_.clear();
+  inode_.clear();
+  ost_offsets_.clear();
+  ost_offsets_.push_back(0);
+  ost_values_.clear();
+  file_count_ = 0;
+}
+
 RawRecord SnapshotTable::row(std::size_t i) const {
   RawRecord rec;
   rec.path = std::string(paths_[i]);

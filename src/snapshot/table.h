@@ -117,6 +117,12 @@ class SnapshotTable {
   /// stable pointer.
   SnapshotTable clone() const;
 
+  /// Empties the table for reuse as a staging buffer. Column vectors keep
+  /// their capacity (the streaming reader recycles one staging table per
+  /// ring slot, so steady-state decode does no column reallocation); the
+  /// path arena is released — its views die with the rows anyway.
+  void clear();
+
  private:
   StringArena arena_;
   std::vector<std::string_view> paths_;

@@ -51,28 +51,31 @@ struct BurstinessChunk : ScanChunkState {
   GidStatsMap read_by_gid;
 };
 
-void accumulate_rows(const SnapshotTable& table,
-                     std::span<const std::uint32_t> rows, bool use_atime,
-                     std::int64_t window_start, GidStatsMap& by_gid) {
+/// `rows` are GLOBAL cur-snapshot rows, all inside the morsel's range.
+void accumulate_rows(const ScanMorsel& m, std::span<const std::uint32_t> rows,
+                     bool use_atime, std::int64_t window_start,
+                     GidStatsMap& by_gid) {
+  const SnapshotTable& table = *m.table;
   for (const std::uint32_t row : rows) {
-    const std::int64_t t = use_atime ? table.atime(row) : table.mtime(row);
+    const std::size_t r = m.local(row);
+    const std::int64_t t = use_atime ? table.atime(r) : table.mtime(r);
     const double offset = static_cast<double>(t - window_start);
     if (offset < 0) continue;  // moved-in files predating the window
-    by_gid.slot(table.gid(row)).add(offset);
+    by_gid.slot(table.gid(r)).add(offset);
   }
 }
 
-/// Accumulates the sub-range of `rows` falling in [begin, end) — the diff
-/// row lists are ascending, so the chunk's slice is a binary search away.
-void accumulate_range(const SnapshotTable& table,
+/// Accumulates the sub-range of `rows` falling in [m.begin, m.end) — the
+/// diff row lists are ascending, so the chunk's slice is a binary search
+/// away.
+void accumulate_range(const ScanMorsel& m,
                       const std::vector<std::uint32_t>& rows, bool use_atime,
-                      std::int64_t window_start, std::size_t begin,
-                      std::size_t end, GidStatsMap& by_gid) {
+                      std::int64_t window_start, GidStatsMap& by_gid) {
   const auto lo = std::lower_bound(rows.begin(), rows.end(),
-                                   static_cast<std::uint32_t>(begin));
+                                   static_cast<std::uint32_t>(m.begin));
   const auto hi =
-      std::lower_bound(lo, rows.end(), static_cast<std::uint32_t>(end));
-  accumulate_rows(table,
+      std::lower_bound(lo, rows.end(), static_cast<std::uint32_t>(m.end));
+  accumulate_rows(m,
                   std::span<const std::uint32_t>(
                       rows.data() + (lo - rows.begin()),
                       static_cast<std::size_t>(hi - lo)),
@@ -87,7 +90,7 @@ std::unique_ptr<ScanChunkState> BurstinessAnalyzer::make_chunk_state() const {
 
 void BurstinessAnalyzer::observe_chunk(ScanChunkState* state,
                                        const WeekObservation& obs,
-                                       std::size_t begin, std::size_t end) {
+                                       const ScanMorsel& m) {
   // Week gating (and its gap_pairs_skipped accounting) lives in merge(),
   // which runs exactly once per week; chunks only bail out cheaply.
   if (obs.diff == nullptr || obs.prev == nullptr) return;
@@ -97,20 +100,21 @@ void BurstinessAnalyzer::observe_chunk(ScanChunkState* state,
   if (obs.diff_chunks != nullptr) {
     // Fused diff: obs.diff is not assembled until merge time, but the
     // diff kernel (registered ahead of us) has already classified exactly
-    // this chunk — its lists ARE our [begin, end) slice.
-    const DiffChunkRows* rows = obs.diff_chunks->chunk_rows(begin);
+    // this chunk — its lists ARE our [m.begin, m.end) slice.
+    const DiffChunkRows* rows = obs.diff_chunks->chunk_rows(m.begin);
     if (rows == nullptr) return;
-    accumulate_rows(obs.snap->table, rows->rows[DiffChunkRows::kNew],
+    accumulate_rows(m, rows->rows[DiffChunkRows::kNew],
                     /*use_atime=*/false, window_start, chunk->write_by_gid);
-    accumulate_rows(obs.snap->table, rows->rows[DiffChunkRows::kReadonly],
+    accumulate_rows(m, rows->rows[DiffChunkRows::kReadonly],
                     /*use_atime=*/true, window_start, chunk->read_by_gid);
     return;
   }
-  accumulate_range(obs.snap->table, obs.diff->new_rows, /*use_atime=*/false,
-                   window_start, begin, end, chunk->write_by_gid);
-  accumulate_range(obs.snap->table, obs.diff->readonly_rows,
-                   /*use_atime=*/true, window_start, begin, end,
-                   chunk->read_by_gid);
+  // Unfused (and streaming): obs.diff is complete before the scan, so
+  // each chunk takes its own global-row slice of the ascending lists.
+  accumulate_range(m, obs.diff->new_rows, /*use_atime=*/false, window_start,
+                   chunk->write_by_gid);
+  accumulate_range(m, obs.diff->readonly_rows, /*use_atime=*/true,
+                   window_start, chunk->read_by_gid);
 }
 
 void BurstinessAnalyzer::merge(const WeekObservation& obs,

@@ -55,30 +55,31 @@ std::unique_ptr<ScanChunkState> CensusAnalyzer::make_chunk_state() const {
 }
 
 void CensusAnalyzer::observe_chunk(ScanChunkState* state,
-                                   const WeekObservation& obs,
-                                   std::size_t begin, std::size_t end) {
+                                   const WeekObservation&,
+                                   const ScanMorsel& m) {
   auto* chunk = static_cast<CensusChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
-  chunk->parent_hashes.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    chunk->parent_hashes.push_back(hash_bytes(path_parent(table.path(i))));
-    const bool is_dir = table.is_dir(i);
-    if (is_dir) chunk->dir_hashes.push_back(table.path_hash(i));
+  const SnapshotTable& table = *m.table;
+  chunk->parent_hashes.reserve(m.end - m.begin);
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    chunk->parent_hashes.push_back(hash_bytes(path_parent(table.path(r))));
+    const bool is_dir = table.is_dir(r);
+    if (is_dir) chunk->dir_hashes.push_back(table.path_hash(r));
 
-    const std::uint64_t hash = table.path_hash(i);
+    const std::uint64_t hash = table.path_hash(r);
     if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
     CensusCandidate cand;
     cand.hash = hash;
-    cand.depth = table.depth(i);
+    cand.depth = table.depth(r);
     cand.is_dir = is_dir;
-    cand.project = resolver_.project_of_gid(table.gid(i));
+    cand.project = resolver_.project_of_gid(table.gid(r));
     cand.domain =
         cand.project < 0
             ? -1
             : resolver_.plan()
                   .projects[static_cast<std::size_t>(cand.project)]
                   .domain;
-    if (!is_dir) cand.user = resolver_.user_of_uid(table.uid(i));
+    if (!is_dir) cand.user = resolver_.user_of_uid(table.uid(r));
     chunk->candidates.push_back(cand);
   }
 }
@@ -120,7 +121,7 @@ void CensusAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
     result_.final_empty_dirs = tally.empty;
     result_.final_dirs = tally.dirs;
   } else {
-    U64Set parents(obs.snap->table.size());
+    U64Set parents(obs.row_count);
     for (const auto& state : states) {
       const auto* chunk = static_cast<const CensusChunk*>(state.get());
       for (const std::uint64_t h : chunk->parent_hashes) parents.insert(h);

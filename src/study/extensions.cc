@@ -61,19 +61,20 @@ std::unique_ptr<ScanChunkState> ExtensionsAnalyzer::make_chunk_state() const {
 
 void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
                                        const WeekObservation& obs,
-                                       std::size_t begin, std::size_t end) {
+                                       const ScanMorsel& m) {
   auto* chunk = static_cast<ExtensionsChunk*>(state);
   chunk->flat = obs.flat_agg;
-  const SnapshotTable& table = obs.snap->table;
+  const SnapshotTable& table = *m.table;
   // Rows are path-sorted, so runs of files share an extension; memoizing
-  // the previous row's intern skips the hash + probe (views the table's
-  // storage, so the view stays valid across interns).
+  // the previous row's intern skips the hash + probe (the memo copies into
+  // the chunk dictionary, so nothing outlives the staging table).
   std::string_view last_ext;
   std::uint32_t last_id = 0;
   bool have_last = false;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (table.is_dir(i)) continue;
-    const std::string_view ext = path_extension(table.path(i));
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    if (table.is_dir(r)) continue;
+    const std::string_view ext = path_extension(table.path(r));
     ++chunk->files;
     std::int32_t ext_id = -1;
     if (ext.empty()) {
@@ -90,7 +91,7 @@ void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
     } else {
       ++chunk->weekly[std::string(ext)];
     }
-    const std::uint64_t hash = table.path_hash(i);
+    const std::uint64_t hash = table.path_hash(r);
     if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
     ExtensionsCandidate cand;
     cand.hash = hash;
@@ -99,7 +100,7 @@ void ExtensionsAnalyzer::observe_chunk(ScanChunkState* state,
     } else {
       cand.ext = std::string(ext);
     }
-    if (!ext.empty()) cand.domain = resolver_.domain_of_gid(table.gid(i));
+    if (!ext.empty()) cand.domain = resolver_.domain_of_gid(table.gid(r));
     chunk->candidates.push_back(std::move(cand));
   }
 }

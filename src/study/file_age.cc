@@ -52,13 +52,14 @@ std::unique_ptr<ScanChunkState> FileAgeAnalyzer::make_chunk_state() const {
 }
 
 void FileAgeAnalyzer::observe_chunk(ScanChunkState* state,
-                                    const WeekObservation& obs,
-                                    std::size_t begin, std::size_t end) {
+                                    const WeekObservation&,
+                                    const ScanMorsel& m) {
   auto* chunk = static_cast<FileAgeChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (table.is_dir(i)) continue;
-    const std::int64_t age = age_seconds(table, i);
+  const SnapshotTable& table = *m.table;
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    if (table.is_dir(r)) continue;
+    const std::int64_t age = age_seconds(table, r);
     chunk->sum += age;
     chunk->ages.push_back(age);
   }
@@ -67,7 +68,7 @@ void FileAgeAnalyzer::observe_chunk(ScanChunkState* state,
 void FileAgeAnalyzer::merge(const WeekObservation& obs, ScanStateList states) {
   std::int64_t sum = 0;
   std::vector<std::int64_t> ages;
-  ages.reserve(obs.snap->table.file_count());
+  ages.reserve(obs.file_count);
   for (const auto& state : states) {
     const auto* chunk = static_cast<const FileAgeChunk*>(state.get());
     sum += chunk->sum;

@@ -11,8 +11,8 @@ namespace spider {
 void GrowthAnalyzer::observe(const WeekObservation& obs) {
   GrowthPoint point;
   point.date = obs.snap->taken_at;
-  point.files = obs.snap->table.file_count();
-  point.dirs = obs.snap->table.dir_count();
+  point.files = obs.file_count;
+  point.dirs = obs.dir_count;
   point.after_gap = obs.gap_before;
   if (obs.gap_before) ++result_.gap_weeks;
   result_.points.push_back(point);

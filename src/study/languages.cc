@@ -59,18 +59,19 @@ std::unique_ptr<ScanChunkState> LanguagesAnalyzer::make_chunk_state() const {
 }
 
 void LanguagesAnalyzer::observe_chunk(ScanChunkState* state,
-                                      const WeekObservation& obs,
-                                      std::size_t begin, std::size_t end) {
+                                      const WeekObservation&,
+                                      const ScanMorsel& m) {
   auto* chunk = static_cast<LanguagesChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (table.is_dir(i)) continue;
-    const std::uint64_t hash = table.path_hash(i);
+  const SnapshotTable& table = *m.table;
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    if (table.is_dir(r)) continue;
+    const std::uint64_t hash = table.path_hash(r);
     if (distinct_.contains(hash) || !chunk->local.insert(hash)) continue;
     LanguagesCandidate cand;
     cand.hash = hash;
-    cand.lang = language_for_extension(path_extension(table.path(i)));
-    if (cand.lang >= 0) cand.domain = resolver_.domain_of_gid(table.gid(i));
+    cand.lang = language_for_extension(path_extension(table.path(r)));
+    if (cand.lang >= 0) cand.domain = resolver_.domain_of_gid(table.gid(r));
     chunk->candidates.push_back(cand);
   }
 }

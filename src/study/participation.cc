@@ -29,13 +29,14 @@ std::unique_ptr<ScanChunkState> ParticipationAnalyzer::make_chunk_state()
 }
 
 void ParticipationAnalyzer::observe_chunk(ScanChunkState* state,
-                                          const WeekObservation& obs,
-                                          std::size_t begin, std::size_t end) {
+                                          const WeekObservation&,
+                                          const ScanMorsel& m) {
   auto* chunk = static_cast<ParticipationChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
-  for (std::size_t i = begin; i < end; ++i) {
-    const int user = resolver_.user_of_uid(table.uid(i));
-    const int project = resolver_.project_of_gid(table.gid(i));
+  const SnapshotTable& table = *m.table;
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    const int user = resolver_.user_of_uid(table.uid(r));
+    const int project = resolver_.project_of_gid(table.gid(r));
     if (user < 0 || project < 0) continue;
     const std::uint64_t key = (static_cast<std::uint64_t>(user) << 32) |
                               static_cast<std::uint32_t>(project);

@@ -1,8 +1,11 @@
 #include "study/runner.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
@@ -12,6 +15,8 @@
 #include <vector>
 
 #include "engine/hash_index.h"
+#include "engine/spill.h"
+#include "engine/stream.h"
 #include "study/checkpoint.h"
 
 namespace spider {
@@ -24,6 +29,17 @@ constexpr ColumnMask kDiffColumns = kColMaskPaths | kColMaskAtime |
                                     kColMaskCtime | kColMaskMtime |
                                     kColMaskMode;
 
+/// Rough resident bytes per decoded snapshot row (fixed columns, path and
+/// OST-list bytes, per-week index overhead), used to predict a week's
+/// footprint from the .scol header alone — before anything is decoded —
+/// when deciding resident vs out-of-core under StudyOptions::memory_budget.
+constexpr std::size_t kResidentBytesPerRow = 160;
+
+/// Rough spilled bytes per row (41-byte record header + average path),
+/// sizing the spill fan-out so a loaded partition pair stays well inside
+/// the budget's slice.
+constexpr std::size_t kSpillBytesPerRow = 96;
+
 /// Bridges a StudyAnalyzer onto the engine's ScanKernel interface for the
 /// week currently being analyzed.
 class AnalyzerKernel : public ScanKernel {
@@ -35,12 +51,10 @@ class AnalyzerKernel : public ScanKernel {
   std::unique_ptr<ScanChunkState> make_chunk_state() const override {
     return analyzer_->make_chunk_state();
   }
-  void observe_chunk(ScanChunkState* state, const SnapshotTable&,
-                     std::size_t begin, std::size_t end) override {
-    analyzer_->observe_chunk(state, *obs_, begin, end);
+  void observe_chunk(ScanChunkState* state, const ScanMorsel& m) override {
+    analyzer_->observe_chunk(state, *obs_, m);
   }
-  void merge_chunks(const SnapshotTable&, ScanStateList states,
-                    ThreadPool*) override {
+  void merge_chunks(ScanStateList states, ThreadPool*) override {
     // Analyzers take the pool through obs_->pool instead — it is the same
     // pool, and the WeekObservation carries it to the serial (non-scan)
     // observe() path too.
@@ -161,11 +175,13 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   /// On delta weeks (StudyOptions::incremental) `record_prev` turns on the
   /// prev-row mapping and `dir_index` the directory diff.
   void set_week(const PartitionedPathIndex* index, const SnapshotTable* prev,
-                DiffResult* out, std::size_t grain, bool record_prev = false,
+                DiffResult* out, std::size_t grain, std::size_t cur_files,
+                bool record_prev = false,
                 const DetachedPathIndex* dir_index = nullptr) {
     index_ = index;
     prev_ = prev;
     out_ = out;
+    cur_files_ = cur_files;
     grain_ = grain == 0 ? kScanGrainRows : grain;
     record_prev_ = record_prev;
     dir_index_ = dir_index;
@@ -194,17 +210,19 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
     return state;
   }
 
-  void observe_chunk(ScanChunkState* state, const SnapshotTable& cur,
-                     std::size_t begin, std::size_t end) override {
+  void observe_chunk(ScanChunkState* state, const ScanMorsel& m) override {
     if (index_ == nullptr) return;
+    // The fused kernel only ever runs on resident weeks (streamed weeks
+    // diff through the spill join before their scan), so the morsel's
+    // base is 0 and global rows are table rows.
     const DiffDirProbe dirs{dir_index_, dir_matched_.get()};
-    diff_probe_range(*index_, *prev_, cur, begin, end, matched_.get(),
+    diff_probe_range(*index_, *prev_, *m.table, m.begin, m.end,
+                     matched_.get(),
                      &static_cast<DiffKernelChunk*>(state)->rows,
                      dir_index_ != nullptr ? &dirs : nullptr);
   }
 
-  void merge_chunks(const SnapshotTable& cur, ScanStateList,
-                    ThreadPool* pool) override {
+  void merge_chunks(ScanStateList, ThreadPool* pool) override {
     if (index_ == nullptr) return;
     DiffFinalizeExtras extras;
     extras.prev_rows = record_prev_;
@@ -217,7 +235,7 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
                   std::span<const DiffChunkRows* const>(chunk_rows_), pool,
                   out_, &extras);
     out_->prev_files = index_->size();
-    out_->cur_files = cur.file_count();
+    out_->cur_files = cur_files_;
   }
 
   const DiffChunkRows* chunk_rows(std::size_t begin) const override {
@@ -234,6 +252,7 @@ class DiffScanKernel : public ScanKernel, public DiffChunkProvider {
   const SnapshotTable* prev_ = nullptr;
   DiffResult* out_ = nullptr;
   std::size_t grain_ = kScanGrainRows;
+  std::size_t cur_files_ = 0;
   bool record_prev_ = false;
   const DetachedPathIndex* dir_index_ = nullptr;
   mutable std::vector<const DiffChunkRows*> chunk_rows_;
@@ -274,13 +293,20 @@ void run_study(SnapshotSource& source,
   // output during the scan (see DiffChunkProvider).
   std::vector<ScanKernel*> kernel_ptrs;
   std::vector<ScanKernel*> scan_only_kernel_ptrs;
+  // A third roster for weeks whose diff was computed through the spill
+  // join BEFORE the scan (streamed weeks and their successors): every
+  // analyzer, but not the fused diff kernel — obs.diff is already final
+  // and analyzers consume it unfused (obs.diff_chunks stays null).
+  std::vector<ScanKernel*> unfused_kernel_ptrs;
   kernel_ptrs.reserve(kernels.size() + 1);
+  unfused_kernel_ptrs.reserve(kernels.size());
   if (fuse) {
     kernel_ptrs.push_back(&diff_kernel);
     scan_only_kernel_ptrs.push_back(&diff_kernel);
   }
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     kernel_ptrs.push_back(&kernels[i]);
+    unfused_kernel_ptrs.push_back(&kernels[i]);
     if (!analyzers[i]->supports_delta()) {
       scan_only_kernel_ptrs.push_back(&kernels[i]);
     }
@@ -308,6 +334,32 @@ void run_study(SnapshotSource& source,
   const std::size_t ckpt_every =
       options.checkpoint.every == 0 ? 1 : options.checkpoint.every;
 
+  // --- Out-of-core mode (DESIGN.md §15) ---
+  // A fully materialized source has nothing to stream, and a checkpointed
+  // run fingerprints whole tables, so both force every week resident.
+  const bool stable = source.stable_snapshots();
+  bool out_of_core = options.streaming && options.memory_budget > 0 &&
+                     !ckpt_enabled && !stable;
+  namespace fs = std::filesystem;
+  std::string spill_dir;
+  if (out_of_core && need_diff) {
+    // Scratch directory for the spill join's partition files, private to
+    // this run. If no scratch space exists the budget cannot be honored;
+    // falling back to resident keeps the results correct.
+    static std::atomic<std::uint64_t> run_counter{0};
+    std::error_code ec;
+    const fs::path base = fs::temp_directory_path(ec);
+    if (!ec) {
+      const fs::path dir =
+          base / ("spider-spill-" +
+                  std::to_string(static_cast<unsigned long>(::getpid())) +
+                  "-" + std::to_string(run_counter.fetch_add(1)));
+      fs::create_directories(dir, ec);
+      if (!ec) spill_dir = dir.string();
+    }
+    if (spill_dir.empty()) out_of_core = false;
+  }
+
   StudyCheckpoint restored;
   bool resume_pending = false;
   if (ckpt_enabled && options.checkpoint.resume) {
@@ -326,12 +378,60 @@ void run_study(SnapshotSource& source,
   }
 
   // Analysis state. Touched only by whichever thread runs analyze() —
-  // the caller without prefetch, the pipeline thread with it.
+  // the caller without prefetch, the pipeline thread with it. (In
+  // out-of-core mode the whole pass is synchronous on the visiting
+  // thread, so there is exactly one toucher either way.)
   PendingWeek prev;
   bool have_prev = false;
   std::size_t last_week = 0;
   bool resume_failed = false;
   std::size_t weeks_since_ckpt = 0;
+
+  // Out-of-core bookkeeping. When the previous week streamed, its rows
+  // survive only as spill partitions: prev.snap().table is an empty shell
+  // and the next diff goes through spill_diff_join whichever way the
+  // current week arrives.
+  SpilledSide prev_spill;
+  bool have_prev_spill = false;
+  bool prev_streamed = false;
+  std::uint64_t spill_seq = 0;
+
+  auto drop_prev_spill = [&] {
+    if (!have_prev_spill) return;
+    for (const std::string& f : prev_spill.files) {
+      std::error_code ec;
+      fs::remove(f, ec);
+    }
+    prev_spill = SpilledSide{};
+    have_prev_spill = false;
+  };
+
+  // Spills a RESIDENT table for one side of an out-of-core join. The
+  // regenerate hook re-derives the whole side from the table (identical
+  // bytes — the spill is deterministic), so checksum damage in scratch
+  // files heals as long as the table is alive, which it is for the
+  // duration of the join.
+  auto spill_table = [&](const SnapshotTable& table, std::uint32_t bits,
+                         SpilledSide* out) -> Status {
+    SpillPartitionWriter::Options wopts;
+    wopts.dir = spill_dir;
+    wopts.stem = "s" + std::to_string(spill_seq++);
+    wopts.bits = bits;
+    SpillPartitionWriter writer;
+    Status s = writer.open(wopts);
+    if (s.ok()) s = writer.add_table(table);
+    if (s.ok()) s = writer.finish();
+    if (!s.ok()) return s;
+    *out = writer.side();
+    out->regenerate = [&table, wopts](std::size_t) -> Status {
+      SpillPartitionWriter w;
+      Status rs = w.open(wopts);
+      if (rs.ok()) rs = w.add_table(table);
+      if (rs.ok()) rs = w.finish();
+      return rs;
+    };
+    return Status();
+  };
 
   auto write_checkpoint = [&]() {
     StudyCheckpoint ckpt;
@@ -422,20 +522,47 @@ void run_study(SnapshotSource& source,
     obs.pool = options.pool;
     obs.flat_agg = options.flat_agg;
     obs.incremental = incremental;
+    obs.row_count = cur.snap().table.size();
+    obs.file_count = cur.snap().table.file_count();
+    obs.dir_count = cur.snap().table.dir_count();
 
     DiffResult diff;
     const bool diff_active = need_diff && have_prev && !obs.gap_before;
     // A salvage-damaged snapshot (on either side of the diff) forces a
     // full-scan re-baseline: the diff still runs — the scan-path access
     // accounting is unchanged — but the delta consumers fall back to their
-    // kernels and rebuild retained state.
+    // kernels and rebuild retained state. A streamed previous week also
+    // re-baselines: its table is a shell, so neither the prev-row mapping
+    // nor the retained-state upkeep that week could run is available.
     const bool delta_active =
         incremental && diff_active && !cur.snap().degraded &&
-        !prev.snap().degraded;
-    if (fuse) {
+        !prev.snap().degraded && !prev_streamed;
+    if (diff_active && prev_streamed) {
+      // The previous week exists only as spill partitions: spill the
+      // current (resident) table at the retained side's fan-out and join
+      // on disk. Consumed unfused — obs.diff is final before the scan.
+      SpilledSide cur_side;
+      Status s = spill_table(cur.snap().table, prev_spill.bits, &cur_side);
+      if (s.ok()) {
+        s = spill_diff_join(prev_spill, cur_side, DiffOptions{}, &diff);
+      }
+      for (const std::string& f : cur_side.files) {
+        std::error_code ec;
+        fs::remove(f, ec);
+      }
+      if (s.ok()) {
+        obs.diff = &diff;
+      } else {
+        // Unrecoverable scratch damage. Analyze the week as if preceded
+        // by a gap — diff-based analyzers annotate it instead of the
+        // whole study failing.
+        obs.gap_before = true;
+      }
+    } else if (fuse) {
       diff_kernel.set_week(diff_active ? prev.index.get() : nullptr,
                            diff_active ? &prev.snap().table : nullptr,
                            diff_active ? &diff : nullptr, options.grain,
+                           obs.file_count,
                            /*record_prev=*/delta_active,
                            delta_active ? prev.dir_index.get() : nullptr);
       if (diff_active) {
@@ -452,8 +579,12 @@ void run_study(SnapshotSource& source,
     }
 
     for (AnalyzerKernel& kernel : kernels) kernel.set_observation(&obs);
+    // After a streamed week the fused diff kernel was never armed, so it
+    // must sit the scan out (its chunk registry is stale).
     scan_table(cur.snap().table,
-               delta_active ? scan_only_kernel_ptrs : kernel_ptrs,
+               delta_active          ? scan_only_kernel_ptrs
+               : prev_streamed && fuse ? unfused_kernel_ptrs
+                                       : kernel_ptrs,
                scan_options);
 
     if (delta_active) {
@@ -472,6 +603,8 @@ void run_study(SnapshotSource& source,
     prev = std::move(cur);
     have_prev = true;
     last_week = prev.week;
+    drop_prev_spill();
+    prev_streamed = false;
 
     if (ckpt_enabled && ++weeks_since_ckpt >= ckpt_every) {
       weeks_since_ckpt = 0;
@@ -479,7 +612,175 @@ void run_study(SnapshotSource& source,
     }
   };
 
-  const bool stable = source.stable_snapshots();
+  // One out-of-core week, synchronous on the visiting thread (the group
+  // reader lives only for the duration of the visit). Two passes over the
+  // mapped image:
+  //
+  //   Pass A (serial, group order): decode each group into a recycled
+  //   staging table, replaying the eager decoder's salvage accounting
+  //   verbatim (note_success / dispose_failure — scol.h documents the
+  //   replay contract), spill the diff-relevant columns partition-wise,
+  //   and count rows/files/dirs for merge-time sizing. A fatal verdict
+  //   (strict policy) returns the raw status: the source records a gap
+  //   byte-identical to the eager path's.
+  //
+  //   Pass B: the shared analyzer scan, fed group-at-a-time through
+  //   ScolMorselSource with the damaged groups masked out. The diff was
+  //   joined through the spill layer between the passes, so obs.diff is
+  //   final before any kernel runs (unfused consumption).
+  auto analyze_streamed = [&](const WeekGroupStream& stream) -> Status {
+    const ScolGroupReader& reader = *stream.reader;
+    SalvageReport sreport = reader.make_report();
+    std::vector<std::uint8_t> skip(reader.group_count(), 0);
+    const bool spilling = need_diff;
+    const std::uint32_t bits =
+        have_prev_spill ? prev_spill.bits
+                        : spill_bits_for(reader.rows(), kSpillBytesPerRow,
+                                         options.memory_budget / 4);
+    SpillPartitionWriter writer;
+    SpillPartitionWriter::Options wopts;
+    if (spilling) {
+      wopts.dir = spill_dir;
+      wopts.stem = "s" + std::to_string(spill_seq++);
+      wopts.bits = bits;
+      const Status s = writer.open(wopts);
+      if (!s.ok()) return s;
+    }
+    std::size_t rows = 0, files = 0, dirs = 0;
+    SnapshotTable staging;
+    for (std::size_t g = 0; g < reader.group_count(); ++g) {
+      staging.clear();
+      Status s = reader.decode_group(g, &staging);
+      if (!s.ok()) {
+        s = reader.dispose_failure(g, std::move(s), &sreport);
+        if (!s.ok()) return s;
+        skip[g] = 1;
+        continue;
+      }
+      reader.note_success(g, &sreport);
+      if (spilling) {
+        // Global row numbers continue across surviving groups only — the
+        // row numbering the eager salvage splice produces.
+        s = writer.add_table(staging, rows);
+        if (!s.ok()) return s;
+      }
+      rows += staging.size();
+      files += staging.file_count();
+      dirs += staging.dir_count();
+    }
+    if (spilling) {
+      const Status s = writer.finish();
+      if (!s.ok()) return s;
+    }
+
+    PendingWeek cur;
+    cur.week = stream.week;
+    cur.owned.taken_at = stream.taken_at;
+    cur.owned.degraded = !sreport.clean();
+
+    WeekObservation obs;
+    obs.week = cur.week;
+    obs.snap = &cur.snap();
+    obs.prev = have_prev ? &prev.snap() : nullptr;
+    obs.gap_before = have_prev && cur.week != last_week + 1;
+    obs.pool = options.pool;
+    obs.flat_agg = options.flat_agg;
+    // Retained delta state cannot be rebuilt from a shell table, so the
+    // upkeep is skipped here; the next resident week re-baselines (the
+    // delta_active gate in analyze()).
+    obs.incremental = false;
+    obs.row_count = rows;
+    obs.file_count = files;
+    obs.dir_count = dirs;
+
+    DiffResult diff;
+    const bool diff_active = need_diff && have_prev && !obs.gap_before;
+    if (diff_active) {
+      SpilledSide cur_side = writer.side();
+      cur_side.regenerate = [&](std::size_t) -> Status {
+        // Re-derives every partition from the mapped image; the spill is
+        // deterministic, so the rewrite is byte-identical.
+        SpillPartitionWriter w;
+        Status rs = w.open(wopts);
+        std::size_t base = 0;
+        SnapshotTable t;
+        for (std::size_t g = 0; rs.ok() && g < reader.group_count(); ++g) {
+          if (skip[g]) continue;
+          t.clear();
+          rs = reader.decode_group(g, &t);
+          if (rs.ok()) rs = w.add_table(t, base);
+          base += t.size();
+        }
+        if (rs.ok()) rs = w.finish();
+        return rs;
+      };
+      SpilledSide prev_side;
+      bool prev_side_scratch = false;
+      Status s;
+      if (prev_streamed) {
+        prev_side = prev_spill;
+      } else {
+        s = spill_table(prev.snap().table, bits, &prev_side);
+        prev_side_scratch = true;
+      }
+      if (s.ok()) {
+        s = spill_diff_join(prev_side, cur_side, DiffOptions{}, &diff);
+      }
+      if (prev_side_scratch) {
+        for (const std::string& f : prev_side.files) {
+          std::error_code ec;
+          fs::remove(f, ec);
+        }
+      }
+      if (s.ok()) {
+        obs.diff = &diff;
+      } else {
+        obs.gap_before = true;  // same degradation as the resident arm
+      }
+    }
+
+    for (AnalyzerKernel& kernel : kernels) kernel.set_observation(&obs);
+    {
+      ScolMorselSource::Options mopts;
+      mopts.pool = options.pool;
+      mopts.prefetch = options.prefetch;
+      mopts.skip = skip;
+      ScolMorselSource msource(&reader, std::move(mopts));
+      const Status s = scan_stream(msource, unfused_kernel_ptrs,
+                                   scan_options);
+      if (!s.ok()) {
+        // A group that validated in pass A failed in pass B — scratch or
+        // mapping-level I/O decay. No analyzer merged (scan_stream aborts
+        // before merges), so gapping the week keeps the study consistent.
+        writer.remove_files();
+        return s;
+      }
+    }
+
+    prev = std::move(cur);
+    have_prev = true;
+    last_week = prev.week;
+    drop_prev_spill();
+    prev_streamed = true;
+    if (spilling) {
+      // Retained for the next week's join. No regenerate: the reader dies
+      // with this visit, so trailer checksums are the only line of
+      // defense from here on.
+      prev_spill = writer.side();
+      have_prev_spill = true;
+    }
+    return Status();
+  };
+
+  // Streams any week whose predicted footprint overflows its slice of the
+  // budget (half for the current week, half for the retained previous
+  // one).
+  auto stream_chooser = [&](std::size_t, std::int64_t,
+                            std::uint64_t rows_hint) {
+    return rows_hint >
+           options.memory_budget / 2 / kResidentBytesPerRow;
+  };
+
   // In fused mode every decoded week gets its partitioned index here, on
   // the visiting thread: the week is the NEXT diff's build side, and with
   // prefetch on this build overlaps the current week's analysis. (The
@@ -522,6 +823,20 @@ void run_study(SnapshotSource& source,
   };
 
   auto run_pass = [&](std::size_t first_slot) {
+    if (out_of_core) {
+      // Streamed weeks must be analyzed during the visit — the group
+      // reader lives only that long — so the whole pass runs on the
+      // visiting thread. The depth-1 week double-buffer is traded for the
+      // group-level decode-ahead inside each streamed week's scan
+      // (ScolMorselSource honors options.prefetch).
+      source.visit_streaming(first_slot, stream_chooser,
+                             [&](std::size_t week, Snapshot&& snap) {
+                               analyze(make_pending_move(week,
+                                                         std::move(snap)));
+                             },
+                             analyze_streamed);
+      return;
+    }
     if (!options.prefetch) {
       if (stable) {
         source.visit_from(first_slot,
@@ -607,6 +922,11 @@ void run_study(SnapshotSource& source,
   }
 
   for (StudyAnalyzer* analyzer : analyzers) analyzer->finish();
+  drop_prev_spill();
+  if (!spill_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(spill_dir, ec);
+  }
 }
 
 void run_study(SnapshotSource& source, StudyAnalyzer& analyzer,

@@ -90,13 +90,21 @@ struct WeekObservation {
   /// (re)build the retained cross-week state their apply_delta needs —
   /// pure scan runs skip that upkeep.
   bool incremental = false;
+  /// Row/file/dir counts of the week's snapshot. On resident weeks these
+  /// mirror snap->table; on streamed weeks — where snap->table is an
+  /// empty shell and the rows only ever exist one group at a time — the
+  /// runner fills them from the streaming pre-pass, so merge-time sizing
+  /// (reserves, hash-set capacity hints) never touches the whole table.
+  std::size_t row_count = 0;
+  std::size_t file_count = 0;
+  std::size_t dir_count = 0;
 };
 
 /// A study analyzer is a scan kernel plus per-week bookkeeping. The runner
 /// calls, per week:
 ///
 ///   state[c] = make_chunk_state()            (one per chunk, serial)
-///   observe_chunk(state[c], obs, begin, end) (concurrent, shared scan)
+///   observe_chunk(state[c], obs, morsel)     (concurrent, shared scan)
 ///   merge(obs, states)                       (serial, chunk order)
 ///
 /// observe_chunk runs concurrently with other chunks AND other analyzers:
@@ -131,13 +139,17 @@ class StudyAnalyzer {
     return nullptr;
   }
 
-  /// Accumulate rows [begin, end) of obs.snap->table into `state`.
+  /// Accumulate the morsel's rows into `state`. The morsel's global row
+  /// range [m.begin, m.end) numbers rows of the week's full snapshot;
+  /// m.table holds them at local rows m.local(i). On resident weeks
+  /// m.table is &obs.snap->table with base 0; on streamed weeks it is a
+  /// transient staging table valid only for this call — analyzers must
+  /// read rows through the morsel, never through obs.snap->table.
   virtual void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
-                             std::size_t begin, std::size_t end) {
+                             const ScanMorsel& m) {
     (void)state;
     (void)obs;
-    (void)begin;
-    (void)end;
+    (void)m;
   }
 
   /// Fold the week's chunk states (chunk order) and do per-week
@@ -274,6 +286,19 @@ struct StudyOptions {
   CheckpointOptions checkpoint;
   /// When non-null, filled with what the checkpoint layer did.
   CheckpointReport* checkpoint_report = nullptr;
+  /// Peak bytes the runner may spend holding snapshot rows (DESIGN.md
+  /// §15). 0 = unlimited: every week is decoded resident, as before.
+  /// With a budget, any week whose estimated resident footprint exceeds
+  /// it is processed OUT OF CORE — decoded one .scol row group at a time
+  /// with bounded group residency, and diffed through the spill join —
+  /// while small weeks stay resident. Rendered results are byte-identical
+  /// either way. Weeks a checkpoint must fingerprint are forced resident
+  /// (the fingerprint folds whole column spans).
+  std::size_t memory_budget = 0;
+  /// Master switch for the out-of-core path. Off forces every week
+  /// resident even when a memory_budget is set — the bit-identical
+  /// reference the streaming parity tests diff against.
+  bool streaming = true;
 };
 
 /// Streams `source` through all analyzers. The diff (when any analyzer

@@ -26,16 +26,17 @@ std::unique_ptr<ScanChunkState> StripingAnalyzer::make_chunk_state() const {
 }
 
 void StripingAnalyzer::observe_chunk(ScanChunkState* state,
-                                     const WeekObservation& obs,
-                                     std::size_t begin, std::size_t end) {
+                                     const WeekObservation&,
+                                     const ScanMorsel& m) {
   auto* chunk = static_cast<StripingChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (table.is_dir(i)) continue;
-    const std::uint32_t stripes = table.stripe_count(i);
+  const SnapshotTable& table = *m.table;
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const std::size_t r = m.local(i);
+    if (table.is_dir(r)) continue;
+    const std::uint32_t stripes = table.stripe_count(r);
     chunk->overall.add(stripes);
     chunk->max_stripe = std::max(chunk->max_stripe, stripes);
-    const int domain = resolver_.domain_of_gid(table.gid(i));
+    const int domain = resolver_.domain_of_gid(table.gid(r));
     if (domain >= 0) {
       chunk->by_domain[static_cast<std::size_t>(domain)].add(stripes);
     }

@@ -40,13 +40,13 @@ std::unique_ptr<ScanChunkState> UserProfileAnalyzer::make_chunk_state() const {
 }
 
 void UserProfileAnalyzer::observe_chunk(ScanChunkState* state,
-                                        const WeekObservation& obs,
-                                        std::size_t begin, std::size_t end) {
+                                        const WeekObservation&,
+                                        const ScanMorsel& m) {
   auto* chunk = static_cast<UserProfileChunk*>(state);
-  const SnapshotTable& table = obs.snap->table;
+  const SnapshotTable& table = *m.table;
   if (chunk->seen.empty()) chunk->seen.assign(seen_.size(), 0);
-  for (std::size_t i = begin; i < end; ++i) {
-    const int user = resolver_.user_of_uid(table.uid(i));
+  for (std::size_t i = m.begin; i < m.end; ++i) {
+    const int user = resolver_.user_of_uid(table.uid(m.local(i)));
     if (user >= 0) {
       chunk->seen[static_cast<std::size_t>(user)] = 1;
     } else {

@@ -26,7 +26,7 @@ class UserProfileAnalyzer : public StudyAnalyzer {
   ColumnMask columns_needed() const override { return kColMaskUid; }
   std::unique_ptr<ScanChunkState> make_chunk_state() const override;
   void observe_chunk(ScanChunkState* state, const WeekObservation& obs,
-                     std::size_t begin, std::size_t end) override;
+                     const ScanMorsel& m) override;
   void merge(const WeekObservation& obs, ScanStateList states) override;
 
   /// Serial reference path (bench baseline; see DESIGN.md §10).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 
 #include "synth/langmap.h"
 #include "synth/treegen.h"
@@ -228,6 +229,29 @@ class Simulation {
       emit(snap.table);
       visitor(emitted++, std::move(snap));
     }
+  }
+
+  /// run(), minus the table: each emitted week hands the visitor a
+  /// replayable row stream over live simulation state.
+  Status run_records(const WeekRecordVisitor& visitor) {
+    const auto gaps = FacilityGenerator::gap_weeks(config_);
+    in_study_ = true;
+    std::size_t emitted = 0;
+    for (std::size_t week = 0; week < config_.weeks; ++week) {
+      simulate_week(week);
+      const bool gap = config_.maintenance_gaps &&
+                       std::find(gaps.begin(), gaps.end(), week) != gaps.end();
+      if (gap) continue;
+      WeekRecordBatch batch;
+      batch.week = emitted;
+      batch.taken_at = week_start(week + 1);
+      batch.rows = emit_row_count();
+      batch.emit = [this](const RecordSink& sink) { return emit_rows(sink); };
+      Status st = visitor(batch);
+      if (!st.ok()) return st;
+      ++emitted;
+    }
+    return Status();
   }
 
  private:
@@ -735,13 +759,18 @@ class Simulation {
     return purged;
   }
 
-  void emit(SnapshotTable& table) {
-    std::size_t rows = 0;
+  std::uint64_t emit_row_count() const {
+    std::uint64_t rows = 0;
     for (const ProjectState& state : projects_) {
       rows += state.tree->dir_count() + state.files.size();
     }
-    table.reserve(rows);
+    return rows;
+  }
 
+  // The single source of row order: dirs then files per project, projects
+  // in plan order. Both the eager table build and the streaming .scol
+  // writer replay this walk, which is what makes their outputs identical.
+  Status emit_rows(const RecordSink& sink) {
     std::string path;
     std::vector<std::uint32_t> osts;
     for (const ProjectState& state : projects_) {
@@ -750,12 +779,13 @@ class Simulation {
       for (std::size_t d = 0; d < tree.dir_count(); ++d) {
         const std::int64_t t =
             tree.dir_ctime(d) > 0 ? tree.dir_ctime(d) : config_.start_epoch();
-        table.add(tree.dir_path(d), t, t, t, tree.dir_uid(d), gid,
-                  kModeDirectory | 0775,
-                  (1ULL << 40) | (static_cast<std::uint64_t>(state.index)
-                                  << 22) |
-                      d,
-                  {});
+        Status st = sink(tree.dir_path(d), t, t, t, tree.dir_uid(d), gid,
+                         kModeDirectory | 0775,
+                         (1ULL << 40) | (static_cast<std::uint64_t>(state.index)
+                                         << 22) |
+                             d,
+                         {});
+        if (!st.ok()) return st;
       }
       for (const LiveFile& file : state.files) {
         path.assign(tree.dir_path(file.dir));
@@ -766,10 +796,24 @@ class Simulation {
           osts.push_back(static_cast<std::uint32_t>(
               hash_combine(file.ost_seed, s) % kSpiderOstCount));
         }
-        table.add(path, file.atime, file.ctime, file.mtime, file.uid, gid,
-                  kModeRegular | 0664, file.inode, osts);
+        Status st = sink(path, file.atime, file.ctime, file.mtime, file.uid,
+                         gid, kModeRegular | 0664, file.inode, osts);
+        if (!st.ok()) return st;
       }
     }
+    return Status();
+  }
+
+  void emit(SnapshotTable& table) {
+    table.reserve(emit_row_count());
+    (void)emit_rows([&table](std::string_view path, std::int64_t atime,
+                             std::int64_t ctime, std::int64_t mtime,
+                             std::uint32_t uid, std::uint32_t gid,
+                             std::uint32_t mode, std::uint64_t inode,
+                             std::span<const std::uint32_t> osts) {
+      table.add(path, atime, ctime, mtime, uid, gid, mode, inode, osts);
+      return Status();
+    });
   }
 
   const FacilityConfig& config_;
@@ -842,6 +886,43 @@ void FacilityGenerator::visit_with_jobs(const SnapshotVisitor& visitor,
                                         const JobVisitor& jobs) {
   Simulation sim(config_, plan_, &jobs);
   sim.run([&](std::size_t week, Snapshot&& snap) { visitor(week, snap); });
+}
+
+Status FacilityGenerator::visit_records(const WeekRecordVisitor& visitor) {
+  Simulation sim(config_, plan_);
+  return sim.run_records(visitor);
+}
+
+Status save_series_streamed(FacilityGenerator& generator,
+                            const std::string& directory,
+                            const ScolOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::io_error("cannot create directory: " + directory);
+  }
+  return generator.visit_records([&](const WeekRecordBatch& batch) {
+    const std::string file =
+        (std::filesystem::path(directory) /
+         ("snap_" + date_tag(batch.taken_at) + ".scol"))
+            .string();
+    ScolStreamWriter writer;
+    Status st = writer.open(file, options);
+    if (!st.ok()) return st;
+    st = batch.emit([&writer](std::string_view path, std::int64_t atime,
+                              std::int64_t ctime, std::int64_t mtime,
+                              std::uint32_t uid, std::uint32_t gid,
+                              std::uint32_t mode, std::uint64_t inode,
+                              std::span<const std::uint32_t> osts) {
+      return writer.add(path, atime, ctime, mtime, uid, gid, mode, inode,
+                        osts);
+    });
+    if (!st.ok()) {
+      writer.abort();
+      return st;
+    }
+    return writer.finish();
+  });
 }
 
 }  // namespace spider

@@ -12,6 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "snapshot/series.h"
@@ -109,6 +113,30 @@ struct JobRecord {
 
 using JobVisitor = std::function<void(const JobRecord&)>;
 
+/// Field-wise row sink, mirroring ScolStreamWriter::add so a week's rows
+/// can flow from the simulator straight into the encoder without ever
+/// materializing a SnapshotTable.
+using RecordSink = std::function<Status(
+    std::string_view path, std::int64_t atime, std::int64_t ctime,
+    std::int64_t mtime, std::uint32_t uid, std::uint32_t gid,
+    std::uint32_t mode, std::uint64_t inode,
+    std::span<const std::uint32_t> osts)>;
+
+/// One emitted week of the simulation, delivered as a row stream. `emit`
+/// replays the week's rows into a sink in exactly the order emit() adds
+/// them to a table — dirs then files per project — so a ScolStreamWriter
+/// fed from it produces bytes identical to write_scol_file of the eager
+/// snapshot. `emit` may be invoked at most once and only from inside the
+/// visitor call (the rows borrow live simulation state).
+struct WeekRecordBatch {
+  std::size_t week = 0;      // dense emitted index (matches visit())
+  std::int64_t taken_at = 0; // collection date (end of the simulated week)
+  std::uint64_t rows = 0;    // rows emit() will deliver
+  std::function<Status(const RecordSink&)> emit;
+};
+
+using WeekRecordVisitor = std::function<Status(const WeekRecordBatch&)>;
+
 class FacilityGenerator : public SnapshotSource {
  public:
   explicit FacilityGenerator(FacilityConfig config);
@@ -129,6 +157,12 @@ class FacilityGenerator : public SnapshotSource {
   void visit_with_jobs(const SnapshotVisitor& visitor,
                        const JobVisitor& jobs);
 
+  /// Runs the simulation delivering each emitted week as a row stream
+  /// instead of a built table — peak memory is the simulator's live-file
+  /// state alone, independent of snapshot width. A non-ok status from the
+  /// visitor aborts the run and is returned.
+  Status visit_records(const WeekRecordVisitor& visitor);
+
   const FacilityPlan& plan() const { return plan_; }
   const FacilityConfig& config() const { return config_; }
 
@@ -139,5 +173,15 @@ class FacilityGenerator : public SnapshotSource {
   FacilityConfig config_;
   FacilityPlan plan_;
 };
+
+/// Streams every snapshot of the generator into `directory` as
+/// snap_<YYYYMMDD>.scol files written group-at-a-time through
+/// ScolStreamWriter — the path that makes scale >= 0.1 series producible
+/// in bounded memory. Requires options.format_version == 2. Output bytes
+/// are identical to save_series() of the same generator under the same
+/// options.
+Status save_series_streamed(FacilityGenerator& generator,
+                            const std::string& directory,
+                            const ScolOptions& options = {});
 
 }  // namespace spider

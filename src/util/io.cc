@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -274,6 +275,111 @@ Status write_file_atomic(const std::string& path, std::string_view text,
       std::span<const std::uint8_t>(
           reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
       stats);
+}
+
+namespace {
+
+MapInterceptor* g_map_interceptor = nullptr;
+
+MapInterceptor::Decision map_intercept(MapOp op, const std::string& path) {
+  if (g_map_interceptor == nullptr) return {};
+  return g_map_interceptor->on_op(op, path);
+}
+
+}  // namespace
+
+std::string_view map_op_name(MapOp op) {
+  switch (op) {
+    case MapOp::kOpen: return "open";
+    case MapOp::kStat: return "stat";
+    case MapOp::kMap: return "map";
+  }
+  return "?";
+}
+
+void set_map_interceptor(MapInterceptor* interceptor) {
+  g_map_interceptor = interceptor;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    mapped_ = other.mapped_;
+    size_ = other.size_;
+    empty_ok_ = other.empty_ok_;
+    other.mapped_ = nullptr;
+    other.size_ = 0;
+    other.empty_ok_ = false;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::close() {
+  if (mapped_ != nullptr) ::munmap(mapped_, size_);
+  mapped_ = nullptr;
+  size_ = 0;
+  empty_ok_ = false;
+  path_.clear();
+}
+
+Status MappedFile::open(const std::string& path) {
+  close();
+
+  const auto injected = [&path](MapOp op) {
+    return Status::io_error(std::string("injected fault at ") +
+                            std::string(map_op_name(op)))
+        .with_context(path);
+  };
+
+  MapInterceptor::Decision d = map_intercept(MapOp::kOpen, path);
+  if (d.fail) return injected(MapOp::kOpen);
+  const int fd = open_retry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    const Status s = errno == ENOENT ? Status::not_found(errno_text())
+                                     : Status::io_error(errno_text());
+    return s.with_context(path);
+  }
+
+  d = map_intercept(MapOp::kStat, path);
+  struct ::stat st {};
+  if (d.fail || ::fstat(fd, &st) != 0) {
+    const Status s = d.fail ? injected(MapOp::kStat)
+                            : Status::io_error("stat: " + errno_text())
+                                  .with_context(path);
+    close_quietly(fd);
+    return s;
+  }
+  std::size_t size = st.st_size > 0 ? static_cast<std::size_t>(st.st_size) : 0;
+  if (d.truncate_to != static_cast<std::size_t>(-1)) {
+    size = std::min(size, d.truncate_to);
+  }
+
+  if (size == 0) {
+    // Zero-length mmap is EINVAL by spec; an empty snapshot file is still a
+    // successful open whose bytes() are the empty span (the codec then
+    // reports "bad magic", same as the eager read path).
+    close_quietly(fd);
+    path_ = path;
+    empty_ok_ = true;
+    return Status();
+  }
+
+  d = map_intercept(MapOp::kMap, path);
+  void* mapped = d.fail ? MAP_FAILED
+                        : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the fd is not needed
+  // once mmap has succeeded (or failed).
+  close_quietly(fd);
+  if (mapped == MAP_FAILED) {
+    if (d.fail) return injected(MapOp::kMap);
+    return Status::io_error("mmap: " + errno_text()).with_context(path);
+  }
+  path_ = path;
+  mapped_ = mapped;
+  size_ = size;
+  return Status();
 }
 
 }  // namespace spider

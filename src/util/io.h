@@ -104,4 +104,68 @@ Status write_file_atomic(const std::string& path,
 Status write_file_atomic(const std::string& path, std::string_view text,
                          IoStats* stats = nullptr);
 
+/// The observable stages of MappedFile::open, in execution order.
+enum class MapOp : std::uint8_t {
+  kOpen = 0,  // open(2) the file read-only
+  kStat,      // fstat(2) for the length
+  kMap,       // mmap(2) the whole extent
+};
+std::string_view map_op_name(MapOp op);
+
+/// Test seam consulted before every stage of MappedFile::open — the mmap
+/// mirror of WriteInterceptor. A failed stage surfaces as a clean Status
+/// (fd closed, nothing mapped); there is no crash mode because an aborted
+/// open leaves no on-disk state behind.
+class MapInterceptor {
+ public:
+  virtual ~MapInterceptor() = default;
+
+  struct Decision {
+    bool fail = false;  // stage fails with an injected io error
+    /// At kStat: report this many bytes instead of the real length
+    /// (simulates a file that shrinks between directory scan and map, the
+    /// "partial map" case — the map succeeds but covers fewer bytes than
+    /// the caller believed were there).
+    std::size_t truncate_to = static_cast<std::size_t>(-1);
+  };
+  virtual Decision on_op(MapOp op, const std::string& path) = 0;
+};
+
+/// Installs a process-wide interceptor for MappedFile::open (null to
+/// remove). Test-only: production readers never install one.
+void set_map_interceptor(MapInterceptor* interceptor);
+
+/// Read-only memory map of a whole file. Decoders borrow the bytes for
+/// zero-copy access to column blocks; the map lives until close() or
+/// destruction, so spans handed out must not outlive the MappedFile.
+/// Move-only (the destructor owns the munmap).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens and maps `path` read-only, retrying EINTR on the open. An empty
+  /// file maps to an empty span (mmap of length zero is not attempted —
+  /// POSIX rejects it). Any failure leaves the object closed.
+  Status open(const std::string& path);
+
+  void close();
+
+  bool is_open() const { return mapped_ || empty_ok_; }
+  const std::string& path() const { return path_; }
+  std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(mapped_), size_};
+  }
+
+ private:
+  std::string path_;
+  void* mapped_ = nullptr;
+  std::size_t size_ = 0;
+  bool empty_ok_ = false;  // open() succeeded on a zero-length file
+};
+
 }  // namespace spider

@@ -1,5 +1,6 @@
 // Tests for the morsel-driven shared scan: chunk layout, ordered merge,
-// multi-kernel dispatch, and thread-count invariance.
+// multi-kernel dispatch, thread-count invariance, and the streaming
+// MorselSource seam (batched scans must reproduce the resident scan).
 #include "engine/scan.h"
 
 #include <gtest/gtest.h>
@@ -14,10 +15,11 @@
 namespace spider {
 namespace {
 
-SnapshotTable make_table(std::size_t rows) {
+SnapshotTable make_table(std::size_t rows, std::size_t first = 0) {
   SnapshotTable table;
   table.reserve(rows);
-  for (std::size_t i = 0; i < rows; ++i) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t i = first + r;
     table.add("/f/" + std::to_string(i), static_cast<std::int64_t>(i), 0,
               static_cast<std::int64_t>(2 * i), static_cast<std::uint32_t>(i),
               0, kModeRegular | 0664, i, {});
@@ -35,13 +37,13 @@ class SumKernel : public ScanKernel {
   std::unique_ptr<ScanChunkState> make_chunk_state() const override {
     return std::make_unique<SumState>();
   }
-  void observe_chunk(ScanChunkState* state, const SnapshotTable& table,
-                     std::size_t begin, std::size_t end) override {
+  void observe_chunk(ScanChunkState* state, const ScanMorsel& m) override {
     auto* sum = static_cast<SumState*>(state);
-    for (std::size_t i = begin; i < end; ++i) sum->sum += table.atime(i);
+    for (std::size_t i = m.begin; i < m.end; ++i) {
+      sum->sum += m.table->atime(m.local(i));
+    }
   }
-  void merge_chunks(const SnapshotTable&, ScanStateList states,
-                    ThreadPool*) override {
+  void merge_chunks(ScanStateList states, ThreadPool*) override {
     merge_calls++;
     for (const auto& state : states) {
       total += static_cast<const SumState*>(state.get())->sum;
@@ -57,18 +59,17 @@ struct RangeState : ScanChunkState {
 };
 
 /// Records every (begin, end) a chunk state saw; merge() checks the states
-/// arrive in chunk order and jointly tile [0, n) exactly once.
+/// arrive in chunk order and jointly tile [0, rows) exactly once.
 class RangeKernel : public ScanKernel {
  public:
+  explicit RangeKernel(std::size_t rows) : rows_(rows) {}
   std::unique_ptr<ScanChunkState> make_chunk_state() const override {
     return std::make_unique<RangeState>();
   }
-  void observe_chunk(ScanChunkState* state, const SnapshotTable&,
-                     std::size_t begin, std::size_t end) override {
-    static_cast<RangeState*>(state)->ranges.emplace_back(begin, end);
+  void observe_chunk(ScanChunkState* state, const ScanMorsel& m) override {
+    static_cast<RangeState*>(state)->ranges.emplace_back(m.begin, m.end);
   }
-  void merge_chunks(const SnapshotTable& table, ScanStateList states,
-                    ThreadPool*) override {
+  void merge_chunks(ScanStateList states, ThreadPool*) override {
     std::size_t next = 0;
     for (const auto& state : states) {
       const auto* chunk = static_cast<const RangeState*>(state.get());
@@ -78,11 +79,56 @@ class RangeKernel : public ScanKernel {
       EXPECT_GT(chunk->ranges[0].second, chunk->ranges[0].first);
       next = chunk->ranges[0].second;
     }
-    EXPECT_EQ(next, table.size());
+    EXPECT_EQ(next, rows_);
     tiled = true;
   }
 
+  std::size_t rows_;
   bool tiled = false;
+};
+
+/// Serves a fixed list of tables as consecutive batches — the simplest
+/// possible MorselSource, used to pin down the dispatcher's contract.
+class VectorSource : public MorselSource {
+ public:
+  explicit VectorSource(std::vector<SnapshotTable> batches)
+      : batches_(std::move(batches)) {}
+  Status next(MorselBatch* batch) override {
+    ++pulls;
+    if (index_ >= batches_.size()) {
+      batch->table = nullptr;
+      return Status();
+    }
+    batch->table = &batches_[index_];
+    batch->base = base_;
+    base_ += batches_[index_].size();
+    ++index_;
+    return Status();
+  }
+
+  int pulls = 0;
+
+ private:
+  std::vector<SnapshotTable> batches_;
+  std::size_t index_ = 0;
+  std::size_t base_ = 0;
+};
+
+/// Fails after serving `ok_batches` batches.
+class FailingSource : public MorselSource {
+ public:
+  FailingSource(std::vector<SnapshotTable> batches, std::size_t ok_batches)
+      : inner_(std::move(batches)), ok_batches_(ok_batches) {}
+  Status next(MorselBatch* batch) override {
+    if (served_ >= ok_batches_) return Status::io_error("batch lost");
+    ++served_;
+    return inner_.next(batch);
+  }
+
+ private:
+  VectorSource inner_;
+  std::size_t ok_batches_;
+  std::size_t served_ = 0;
 };
 
 TEST(ScanTest, SumMatchesSerialLoop) {
@@ -115,7 +161,7 @@ TEST(ScanTest, ChunksTileTableInOrder) {
   const SnapshotTable table = make_table(5000);
   for (const std::size_t grain : {std::size_t{1}, std::size_t{617},
                                   std::size_t{5000}, std::size_t{100000}}) {
-    RangeKernel kernel;
+    RangeKernel kernel(table.size());
     ScanKernel* kernels[] = {&kernel};
     ScanOptions options;
     options.grain = grain;
@@ -127,7 +173,7 @@ TEST(ScanTest, ChunksTileTableInOrder) {
 TEST(ScanTest, MultipleKernelsShareOnePass) {
   const SnapshotTable table = make_table(3000);
   SumKernel a, b;
-  RangeKernel ranges;
+  RangeKernel ranges(table.size());
   ScanKernel* kernels[] = {&a, &ranges, &b};
   ScanOptions options;
   options.grain = 256;
@@ -170,6 +216,86 @@ TEST(ScanTest, ZeroGrainFallsBackToDefault) {
   std::int64_t expected = 0;
   for (std::size_t i = 0; i < table.size(); ++i) expected += table.atime(i);
   EXPECT_EQ(kernel.total, expected);
+}
+
+TEST(ScanStreamTest, BatchedScanMatchesResidentScan) {
+  // 3 grain-aligned batches + one short tail: the chunk layout — and so
+  // the tiling RangeKernel sees — must equal scan_table over the union.
+  const std::size_t grain = 256;
+  std::vector<SnapshotTable> batches;
+  std::size_t first = 0;
+  for (const std::size_t rows : {grain * 4, grain * 2, grain * 8, grain - 3}) {
+    batches.push_back(make_table(rows, first));
+    first += rows;
+  }
+
+  std::int64_t expected = 0;
+  RangeKernel ranges(first);
+  {
+    SnapshotTable whole = make_table(first);
+    SumKernel reference;
+    ScanKernel* kernels[] = {&reference};
+    ScanOptions options;
+    options.grain = grain;
+    scan_table(whole, kernels, options);
+    expected = reference.total;
+  }
+
+  VectorSource source(std::move(batches));
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel, &ranges};
+  ScanOptions options;
+  options.grain = grain;
+  ASSERT_TRUE(scan_stream(source, kernels, options).ok());
+  EXPECT_EQ(kernel.total, expected);
+  EXPECT_TRUE(ranges.tiled);
+  EXPECT_EQ(kernel.merge_calls, 1);
+}
+
+TEST(ScanStreamTest, UnalignedBatchesStillCoverEveryRow) {
+  // Batches that are NOT grain multiples start fresh chunks — the layout
+  // differs from the resident scan but every row is seen exactly once.
+  std::vector<SnapshotTable> batches;
+  std::size_t first = 0;
+  for (const std::size_t rows : {std::size_t{97}, std::size_t{1},
+                                 std::size_t{513}, std::size_t{100}}) {
+    batches.push_back(make_table(rows, first));
+    first += rows;
+  }
+  std::int64_t expected = 0;
+  for (std::size_t i = 0; i < first; ++i) {
+    expected += static_cast<std::int64_t>(i);
+  }
+  VectorSource source(std::move(batches));
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel};
+  ScanOptions options;
+  options.grain = 64;
+  ASSERT_TRUE(scan_stream(source, kernels, options).ok());
+  EXPECT_EQ(kernel.total, expected);
+}
+
+TEST(ScanStreamTest, EmptyStreamStillMerges) {
+  VectorSource source({});
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel};
+  ASSERT_TRUE(scan_stream(source, kernels).ok());
+  EXPECT_EQ(kernel.total, 0);
+  EXPECT_EQ(kernel.merge_calls, 1);
+  EXPECT_EQ(source.pulls, 1);
+}
+
+TEST(ScanStreamTest, SourceErrorAbortsWithoutMerging) {
+  std::vector<SnapshotTable> batches;
+  batches.push_back(make_table(100));
+  batches.push_back(make_table(100, 100));
+  FailingSource source(std::move(batches), /*ok_batches=*/1);
+  SumKernel kernel;
+  ScanKernel* kernels[] = {&kernel};
+  const Status s = scan_stream(source, kernels);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(kernel.merge_calls, 0);
 }
 
 }  // namespace

@@ -145,5 +145,131 @@ TEST_F(DirectorySeriesTest, OpenFailsOnMissingOrEmptyDirectory) {
   EXPECT_FALSE(series.open(dir_str(), &error)) << "empty dir has no snaps";
 }
 
+TEST_F(DirectorySeriesTest, VisitStreamingDeliversChosenWeeksAsReaders) {
+  SnapshotSeries series;
+  for (int w = 0; w < 4; ++w) series.add(make_snapshot(w, 20 + w));
+  std::string error;
+  ASSERT_TRUE(save_series(series, dir_str(), &error)) << error;
+
+  DirectorySeries loaded;
+  ASSERT_TRUE(loaded.open(dir_str(), &error)) << error;
+
+  std::vector<std::size_t> resident_weeks, streamed_weeks;
+  std::vector<std::uint64_t> hints;
+  loaded.visit_streaming(
+      /*first_slot=*/0,
+      [&](std::size_t week, std::int64_t, std::uint64_t rows_hint) {
+        hints.push_back(rows_hint);
+        return week % 2 == 1;  // stream the odd weeks
+      },
+      [&](std::size_t week, Snapshot&& snap) {
+        resident_weeks.push_back(week);
+        EXPECT_EQ(snap.table.size(), 20 + week);
+      },
+      [&](const WeekGroupStream& stream) {
+        streamed_weeks.push_back(stream.week);
+        EXPECT_EQ(stream.taken_at, series.at(stream.week).taken_at);
+        EXPECT_EQ(stream.reader->rows(), 20 + stream.week);
+        // Group-at-a-time decode reassembles the eager table.
+        SnapshotTable table;
+        for (std::size_t g = 0; g < stream.reader->group_count(); ++g) {
+          EXPECT_TRUE(stream.reader->decode_group(g, &table).ok());
+        }
+        EXPECT_EQ(table.size(), series.at(stream.week).table.size());
+        EXPECT_EQ(table.path(0), series.at(stream.week).table.path(0));
+        return Status();
+      });
+  EXPECT_EQ(resident_weeks, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(streamed_weeks, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(hints, (std::vector<std::uint64_t>{20, 21, 22, 23}));
+  EXPECT_TRUE(loaded.gaps().empty());
+}
+
+TEST_F(DirectorySeriesTest, StreamVisitorErrorBecomesEagerShapedGap) {
+  SnapshotSeries series;
+  series.add(make_snapshot(0, 5));
+  series.add(make_snapshot(1, 5));
+  std::string error;
+  ASSERT_TRUE(save_series(series, dir_str(), &error)) << error;
+
+  DirectorySeries loaded;
+  ASSERT_TRUE(loaded.open(dir_str(), &error)) << error;
+  std::size_t resident = 0;
+  loaded.visit_streaming(
+      0, [](std::size_t week, std::int64_t, std::uint64_t) { return week == 1; },
+      [&](std::size_t, Snapshot&&) { ++resident; },
+      [&](const WeekGroupStream&) {
+        return Status::corruption("group 0: synthetic damage");
+      });
+  EXPECT_EQ(resident, 1u);
+  ASSERT_EQ(loaded.gaps().size(), 1u);
+  const SeriesGap& gap = loaded.gaps()[0];
+  EXPECT_EQ(gap.week, 1u);
+  EXPECT_EQ(gap.file, loaded.files()[1]);
+  // The file context lands in the status exactly as the eager decode
+  // path's with_context would place it.
+  EXPECT_NE(gap.status.to_string().find(loaded.files()[1] +
+                                        ": group 0: synthetic damage"),
+            std::string::npos)
+      << gap.status.to_string();
+}
+
+TEST_F(DirectorySeriesTest, StreamingFallsBackToEagerOnUnopenableImage) {
+  SnapshotSeries series;
+  series.add(make_snapshot(0, 5));
+  series.add(make_snapshot(1, 5));
+  std::string error;
+  ASSERT_TRUE(save_series(series, dir_str(), &error)) << error;
+
+  DirectorySeries listing;
+  ASSERT_TRUE(listing.open(dir_str(), &error)) << error;
+  {
+    // Destroy the header: streaming open and eager decode both fail.
+    std::fstream f(listing.files()[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.write("XXXXXXXX", 8);
+  }
+
+  // The eager traversal's gap is the reference shape.
+  DirectorySeries eager;
+  ASSERT_TRUE(eager.open(dir_str(), &error)) << error;
+  eager.visit_move([](std::size_t, Snapshot&&) {});
+  ASSERT_EQ(eager.gaps().size(), 1u);
+
+  DirectorySeries streaming;
+  ASSERT_TRUE(streaming.open(dir_str(), &error)) << error;
+  std::size_t resident = 0, streamed = 0;
+  streaming.visit_streaming(
+      0, [](std::size_t, std::int64_t, std::uint64_t) { return true; },
+      [&](std::size_t, Snapshot&&) { ++resident; },
+      [&](const WeekGroupStream&) {
+        ++streamed;
+        return Status();
+      });
+  EXPECT_EQ(resident, 0u);
+  EXPECT_EQ(streamed, 1u) << "the healthy week still streams";
+  ASSERT_EQ(streaming.gaps().size(), 1u);
+  EXPECT_EQ(streaming.gaps()[0].describe(), eager.gaps()[0].describe())
+      << "fallback must reproduce the eager gap byte-for-byte";
+}
+
+TEST(SnapshotSeriesStreamingTest, InMemorySeriesDeliversEverythingResident) {
+  SnapshotSeries series;
+  for (int w = 0; w < 3; ++w) series.add(make_snapshot(w, 4));
+  std::size_t resident = 0, streamed = 0;
+  series.visit_streaming(
+      0, [](std::size_t, std::int64_t, std::uint64_t) { return true; },
+      [&](std::size_t, Snapshot&& snap) {
+        ++resident;
+        EXPECT_EQ(snap.table.size(), 4u);
+      },
+      [&](const WeekGroupStream&) {
+        ++streamed;
+        return Status();
+      });
+  EXPECT_EQ(resident, 3u);
+  EXPECT_EQ(streamed, 0u);
+}
+
 }  // namespace
 }  // namespace spider

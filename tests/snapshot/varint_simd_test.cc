@@ -1,0 +1,230 @@
+// Property suite for the bulk varint/zig-zag decode (snapshot/varint.h):
+// the dispatched kernel (AVX2 where the CPU has it) must be bit-identical
+// to the scalar reference — same values, same final position, same
+// accept/reject verdict — on well-formed streams, random garbage, every
+// truncation point, and overlong encodings. The ingest hot path rides on
+// this equivalence: scol decode switched to get_varints and the salvage /
+// corruption statuses must not move by one byte.
+#include "snapshot/varint.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace spider {
+namespace {
+
+std::vector<std::uint8_t> encode_all(const std::vector<std::uint64_t>& vals) {
+  std::vector<std::uint8_t> out;
+  for (const std::uint64_t v : vals) put_varint(out, v);
+  return out;
+}
+
+/// Runs both implementations on the same window and asserts equivalence.
+/// Returns the shared verdict so callers can also assert accept/reject.
+bool check_equivalent(std::span<const std::uint8_t> in, std::size_t start,
+                      std::size_t count) {
+  std::vector<std::uint64_t> got_fast(count, 0xfeedfeedfeedfeedull);
+  std::vector<std::uint64_t> got_ref(count, 0xfeedfeedfeedfeedull);
+  std::size_t pos_fast = start;
+  std::size_t pos_ref = start;
+  const bool ok_fast = get_varints(in, pos_fast, got_fast.data(), count);
+  const bool ok_ref = varint_detail::get_varints_scalar(
+      in, pos_ref, got_ref.data(), count);
+  EXPECT_EQ(ok_fast, ok_ref);
+  if (ok_fast && ok_ref) {
+    EXPECT_EQ(pos_fast, pos_ref);
+    EXPECT_EQ(got_fast, got_ref);
+  }
+  return ok_fast && ok_ref;
+}
+
+TEST(BulkVarintTest, SingleByteRuns) {
+  // Long runs of one-byte varints exercise the 32-wide movemask fast path,
+  // including the < 32 tails.
+  Rng rng(1);
+  for (const std::size_t n :
+       {0u, 1u, 31u, 32u, 33u, 64u, 100u, 1000u, 4097u}) {
+    std::vector<std::uint64_t> vals(n);
+    for (auto& v : vals) v = rng.uniform_u64(128);
+    const auto bytes = encode_all(vals);
+    ASSERT_EQ(bytes.size(), n);
+    std::vector<std::uint64_t> got(n);
+    std::size_t pos = 0;
+    ASSERT_TRUE(get_varints(bytes, pos, got.data(), n)) << n;
+    EXPECT_EQ(pos, bytes.size());
+    EXPECT_EQ(got, vals);
+  }
+}
+
+TEST(BulkVarintTest, MixedMagnitudesRoundTrip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_u64(700);
+    std::vector<std::uint64_t> vals(n);
+    for (auto& v : vals) {
+      // Spread across every encoded length 1..10.
+      const int bits = static_cast<int>(rng.uniform_u64(65));
+      v = bits == 0 ? 0 : rng.next_u64() >> (64 - bits);
+    }
+    const auto bytes = encode_all(vals);
+    std::vector<std::uint64_t> got(n);
+    std::size_t pos = 0;
+    ASSERT_TRUE(get_varints(bytes, pos, got.data(), n)) << trial;
+    EXPECT_EQ(pos, bytes.size());
+    EXPECT_EQ(got, vals);
+    check_equivalent(bytes, 0, n);
+  }
+}
+
+TEST(BulkVarintTest, EveryTruncationPointMatchesScalar) {
+  Rng rng(3);
+  std::vector<std::uint64_t> vals(97);
+  for (auto& v : vals) {
+    const int bits = static_cast<int>(rng.uniform_u64(65));
+    v = bits == 0 ? 0 : rng.next_u64() >> (64 - bits);
+  }
+  const auto bytes = encode_all(vals);
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> window(bytes.data(), cut);
+    const bool ok = check_equivalent(window, 0, vals.size());
+    EXPECT_EQ(ok, cut == bytes.size()) << "cut=" << cut;
+  }
+}
+
+TEST(BulkVarintTest, RandomGarbageWindowsMatchScalar) {
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = rng.uniform_u64(400);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    const std::size_t count = rng.uniform_u64(120);
+    const std::size_t start = rng.uniform_u64(len + 3);
+    check_equivalent(bytes, start, count);
+  }
+}
+
+TEST(BulkVarintTest, ContinuationHeavyGarbageMatchesScalar) {
+  // Mostly-0x80 streams drive the overlong-rejection path (ten
+  // continuation bytes) through both kernels.
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = 16 + rng.uniform_u64(200);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = rng.uniform_u64(4) == 0
+              ? static_cast<std::uint8_t>(rng.uniform_u64(256))
+              : static_cast<std::uint8_t>(0x80 | rng.uniform_u64(128));
+    }
+    check_equivalent(bytes, 0, 1 + rng.uniform_u64(60));
+  }
+}
+
+TEST(BulkVarintTest, OverlongEncodingRejectedIdentically) {
+  // 10 continuation bytes + terminator = 11-byte varint: both reject.
+  std::vector<std::uint8_t> bytes(10, 0x80);
+  bytes.push_back(0x01);
+  std::uint64_t out = 0;
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varints(bytes, pos, &out, 1));
+  // Exactly 10 bytes where the 10th terminates is accepted (high bits
+  // beyond 64 are discarded, same as the scalar loop).
+  std::vector<std::uint8_t> edge(9, 0x80);
+  edge.push_back(0x01);
+  ASSERT_TRUE(check_equivalent(edge, 0, 1));
+  pos = 0;
+  ASSERT_TRUE(get_varints(edge, pos, &out, 1));
+  EXPECT_EQ(pos, 10u);
+  EXPECT_EQ(out, 1ull << 63);
+}
+
+TEST(BulkVarintTest, SingleByteFastPathStopsAtExactCount) {
+  // More bytes available than values wanted: the decoder must consume
+  // exactly `count` varints and leave pos on the next byte.
+  std::vector<std::uint8_t> bytes(100, 7);
+  std::vector<std::uint64_t> out(33);
+  std::size_t pos = 0;
+  ASSERT_TRUE(get_varints(bytes, pos, out.data(), 33));
+  EXPECT_EQ(pos, 33u);
+  for (const std::uint64_t v : out) EXPECT_EQ(v, 7u);
+}
+
+TEST(BulkZigzagTest, MatchesScalarOnRandomValues) {
+  Rng rng(6);
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 1000u, 1003u}) {
+    std::vector<std::uint64_t> raw(n);
+    for (auto& v : raw) v = rng.next_u64();
+    std::vector<std::int64_t> fast(n, -1), ref(n, -1);
+    zigzag_decode_bulk(raw.data(), fast.data(), n);
+    varint_detail::zigzag_decode_bulk_scalar(raw.data(), ref.data(), n);
+    EXPECT_EQ(fast, ref) << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(fast[i], zigzag_decode(raw[i]));
+    }
+  }
+}
+
+TEST(BulkZigzagTest, RoundTripsEncodedValues) {
+  Rng rng(7);
+  std::vector<std::int64_t> vals(777);
+  for (auto& v : vals) {
+    v = static_cast<std::int64_t>(rng.next_u64());
+    if (rng.uniform_u64(2)) v = -v;
+  }
+  std::vector<std::uint64_t> raw(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) raw[i] = zigzag_encode(vals[i]);
+  std::vector<std::int64_t> got(vals.size());
+  zigzag_decode_bulk(raw.data(), got.data(), vals.size());
+  EXPECT_EQ(got, vals);
+}
+
+TEST(BulkZigzagTest, InPlaceAliasingIsSafe) {
+  Rng rng(8);
+  std::vector<std::uint64_t> raw(513);
+  for (auto& v : raw) v = rng.next_u64();
+  std::vector<std::int64_t> expect(raw.size());
+  varint_detail::zigzag_decode_bulk_scalar(raw.data(), expect.data(),
+                                           raw.size());
+  zigzag_decode_bulk(raw.data(),
+                     reinterpret_cast<std::int64_t*>(raw.data()), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(raw[i]), expect[i]);
+  }
+}
+
+#if defined(SPIDER_VARINT_X86)
+// When the host has AVX2 (the CI container does), pin the vector kernel
+// against the scalar one directly — the dispatcher test above would
+// silently degrade to scalar-vs-scalar on an old machine.
+TEST(BulkVarintTest, Avx2KernelDirectlyMatchesScalar) {
+  if (!varint_detail::have_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = rng.uniform_u64(300);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(
+          rng.uniform_u64(2) ? rng.uniform_u64(128)
+                             : rng.uniform_u64(256));
+    }
+    const std::size_t count = rng.uniform_u64(100);
+    std::vector<std::uint64_t> fast(count), ref(count);
+    std::size_t pos_fast = 0, pos_ref = 0;
+    const bool ok_fast =
+        varint_detail::get_varints_avx2(bytes, pos_fast, fast.data(), count);
+    const bool ok_ref = varint_detail::get_varints_scalar(
+        bytes, pos_ref, ref.data(), count);
+    ASSERT_EQ(ok_fast, ok_ref) << trial;
+    if (ok_fast) {
+      EXPECT_EQ(pos_fast, pos_ref);
+      EXPECT_EQ(fast, ref);
+    }
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace spider

@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <vector>
 
 #include "snapshot/record.h"
+#include "snapshot/scol.h"
 #include "util/hash.h"
 #include "util/timeutil.h"
 
@@ -146,6 +151,105 @@ TEST(FacilityGeneratorTest, ScaleControlsVolume) {
     if (week == 0) big_rows = s.table.size();
   });
   EXPECT_GT(big_rows, small_rows * 2);
+}
+
+std::string slurp(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(FacilityGeneratorTest, StreamedSeriesIsByteIdenticalToEager) {
+  namespace fs = std::filesystem;
+  FacilityConfig config = small_config();
+  config.weeks = 10;  // spans the first maintenance gap (week 1 of 10)
+  const fs::path base = fs::path(testing::TempDir()) / "spider_gen_stream";
+  const fs::path eager_dir = base / "eager";
+  const fs::path streamed_dir = base / "streamed";
+  fs::remove_all(base);
+
+  // Tiny groups force multi-group files so the stream writer's group
+  // boundary handling is actually exercised, not just the tail flush.
+  ScolOptions options;
+  options.group_size = 1024;
+
+  {
+    FacilityGenerator gen(config);
+    gen.visit_move([&](std::size_t, Snapshot&& snap) {
+      std::error_code ec;
+      fs::create_directories(eager_dir, ec);
+      ASSERT_FALSE(ec);
+      const std::string file =
+          (eager_dir / ("snap_" + date_tag(snap.taken_at) + ".scol")).string();
+      const Status ws = write_scol_file(snap.table, file, options);
+      ASSERT_TRUE(ws.ok()) << ws.to_string();
+    });
+  }
+  {
+    FacilityGenerator gen(config);
+    const Status s = save_series_streamed(gen, streamed_dir.string(), options);
+    ASSERT_TRUE(s.ok()) << s.to_string();
+  }
+
+  std::vector<fs::path> eager_files, streamed_files;
+  for (const auto& e : fs::directory_iterator(eager_dir))
+    eager_files.push_back(e.path());
+  for (const auto& e : fs::directory_iterator(streamed_dir))
+    streamed_files.push_back(e.path());
+  std::sort(eager_files.begin(), eager_files.end());
+  std::sort(streamed_files.begin(), streamed_files.end());
+  ASSERT_FALSE(eager_files.empty());
+  ASSERT_EQ(eager_files.size(), streamed_files.size());
+  for (std::size_t i = 0; i < eager_files.size(); ++i) {
+    EXPECT_EQ(eager_files[i].filename(), streamed_files[i].filename());
+    EXPECT_EQ(slurp(eager_files[i]), slurp(streamed_files[i]))
+        << eager_files[i] << " differs from its streamed twin";
+  }
+  fs::remove_all(base);
+}
+
+TEST(FacilityGeneratorTest, VisitRecordsMatchesVisitRowForRow) {
+  FacilityConfig config = small_config();
+  config.weeks = 6;
+  std::vector<Snapshot> eager;
+  {
+    FacilityGenerator gen(config);
+    gen.visit_move(
+        [&](std::size_t, Snapshot&& snap) { eager.push_back(std::move(snap)); });
+  }
+  FacilityGenerator gen(config);
+  std::size_t weeks_seen = 0;
+  const Status s = gen.visit_records([&](const WeekRecordBatch& batch) {
+    EXPECT_EQ(batch.week, weeks_seen);
+    const SnapshotTable& want = eager[batch.week].table;
+    EXPECT_EQ(batch.taken_at, eager[batch.week].taken_at);
+    EXPECT_EQ(batch.rows, want.size());
+    std::size_t row = 0;
+    Status st = batch.emit([&](std::string_view path, std::int64_t atime,
+                               std::int64_t ctime, std::int64_t mtime,
+                               std::uint32_t uid, std::uint32_t gid,
+                               std::uint32_t mode, std::uint64_t inode,
+                               std::span<const std::uint32_t> osts) {
+      (void)osts;  // widths are covered by the byte-identity test above
+      EXPECT_EQ(path, want.path(row));
+      EXPECT_EQ(atime, want.atime(row));
+      EXPECT_EQ(ctime, want.ctime(row));
+      EXPECT_EQ(mtime, want.mtime(row));
+      EXPECT_EQ(uid, want.uid(row));
+      EXPECT_EQ(gid, want.gid(row));
+      EXPECT_EQ(mode, want.mode(row));
+      EXPECT_EQ(inode, want.inode(row));
+      ++row;
+      return Status();
+    });
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(row, want.size());
+    ++weeks_seen;
+    return Status();
+  });
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(weeks_seen, eager.size());
 }
 
 TEST(FacilityGeneratorTest, DeepChainsPresent) {

@@ -2,9 +2,11 @@
 // adversarial FaultyFile) and the temp-file + atomic-rename writer.
 #include "util/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -243,6 +245,132 @@ TEST(AtomicWriteDurabilityTest, InjectedFailureCleansUpTempFile) {
     EXPECT_EQ(entries, 1u) << write_op_name(op);
   }
   fs::remove_all(dir);
+}
+
+/// RAII install/remove for the process-wide map interceptor.
+class MapInterceptorScope {
+ public:
+  explicit MapInterceptorScope(MapInterceptor* i) { set_map_interceptor(i); }
+  ~MapInterceptorScope() { set_map_interceptor(nullptr); }
+};
+
+/// Fails one map stage, optionally lying about the length at kStat.
+class MapFaultAt : public MapInterceptor {
+ public:
+  explicit MapFaultAt(MapOp op) : op_(op) {}
+  MapFaultAt(MapOp op, std::size_t truncate_to)
+      : op_(op), truncate_to_(truncate_to), use_truncate_(true) {}
+  Decision on_op(MapOp op, const std::string&) override {
+    Decision d;
+    if (op == op_) {
+      if (use_truncate_) {
+        d.truncate_to = truncate_to_;
+      } else {
+        d.fail = true;
+      }
+    }
+    return d;
+  }
+
+ private:
+  MapOp op_;
+  std::size_t truncate_to_ = 0;
+  bool use_truncate_ = false;
+};
+
+TEST(MappedFileTest, BytesMatchEagerRead) {
+  const std::string path = temp_path("spider_io_test_map.bin");
+  const auto bytes = make_bytes(70'001, 11);
+  ASSERT_TRUE(write_file_atomic(path, std::span<const std::uint8_t>(bytes))
+                  .ok());
+  MappedFile map;
+  ASSERT_TRUE(map.open(path).ok());
+  EXPECT_TRUE(map.is_open());
+  EXPECT_EQ(map.path(), path);
+  ASSERT_EQ(map.bytes().size(), bytes.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(map.bytes().begin(), map.bytes().end()),
+            bytes);
+  map.close();
+  EXPECT_FALSE(map.is_open());
+  EXPECT_TRUE(map.bytes().empty());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, EmptyFileMapsToEmptySpan) {
+  const std::string path = temp_path("spider_io_test_map_empty.bin");
+  ASSERT_TRUE(write_file_atomic(path, std::string_view("")).ok());
+  MappedFile map;
+  ASSERT_TRUE(map.open(path).ok());
+  EXPECT_TRUE(map.is_open());
+  EXPECT_TRUE(map.bytes().empty());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsNotFoundWithPathContext) {
+  MappedFile map;
+  const Status s = map.open(temp_path("spider_io_test_map_missing.bin"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("map_missing"), std::string::npos);
+  EXPECT_FALSE(map.is_open());
+}
+
+TEST(MappedFileTest, MappingADirectoryFails) {
+  // open(O_RDONLY) on a directory succeeds but mmap refuses it — the
+  // unreadable-as-bytes case that a permissions check cannot catch when
+  // the test runs as root.
+  MappedFile map;
+  const Status s = map.open(fs::temp_directory_path().string());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_FALSE(map.is_open());
+}
+
+TEST(MappedFileTest, InjectedFaultAtEveryStageLeavesClosed) {
+  const std::string path = temp_path("spider_io_test_map_fault.bin");
+  ASSERT_TRUE(write_file_atomic(path, std::string_view("payload")).ok());
+  for (const MapOp op : {MapOp::kOpen, MapOp::kStat, MapOp::kMap}) {
+    MapFaultAt fault(op);
+    MapInterceptorScope scope(&fault);
+    MappedFile map;
+    const Status s = map.open(path);
+    ASSERT_FALSE(s.ok()) << map_op_name(op);
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << map_op_name(op);
+    EXPECT_NE(s.message().find(map_op_name(op)), std::string::npos);
+    EXPECT_FALSE(map.is_open()) << map_op_name(op);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, PartialMapSurfacesShorterSpan) {
+  // A file that shrank between the directory scan and the map: the map
+  // succeeds but covers fewer bytes, and the codec on top must treat the
+  // missing tail as truncation (decode_scol already does).
+  const std::string path = temp_path("spider_io_test_map_partial.bin");
+  const auto bytes = make_bytes(4096, 13);
+  ASSERT_TRUE(write_file_atomic(path, std::span<const std::uint8_t>(bytes))
+                  .ok());
+  MapFaultAt fault(MapOp::kStat, /*truncate_to=*/100);
+  MapInterceptorScope scope(&fault);
+  MappedFile map;
+  ASSERT_TRUE(map.open(path).ok());
+  ASSERT_EQ(map.bytes().size(), 100u);
+  EXPECT_TRUE(std::equal(map.bytes().begin(), map.bytes().end(),
+                         bytes.begin()));
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MoveTransfersOwnership) {
+  const std::string path = temp_path("spider_io_test_map_move.bin");
+  ASSERT_TRUE(write_file_atomic(path, std::string_view("abcdef")).ok());
+  MappedFile a;
+  ASSERT_TRUE(a.open(path).ok());
+  MappedFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());
+  ASSERT_TRUE(b.is_open());
+  ASSERT_EQ(b.bytes().size(), 6u);
+  EXPECT_EQ(b.bytes()[0], 'a');
+  std::remove(path.c_str());
 }
 
 // Kill-at-op counting spans writes: with one kill index per run, a sweep
